@@ -1,0 +1,43 @@
+# Convenience targets for the tracescope repository.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments experiments-md report fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation on a fresh corpus.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Regenerate EXPERIMENTS.md from a fresh run.
+experiments-md:
+	$(GO) run ./cmd/experiments -md -streams 48 -episodes 14 > EXPERIMENTS.md
+
+# Self-contained HTML report.
+report:
+	$(GO) run ./cmd/experiments -html report.html
+
+# Short fuzzing pass over the decoder and matcher.
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzWildcardMatch -fuzztime 15s
+	$(GO) test ./internal/trace/ -fuzz FuzzSlice -fuzztime 15s
+
+clean:
+	rm -f report.html test_output.txt bench_output.txt

@@ -1,0 +1,377 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark per experiment of DESIGN.md's index), plus
+// ablation benches for the design choices DESIGN.md calls out: stack
+// interning, bounded segment enumeration (k), and the non-optimizable
+// reduction.
+package tracescope_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"tracescope"
+	"tracescope/internal/awg"
+	"tracescope/internal/baseline"
+	"tracescope/internal/core"
+	"tracescope/internal/experiments"
+	"tracescope/internal/mining"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+var (
+	benchOnce   sync.Once
+	benchSuite  *experiments.Suite
+	benchCorpus *trace.Corpus
+)
+
+// benchSetup builds one moderate corpus shared by every benchmark.
+func benchSetup(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = experiments.NewSuite(scenario.Config{Seed: 1, Streams: 12, Episodes: 10})
+		benchCorpus = benchSuite.Corpus
+	})
+	return benchSuite
+}
+
+// BenchmarkGenerateCorpus measures trace generation (the workload
+// substrate feeding every experiment).
+func BenchmarkGenerateCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := tracescope.Generate(tracescope.GenerateConfig{Seed: int64(i), Streams: 2, Episodes: 6})
+		if c.NumInstances() == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkHeadlineImpact regenerates the §5.1 headline metrics
+// (IAwait/IArun/IAopt, Dwait/Dwaitdist) over the full corpus.
+func BenchmarkHeadlineImpact(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := core.NewAnalyzer(s.Corpus)
+		m := an.Impact(trace.AllDrivers(), "")
+		if m.IAwait() <= 0 {
+			b.Fatal("degenerate impact")
+		}
+	}
+}
+
+// BenchmarkTable1Classify regenerates Table 1 (instance counts and
+// contrast classes for the eight selected scenarios).
+func BenchmarkTable1Classify(b *testing.B) {
+	benchTable(b, func(s *experiments.Suite) error { _, err := s.Table1(); return err })
+}
+
+// BenchmarkTable2Coverage regenerates Table 2 (Driver Cost, ITC, TTC).
+func BenchmarkTable2Coverage(b *testing.B) {
+	benchTable(b, func(s *experiments.Suite) error { _, err := s.Table2(); return err })
+}
+
+// BenchmarkTable3Ranking regenerates Table 3 (top-n% ranking coverages).
+func BenchmarkTable3Ranking(b *testing.B) {
+	benchTable(b, func(s *experiments.Suite) error { _, err := s.Table3(); return err })
+}
+
+// BenchmarkTable4DriverTypes regenerates Table 4 (top-10 patterns by
+// driver type).
+func BenchmarkTable4DriverTypes(b *testing.B) {
+	benchTable(b, func(s *experiments.Suite) error { _, err := s.Table4(); return err })
+}
+
+func benchTable(b *testing.B, fn func(*experiments.Suite) error) {
+	b.Helper()
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh suite wrapper so causality caches don't hide the work,
+		// but share the corpus and its Wait-Graph indexes via Analyzer
+		// reuse semantics of a new suite over the same corpus.
+		fresh := &experiments.Suite{Cfg: s.Cfg, Corpus: s.Corpus, An: core.NewAnalyzer(s.Corpus)}
+		fresh.ResetCache()
+		if err := fn(fresh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Replay regenerates the §2.2 motivating case and its
+// thread-level snapshot (Figure 1).
+func BenchmarkFigure1Replay(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if err := s.Figure1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2AWG regenerates the motivating case's Aggregated Wait
+// Graph (Figure 2).
+func BenchmarkFigure2AWG(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if err := s.Figure2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaitGraphBuild measures Wait-Graph construction for every
+// instance of the corpus (the §3.1 data abstraction).
+func BenchmarkWaitGraphBuild(b *testing.B) {
+	s := benchSetup(b)
+	refs := s.Corpus.InstancesOf("")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builders := waitgraph.BuildAll(s.Corpus, waitgraph.Options{})
+		nodes := 0
+		for _, ref := range refs {
+			g := builders[ref.Stream].Instance(s.Corpus.Streams[ref.Stream].Instances[ref.Instance])
+			nodes += len(g.Roots)
+		}
+		if nodes == 0 {
+			b.Fatal("no roots")
+		}
+	}
+}
+
+// BenchmarkCausalityOneScenario measures the full §4 pipeline (classify,
+// aggregate, mine, rank) for the paper's exemplar scenario.
+func BenchmarkCausalityOneScenario(b *testing.B) {
+	s := benchSetup(b)
+	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabCreate)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := core.NewAnalyzer(s.Corpus)
+		res, err := an.Causality(core.CausalityConfig{
+			Scenario: scenario.BrowserTabCreate, Tfast: tf, Tslow: ts,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkAblationSegmentK sweeps the bounded segment length k of the
+// meta-pattern enumeration (the paper fixes k=5 and argues bounded
+// enumeration loses no patterns).
+func BenchmarkAblationSegmentK(b *testing.B) {
+	s := benchSetup(b)
+	tf, ts, _ := scenario.Thresholds(scenario.WebPageNavigation)
+	an := core.NewAnalyzer(s.Corpus)
+	for _, k := range []int{1, 2, 3, 5, 7} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := an.Causality(core.CausalityConfig{
+					Scenario: scenario.WebPageNavigation, Tfast: tf, Tslow: ts,
+					Mining: mining.Params{K: k},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReduce compares causality analysis with and without
+// the non-optimizable reduction of Algorithm 1.
+func BenchmarkAblationReduce(b *testing.B) {
+	s := benchSetup(b)
+	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabSwitch)
+	an := core.NewAnalyzer(s.Corpus)
+	for _, disable := range []bool{false, true} {
+		name := "reduce=on"
+		if disable {
+			name = "reduce=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Causality(core.CausalityConfig{
+					Scenario: scenario.BrowserTabSwitch, Tfast: tf, Tslow: ts,
+					DisableReduce: disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStackInterning compares interned stack storage (what
+// streams do) against naive per-event string-slice stacks.
+func BenchmarkAblationStackInterning(b *testing.B) {
+	frames := make([]string, 64)
+	for i := range frames {
+		frames[i] = fmt.Sprintf("mod%d.sys!Function%d", i%8, i)
+	}
+	stacks := make([][]string, 256)
+	for i := range stacks {
+		depth := 3 + i%6
+		st := make([]string, depth)
+		for j := 0; j < depth; j++ {
+			st[j] = frames[(i*7+j*13)%len(frames)]
+		}
+		stacks[i] = st
+	}
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := trace.NewStream("bench")
+			for j := 0; j < 4096; j++ {
+				id := s.InternStackStrings(stacks[j%len(stacks)]...)
+				s.AppendEvent(trace.Event{Type: trace.Running, Time: trace.Time(j), Cost: 1, TID: 1, WTID: trace.NoThread, Stack: id})
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		type fatEvent struct {
+			trace.Event
+			Frames []string
+		}
+		for i := 0; i < b.N; i++ {
+			var events []fatEvent
+			for j := 0; j < 4096; j++ {
+				src := stacks[j%len(stacks)]
+				cp := make([]string, len(src))
+				copy(cp, src)
+				events = append(events, fatEvent{
+					Event:  trace.Event{Type: trace.Running, Time: trace.Time(j), Cost: 1, TID: 1, WTID: trace.NoThread},
+					Frames: cp,
+				})
+			}
+			_ = events
+		}
+	})
+}
+
+// BenchmarkCorpusCodec measures the binary round-trip of a stream.
+func BenchmarkCorpusCodec(b *testing.B) {
+	s := benchSetup(b)
+	stream := s.Corpus.Streams[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := stream.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineProfile measures the gprof-style call-graph baseline.
+func BenchmarkBaselineProfile(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := baseline.CallGraphProfile(s.Corpus)
+		if p.TotalCPU == 0 {
+			b.Fatal("no CPU")
+		}
+	}
+}
+
+// BenchmarkBaselineContention measures the single-lock contention
+// baseline.
+func BenchmarkBaselineContention(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := baseline.LockContention(s.Corpus, trace.AllDrivers())
+		if r.TotalWait == 0 {
+			b.Fatal("no waits")
+		}
+	}
+}
+
+// BenchmarkAWGAggregate measures Algorithm 1 over the slow class of the
+// heaviest scenario.
+func BenchmarkAWGAggregate(b *testing.B) {
+	s := benchSetup(b)
+	tf, ts, _ := scenario.Thresholds(scenario.WebPageNavigation)
+	builders := waitgraph.BuildAll(s.Corpus, waitgraph.Options{})
+	var graphs []*waitgraph.Graph
+	for _, ref := range s.Corpus.InstancesOf(scenario.WebPageNavigation) {
+		stream := s.Corpus.Streams[ref.Stream]
+		in := stream.Instances[ref.Instance]
+		if in.Duration() > ts {
+			graphs = append(graphs, builders[ref.Stream].Instance(in))
+		}
+	}
+	_ = tf
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := awg.Aggregate(graphs, trace.AllDrivers(), awg.DefaultOptions())
+		if g.NumNodes() == 0 {
+			b.Fatal("empty AWG")
+		}
+	}
+}
+
+// BenchmarkBaselineStackMine measures the StackMine-style costly-stack
+// baseline.
+func BenchmarkBaselineStackMine(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := baseline.MineStacks(s.Corpus, trace.AllDrivers(), 3)
+		if len(r.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkLocatePattern measures the pattern→instance drill-down.
+func BenchmarkLocatePattern(b *testing.B) {
+	s := benchSetup(b)
+	an := core.NewAnalyzer(s.Corpus)
+	tf, ts, _ := scenario.Thresholds(scenario.WebPageNavigation)
+	res, err := an.Causality(core.CausalityConfig{
+		Scenario: scenario.WebPageNavigation, Tfast: tf, Tslow: ts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		b.Skip("no patterns at this corpus size")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occ := an.LocatePattern(res, res.Patterns[0], nil, 8)
+		if len(occ) == 0 {
+			b.Fatal("pattern not locatable")
+		}
+	}
+}
+
+// BenchmarkStreamSlice measures incident-window extraction.
+func BenchmarkStreamSlice(b *testing.B) {
+	s := benchSetup(b)
+	stream := s.Corpus.Streams[0]
+	d := trace.Time(stream.Duration())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := stream.Slice(d/4, 3*d/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Events) == 0 {
+			b.Fatal("empty slice")
+		}
+	}
+}

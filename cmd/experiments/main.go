@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation: the §5.1
+// headline impact metrics, Tables 1–4, Figures 1–2, the §5.2.2 reduction
+// accounting, the §5.2.4 hard-fault case, and the §6 baseline
+// comparisons.
+//
+// Usage:
+//
+//	experiments [-exp all|headline|table1|table2|table3|table4|
+//	             figure1|figure2|reduction|hardfault|baselines]
+//	            [-seed N] [-streams N] [-episodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracescope/internal/experiments"
+	"tracescope/internal/report"
+	"tracescope/internal/scenario"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run")
+		seed     = flag.Int64("seed", 1, "corpus generation seed")
+		streams  = flag.Int("streams", 48, "number of trace streams (machines)")
+		episodes = flag.Int("episodes", 14, "episodes per stream")
+		md       = flag.Bool("md", false, "emit the full evaluation as Markdown (EXPERIMENTS.md) to stdout")
+		html     = flag.String("html", "", "write the full evaluation as a self-contained HTML report to this file")
+	)
+	flag.Parse()
+
+	suite := experiments.NewSuite(scenario.Config{
+		Seed: *seed, Streams: *streams, Episodes: *episodes,
+	})
+	if *md {
+		if err := suite.WriteMarkdown(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err == nil {
+			err = suite.WriteHTML(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote HTML report to %s\n", *html)
+		return
+	}
+	fmt.Printf("corpus: %d streams, %d instances, %d events, %v recorded\n\n",
+		suite.Corpus.NumStreams(), suite.Corpus.NumInstances(),
+		suite.Corpus.NumEvents(), suite.Corpus.TotalDuration())
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	out := os.Stdout
+	run("headline", func() error {
+		m, comps := suite.Headline()
+		fmt.Fprintf(out, "§5.1 headline impact analysis (filter *.sys, all %d instances):\n  %v\n\n",
+			m.Instances, m)
+		return report.WriteComparisons(out, "paper vs measured", comps)
+	})
+	run("table1", func() error { return writeTable(suite.Table1) })
+	run("table2", func() error { return writeTable(suite.Table2) })
+	run("table3", func() error { return writeTable(suite.Table3) })
+	run("table4", func() error { return writeTable(suite.Table4) })
+	run("figure1", func() error { return suite.Figure1(out) })
+	run("figure2", func() error { return suite.Figure2(out) })
+	run("reduction", func() error { return writeTable(suite.Reduction) })
+	run("hardfault", func() error { return suite.HardFaultCase(out) })
+	run("baselines", func() error { return suite.Baselines(out) })
+	run("granularity", func() error { return writeTable(suite.Granularity) })
+	run("components", func() error { return writeTable(suite.Components) })
+	run("scenarioimpact", func() error { return writeTable(suite.ImpactByScenario) })
+	run("stability", func() error { return writeTable(func() (*report.Table, error) { return suite.Stability(5) }) })
+}
+
+func writeTable(build func() (*report.Table, error)) error {
+	t, err := build()
+	if err != nil {
+		return err
+	}
+	return t.Write(os.Stdout)
+}

@@ -1,0 +1,142 @@
+// Command traceanalyze runs the paper's two-step analysis over a corpus
+// written by tracegen: impact analysis for a component filter, and —
+// given a scenario — causality analysis printing the ranked contrast
+// patterns.
+//
+// Usage:
+//
+//	traceanalyze -corpus DIR [-components "*.sys"]
+//	             [-scenario NAME [-tfast MS -tslow MS] [-top N] [-k N]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracescope"
+	"tracescope/internal/mining"
+)
+
+func main() {
+	var (
+		dir          = flag.String("corpus", "", "corpus directory (required)")
+		components   = flag.String("components", "*.sys", "comma-free component pattern (repeatable via commas)")
+		scen         = flag.String("scenario", "", "scenario for causality analysis (optional)")
+		tfastMS      = flag.Float64("tfast", 0, "fast-class threshold in ms (default: catalogue value)")
+		tslowMS      = flag.Float64("tslow", 0, "slow-class threshold in ms (default: catalogue value)")
+		top          = flag.Int("top", 10, "number of ranked patterns to print")
+		k            = flag.Int("k", 5, "maximum path-segment length for meta-pattern enumeration")
+		locate       = flag.Bool("locate", false, "locate concrete slow instances for the top pattern")
+		baselines    = flag.Bool("baselines", false, "also run the §6 baselines (profile, contention, StackMine)")
+		perComponent = flag.Bool("percomponent", false, "print the per-driver impact breakdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "traceanalyze: -corpus is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	corpus, err := tracescope.ReadCorpusDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corpus: %d streams, %d instances, %d events\n\n",
+		corpus.NumStreams(), corpus.NumInstances(), corpus.NumEvents())
+
+	filter := tracescope.NewComponentFilter(*components)
+	an := tracescope.NewAnalyzer(corpus)
+
+	m := an.Impact(filter, *scen)
+	scope := "all scenarios"
+	if *scen != "" {
+		scope = *scen
+	}
+	fmt.Printf("impact analysis (%s, filter %q):\n  %v\n\n", scope, *components, m)
+
+	if *perComponent {
+		fmt.Println("per-driver impact:")
+		for _, ci := range an.ImpactByComponent(filter, nil) {
+			fmt.Printf("  %-16s Dwait=%-12v Drun=%v\n", ci.Module, ci.Dwait, ci.Drun)
+		}
+		fmt.Println()
+	}
+	if *baselines {
+		prof := tracescope.CallGraphProfile(corpus)
+		fmt.Printf("call-graph profile: %v CPU total; top 5 by cumulative:\n", prof.TotalCPU)
+		for _, e := range prof.Top(5) {
+			fmt.Printf("  %-34s self=%-10v cum=%v\n", e.Frame, e.Self, e.Cumulative)
+		}
+		cont := tracescope.LockContention(corpus, filter)
+		fmt.Printf("lock contention: %v total; top 5 sites:\n", cont.TotalWait)
+		for _, e := range cont.Top(5) {
+			fmt.Printf("  %-34s total=%-10v count=%d\n", e.WaitSig, e.Total, e.Count)
+		}
+		sm := tracescope.MineStacks(corpus, filter, 3)
+		fmt.Printf("StackMine: %d patterns over %v wait; top 3:\n", len(sm.Patterns), sm.TotalWait)
+		for _, p := range sm.Top(3) {
+			fmt.Printf("  cost=%-10v n=%-5d %s\n", p.Cost, p.Count, p)
+		}
+		fmt.Println()
+	}
+
+	if *scen == "" {
+		return
+	}
+
+	tfast := tracescope.Duration(*tfastMS * 1000)
+	tslow := tracescope.Duration(*tslowMS * 1000)
+	if tfast == 0 || tslow == 0 {
+		ctf, cts, ok := tracescope.Thresholds(*scen)
+		if !ok {
+			fatal(fmt.Errorf("no catalogue thresholds for %q; pass -tfast and -tslow", *scen))
+		}
+		if tfast == 0 {
+			tfast = ctf
+		}
+		if tslow == 0 {
+			tslow = cts
+		}
+	}
+
+	res, err := an.Causality(tracescope.CausalityConfig{
+		Scenario: *scen,
+		Tfast:    tfast,
+		Tslow:    tslow,
+		Filter:   filter,
+		Mining:   mining.Params{K: *k},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("causality analysis of %s (Tfast=%v, Tslow=%v, k=%d):\n", *scen, tfast, tslow, *k)
+	fmt.Printf("  instances=%d fast=%d slow=%d contrasts=%d patterns=%d\n",
+		res.Instances, res.FastCount, res.SlowCount, res.NumContrasts, len(res.Patterns))
+	fmt.Printf("  driver cost=%.1f%% ITC=%.1f%% TTC=%.1f%% reduced=%.1f%%\n\n",
+		res.DriverCostShare*100, res.ITC*100, res.TTC*100, res.ReducedShare*100)
+
+	n := *top
+	if n > len(res.Patterns) {
+		n = len(res.Patterns)
+	}
+	for i, p := range res.Patterns[:n] {
+		fmt.Printf("#%-3d avg=%-10v C=%-10v N=%-5d maxExec=%v\n     %s\n",
+			i+1, p.AvgC(), p.C, p.N, p.MaxExec, p.Tuple)
+	}
+
+	if *locate && len(res.Patterns) > 0 {
+		fmt.Printf("\nconcrete slow instances exhibiting pattern #1:\n")
+		for _, occ := range an.LocatePattern(res, res.Patterns[0], filter, 5) {
+			stream, _ := corpus.Instance(occ.Ref)
+			fmt.Printf("  %s stream=%d instance=%d duration=%v (inspect: tracedump -corpus ... -stream %d -instance %d)\n",
+				stream.ID, occ.Ref.Stream, occ.Ref.Instance, occ.Instance.Duration(),
+				occ.Ref.Stream, occ.Ref.Instance)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "traceanalyze: %v\n", err)
+	os.Exit(1)
+}

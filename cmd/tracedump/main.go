@@ -1,0 +1,161 @@
+// Command tracedump inspects a corpus written by tracegen: stream
+// summaries, scenario-instance listings, latency histograms, thread-level
+// snapshots, and rendered Wait Graphs for individual instances.
+//
+// Usage:
+//
+//	tracedump -corpus DIR                              # corpus summary
+//	tracedump -corpus DIR -stream 3                    # one stream's threads + instances
+//	tracedump -corpus DIR -scenario WebPageNavigation  # latency histogram
+//	tracedump -corpus DIR -stream 3 -instance 2        # wait graph + snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracescope"
+	"tracescope/internal/report"
+	"tracescope/internal/scenario"
+	"tracescope/internal/stats"
+	"tracescope/internal/waitgraph"
+)
+
+func main() {
+	var (
+		dir      = flag.String("corpus", "", "corpus directory (required)")
+		stream   = flag.Int("stream", -1, "stream index to inspect")
+		instance = flag.Int("instance", -1, "instance index within -stream (renders its wait graph)")
+		scen     = flag.String("scenario", "", "scenario whose latency histogram to print")
+		depth    = flag.Int("depth", 6, "wait-graph render depth")
+		csvOut   = flag.String("csv", "", "export: 'instances' for the corpus, 'events' with -stream")
+		catalog  = flag.Bool("catalog", false, "print the scenario catalogue and exit")
+	)
+	flag.Parse()
+	if *catalog {
+		dumpCatalog()
+		return
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "tracedump: -corpus is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	corpus, err := tracescope.ReadCorpusDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *csvOut == "instances":
+		if err := corpus.WriteInstancesCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *csvOut == "events" && *stream >= 0:
+		if *stream >= corpus.NumStreams() {
+			fatal(fmt.Errorf("stream %d out of range", *stream))
+		}
+		if err := corpus.Streams[*stream].WriteEventsCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *stream >= 0 && *instance >= 0:
+		dumpInstance(corpus, *stream, *instance, *depth)
+	case *stream >= 0:
+		dumpStream(corpus, *stream)
+	case *scen != "":
+		dumpHistogram(corpus, *scen)
+	default:
+		dumpCorpus(corpus)
+	}
+}
+
+func dumpCatalog() {
+	fmt.Printf("%-20s %-10s %-22s %10s %10s\n", "scenario", "process", "entry frame", "Tfast", "Tslow")
+	for _, name := range scenario.All() {
+		d, _ := scenario.Lookup(name)
+		fmt.Printf("%-20s %-10s %-22s %10v %10v\n", d.Name, d.Process, d.EntryFrame, d.Tfast, d.Tslow)
+	}
+}
+
+func dumpCorpus(c *tracescope.Corpus) {
+	fmt.Printf("corpus: %d streams, %d instances, %d events, %v recorded\n\n",
+		c.NumStreams(), c.NumInstances(), c.NumEvents(), c.TotalDuration())
+	fmt.Println("scenarios:")
+	for _, sc := range c.Scenarios() {
+		fmt.Printf("  %-22s %6d instances\n", sc.Name, sc.Instances)
+	}
+	fmt.Println("\nstreams:")
+	for i, s := range c.Streams {
+		fmt.Printf("  %3d  %-16s %8d events  %4d instances  %v\n",
+			i, s.ID, len(s.Events), len(s.Instances), s.Duration())
+	}
+}
+
+func dumpStream(c *tracescope.Corpus, idx int) {
+	if idx >= c.NumStreams() {
+		fatal(fmt.Errorf("stream %d out of range (%d streams)", idx, c.NumStreams()))
+	}
+	s := c.Streams[idx]
+	fmt.Printf("stream %d (%s): %d events, %v, %d frames, %d stacks\n\n",
+		idx, s.ID, len(s.Events), s.Duration(), s.NumFrames(), s.NumStacks())
+	fmt.Println("instances:")
+	for i, in := range s.Instances {
+		fmt.Printf("  %3d  %-22s %-12s [%v, %v)  %v\n",
+			i, in.Scenario, s.ThreadName(in.TID),
+			tracescope.Duration(in.Start), tracescope.Duration(in.End), in.Duration())
+	}
+}
+
+func dumpHistogram(c *tracescope.Corpus, scen string) {
+	var vals []float64
+	for _, ref := range c.InstancesOf(scen) {
+		_, in := c.Instance(ref)
+		vals = append(vals, in.Duration().Milliseconds())
+	}
+	if len(vals) == 0 {
+		fatal(fmt.Errorf("no instances of %q", scen))
+	}
+	fmt.Printf("%s: %d instances\n", scen, len(vals))
+	fmt.Printf("  p10=%.0fms p50=%.0fms p90=%.0fms p99=%.0fms\n\n",
+		stats.Percentile(vals, 10), stats.Percentile(vals, 50),
+		stats.Percentile(vals, 90), stats.Percentile(vals, 99))
+	max := stats.Percentile(vals, 99)
+	h := stats.NewHistogram(0, max/20+1, 20)
+	for _, v := range vals {
+		h.Add(v)
+	}
+	fmt.Println(h)
+}
+
+func dumpInstance(c *tracescope.Corpus, si, ii, depth int) {
+	if si >= c.NumStreams() {
+		fatal(fmt.Errorf("stream %d out of range", si))
+	}
+	s := c.Streams[si]
+	if ii >= len(s.Instances) {
+		fatal(fmt.Errorf("instance %d out of range (%d instances)", ii, len(s.Instances)))
+	}
+	in := s.Instances[ii]
+	b := waitgraph.NewBuilder(s, si, waitgraph.Options{})
+	g := b.Instance(in)
+	st := g.ComputeStats()
+	fmt.Printf("stats: %d nodes (%d waits, %d running, %d hw), depth %d, wait %v, cpu %v\n\n",
+		st.Nodes, st.Waits, st.Runnings, st.Hardware, st.MaxDepth, st.TotalWait, st.TotalRun)
+	if err := g.WriteText(os.Stdout, depth, 3); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := waitgraph.WriteCriticalPath(os.Stdout, g, g.CriticalPath()); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := report.WriteThreadSnapshot(os.Stdout, s, in.Start, in.End, 3); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module tracescope
+
+go 1.22

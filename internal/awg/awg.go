@@ -1,0 +1,310 @@
+// Package awg implements the Aggregated Wait Graph (Definitions 2 and 3 of
+// the paper) and Algorithm 1: the per-class data abstraction of the
+// causality analysis. Wait Graphs of one contrast class are aggregated by
+// common signature prefixes into a forest whose inner nodes are
+// wait/unwait signature pairs and whose leaves are running or
+// hardware-service signatures, each carrying an aggregated cost C, an
+// occurrence count N, and the maximum single-execution cost.
+package awg
+
+import (
+	"sort"
+	"strings"
+
+	"tracescope/internal/sigset"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// Kind discriminates the three node statuses of Definition 2.
+type Kind uint8
+
+// Node kinds: waiting (wait/unwait pair), running, hardware service.
+const (
+	Waiting Kind = iota
+	Running
+	Hardware
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Waiting:
+		return "waiting"
+	case Running:
+		return "running"
+	case Hardware:
+		return "hardware"
+	default:
+		return "?"
+	}
+}
+
+// Node is one Aggregated-Wait-Graph node.
+type Node struct {
+	Kind Kind
+	// WaitSig and UnwaitSig are set for waiting nodes (v.w and v.u of
+	// Definition 3).
+	WaitSig   string
+	UnwaitSig string
+	// RunSig is set for running nodes (v.r) and is the dummy
+	// sigset.HardwareSignature for hardware nodes (v.h).
+	RunSig string
+
+	// C is the aggregated execution cost (v.C), N the occurrence count
+	// (v.N), and MaxC the largest single-occurrence cost — used by the
+	// automated high-impact rule of §5.2.1.
+	C    trace.Duration
+	N    int64
+	MaxC trace.Duration
+
+	children map[string]*Node
+}
+
+// Key canonically identifies the node's signatures within its siblings.
+func (n *Node) Key() string {
+	switch n.Kind {
+	case Waiting:
+		return "w|" + n.WaitSig + "|" + n.UnwaitSig
+	case Running:
+		return "r|" + n.RunSig
+	default:
+		return "h|" + n.RunSig
+	}
+}
+
+// Children returns the node's children sorted by key (deterministic).
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// AvgC returns the node's average cost per occurrence.
+func (n *Node) AvgC() trace.Duration {
+	if n.N == 0 {
+		return 0
+	}
+	return n.C / trace.Duration(n.N)
+}
+
+// Graph is an Aggregated Wait Graph (a forest keyed by root signature).
+type Graph struct {
+	roots map[string]*Node
+
+	// Reduction accounting (§5.2.2): cost removed as non-optimizable
+	// wait→hardware-only portions, and the cost kept.
+	ReducedCost trace.Duration
+	KeptCost    trace.Duration
+}
+
+// Roots returns the forest roots sorted by key.
+func (g *Graph) Roots() []*Node {
+	out := make([]*Node, 0, len(g.roots))
+	for _, r := range g.roots {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// NumNodes counts all nodes in the forest.
+func (g *Graph) NumNodes() int {
+	n := 0
+	var walk func(*Node)
+	walk = func(v *Node) {
+		n++
+		for _, c := range v.children {
+			walk(c)
+		}
+	}
+	for _, r := range g.roots {
+		walk(r)
+	}
+	return n
+}
+
+// Options bound aggregation.
+type Options struct {
+	// MaxDepth bounds aggregated path depth. Zero means 32.
+	MaxDepth int
+	// Reduce prunes non-optimizable wait→hardware-only roots
+	// (ReduceAWG, Algorithm 1 line 15). Disable only for ablations.
+	Reduce bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 32
+	}
+}
+
+// DefaultOptions returns the paper's configuration (reduction on).
+func DefaultOptions() Options { return Options{Reduce: true} }
+
+// Aggregate runs Algorithm 1 over the Wait Graphs of one contrast class:
+// eliminate component-irrelevant nodes, merge wait/unwait pairs (already
+// paired during Wait-Graph construction), aggregate paths by common
+// signature prefix, and reduce non-optimizable portions.
+func Aggregate(graphs []*waitgraph.Graph, filter *trace.ComponentFilter, opts Options) *Graph {
+	opts.applyDefaults()
+	g := &Graph{roots: make(map[string]*Node)}
+	cache := trace.NewFilterCache(filter)
+	for _, wg := range graphs {
+		agg := &aggregator{
+			g:      g,
+			stream: wg.Stream,
+			filter: cache,
+			seen:   make(map[nodeEvent]bool),
+			depth:  opts.MaxDepth,
+		}
+		for _, root := range wg.Roots {
+			agg.walk(root, nil, 0)
+		}
+	}
+	if opts.Reduce {
+		g.reduce()
+	}
+	return g
+}
+
+// nodeEvent dedups accumulation of one trace event into one AWG node
+// within a single source Wait Graph (shared subtrees in the Wait-Graph
+// DAG must not double-count).
+type nodeEvent struct {
+	node  *Node
+	event trace.EventID
+}
+
+type aggregator struct {
+	g      *Graph
+	stream *trace.Stream
+	filter *trace.FilterCache
+	seen   map[nodeEvent]bool
+	depth  int
+}
+
+// walk merges a Wait-Graph subtree into the AWG under parent (nil means
+// top level). Component-irrelevant wait nodes are transparent: their
+// children attach to the current parent, which realises the
+// irrelevant-node elimination of Algorithm 1 along whole paths, not just
+// at the roots.
+func (a *aggregator) walk(n *waitgraph.Node, parent *Node, depth int) {
+	if depth > a.depth {
+		return
+	}
+	switch n.Type {
+	case trace.Wait:
+		wsig, ok := a.filter.TopSignature(a.stream, n.Stack)
+		if !ok {
+			// Irrelevant wait: pass through to children.
+			for _, c := range n.Children {
+				a.walk(c, parent, depth+1)
+			}
+			return
+		}
+		usig := a.unwaitSig(n)
+		node := a.child(parent, &Node{Kind: Waiting, WaitSig: wsig, UnwaitSig: usig})
+		a.accumulate(node, n)
+		for _, c := range n.Children {
+			a.walk(c, node, depth+1)
+		}
+
+	case trace.Running:
+		rsig, ok := a.filter.TopSignature(a.stream, n.Stack)
+		if !ok {
+			return
+		}
+		node := a.child(parent, &Node{Kind: Running, RunSig: rsig})
+		a.accumulate(node, n)
+
+	case trace.HardwareService:
+		node := a.child(parent, &Node{Kind: Hardware, RunSig: sigset.HardwareSignature})
+		a.accumulate(node, n)
+	}
+}
+
+// unwaitSig derives the unwait signature of a paired wait node: the
+// topmost component signature on the unwaiting callstack, falling back to
+// the first non-kernel frame (hardware completions, app-level releases).
+func (a *aggregator) unwaitSig(n *waitgraph.Node) string {
+	if !n.HasUnwait {
+		return ""
+	}
+	if sig, ok := a.filter.TopSignature(a.stream, n.UnwaitStack); ok {
+		return sig
+	}
+	frames := a.stream.StackStrings(n.UnwaitStack)
+	for _, f := range frames {
+		if !strings.HasPrefix(f, "kernel!") {
+			return f
+		}
+	}
+	if len(frames) > 0 {
+		return frames[0]
+	}
+	return ""
+}
+
+// child finds or inserts proto under parent (or the root set).
+func (a *aggregator) child(parent *Node, proto *Node) *Node {
+	key := proto.Key()
+	var m map[string]*Node
+	if parent == nil {
+		m = a.g.roots
+	} else {
+		if parent.children == nil {
+			parent.children = make(map[string]*Node)
+		}
+		m = parent.children
+	}
+	if n, ok := m[key]; ok {
+		return n
+	}
+	m[key] = proto
+	return proto
+}
+
+// accumulate folds one trace event's metrics into an AWG node, once per
+// (node, event) pair per source graph set.
+func (a *aggregator) accumulate(node *Node, n *waitgraph.Node) {
+	k := nodeEvent{node: node, event: n.Event}
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+	node.C += n.Cost
+	node.N++
+	if n.Cost > node.MaxC {
+		node.MaxC = n.Cost
+	}
+}
+
+// reduce prunes root waiting nodes whose entire subtree is a single
+// hardware-service leaf: hardware cost not propagated to any other
+// component, which developers cannot optimise (§4.2.2, §5.2.2).
+func (g *Graph) reduce() {
+	for key, root := range g.roots {
+		if root.Kind == Waiting && len(root.children) == 1 {
+			only := root.Children()[0]
+			if only.Kind == Hardware && len(only.children) == 0 {
+				g.ReducedCost += root.C
+				delete(g.roots, key)
+				continue
+			}
+		}
+		g.KeptCost += root.C
+	}
+}
+
+// TotalCost sums root costs (after any reduction).
+func (g *Graph) TotalCost() trace.Duration {
+	var c trace.Duration
+	for _, r := range g.roots {
+		c += r.C
+	}
+	return c
+}

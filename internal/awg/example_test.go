@@ -1,0 +1,32 @@
+package awg_test
+
+import (
+	"fmt"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// Example aggregates the §2.2 case's Wait Graphs into an Aggregated Wait
+// Graph: the deepest chain is the FileTable → MDU → se.sys → disk
+// propagation path of Figure 2.
+func Example() {
+	stream := scenario.MotivatingCase()
+	b := waitgraph.NewBuilder(stream, 0, waitgraph.Options{})
+	var graphs []*waitgraph.Graph
+	for _, in := range stream.Instances {
+		graphs = append(graphs, b.Instance(in))
+	}
+	g := awg.Aggregate(graphs, trace.AllDrivers(), awg.DefaultOptions())
+
+	// Follow the chain from the FileTable root.
+	for _, root := range g.Roots() {
+		if root.Kind == awg.Waiting && root.WaitSig == "fv.sys!QueryFileTable" {
+			fmt.Println("root:", root.WaitSig, "->", root.UnwaitSig)
+		}
+	}
+	// Output:
+	// root: fv.sys!QueryFileTable -> fv.sys!QueryFileTable
+}

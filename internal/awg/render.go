@@ -1,0 +1,98 @@
+package awg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the graph as an indented tree (the Figure 2 view):
+// each waiting node shows its wait→unwait signature pair, leaves show
+// running or hardware signatures, and every node carries its aggregated
+// cost and occurrence count.
+func (g *Graph) WriteText(w io.Writer, maxDepth int) error {
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	for _, r := range g.Roots() {
+		if err := writeNodeText(w, r, 0, maxDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeNodeText(w io.Writer, n *Node, depth, maxDepth int) error {
+	indent := strings.Repeat("  ", depth)
+	var label string
+	switch n.Kind {
+	case Waiting:
+		label = fmt.Sprintf("wait %s -> unwait %s", n.WaitSig, n.UnwaitSig)
+	case Running:
+		label = fmt.Sprintf("run  %s", n.RunSig)
+	default:
+		label = "hw   " + n.RunSig
+	}
+	if _, err := fmt.Fprintf(w, "%s%-70s C=%-10v N=%-6d maxC=%v\n", indent, label, n.C, n.N, n.MaxC); err != nil {
+		return err
+	}
+	if depth+1 >= maxDepth {
+		return nil
+	}
+	for _, c := range n.Children() {
+		if err := writeNodeText(w, c, depth+1, maxDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT renders the graph in Graphviz DOT form for external viewing.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "awg"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	id := 0
+	var emit func(n *Node, parentID int) error
+	emit = func(n *Node, parentID int) error {
+		id++
+		myID := id
+		var label, color string
+		switch n.Kind {
+		case Waiting:
+			label = fmt.Sprintf("wait: %s\\nunwait: %s", n.WaitSig, n.UnwaitSig)
+			color = "lightblue"
+		case Running:
+			label = "run: " + n.RunSig
+			color = "palegreen"
+		default:
+			label = n.RunSig
+			color = "lightsalmon"
+		}
+		label += fmt.Sprintf("\\nC=%v N=%d", n.C, n.N)
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\", style=filled, fillcolor=%s];\n", myID, label, color); err != nil {
+			return err
+		}
+		if parentID > 0 {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", parentID, myID); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children() {
+			if err := emit(c, myID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range g.Roots() {
+		if err := emit(r, 0); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,189 @@
+// Package baseline implements the two conventional techniques the paper
+// contrasts with (§1, §6): call-graph CPU profiling in the style of gprof
+// and per-lock contention analysis in the style of Tallent et al. Both
+// cover a single aspect of the underlying interactions — CPU attribution
+// or one lock at a time — and miss cost propagation across components,
+// which is exactly what the benches demonstrate against the causality
+// analysis.
+package baseline
+
+import (
+	"sort"
+
+	"tracescope/internal/trace"
+)
+
+// ProfileEntry is one function's CPU attribution in a call-graph profile.
+type ProfileEntry struct {
+	Frame string
+	// Self is CPU time sampled with the frame on top of the stack;
+	// Cumulative is CPU time with the frame anywhere on the stack.
+	Self       trace.Duration
+	Cumulative trace.Duration
+	Samples    int64
+}
+
+// Profile is a flat view of a call-graph CPU profile, sorted by
+// cumulative time descending.
+type Profile struct {
+	Entries []ProfileEntry
+	// TotalCPU is the total sampled CPU time.
+	TotalCPU trace.Duration
+}
+
+// CallGraphProfile aggregates running samples of the corpus into a
+// gprof-style profile. Only CPU is visible to it: waiting time — 36.4% of
+// the paper's scenario time — never appears.
+func CallGraphProfile(c *trace.Corpus) *Profile {
+	self := make(map[string]*ProfileEntry)
+	for _, s := range c.Streams {
+		for _, e := range s.Events {
+			if e.Type != trace.Running {
+				continue
+			}
+			frames := s.Stack(e.Stack)
+			for i, fid := range frames {
+				frame := s.Frame(fid)
+				entry, ok := self[frame]
+				if !ok {
+					entry = &ProfileEntry{Frame: frame}
+					self[frame] = entry
+				}
+				entry.Cumulative += e.Cost
+				if i == 0 {
+					entry.Self += e.Cost
+					entry.Samples++
+				}
+			}
+		}
+	}
+	p := &Profile{Entries: make([]ProfileEntry, 0, len(self))}
+	for _, e := range self {
+		p.Entries = append(p.Entries, *e)
+	}
+	for _, s := range c.Streams {
+		for _, e := range s.Events {
+			if e.Type == trace.Running {
+				p.TotalCPU += e.Cost
+			}
+		}
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Cumulative != p.Entries[j].Cumulative {
+			return p.Entries[i].Cumulative > p.Entries[j].Cumulative
+		}
+		return p.Entries[i].Frame < p.Entries[j].Frame
+	})
+	return p
+}
+
+// Top returns the first n entries.
+func (p *Profile) Top(n int) []ProfileEntry {
+	if n > len(p.Entries) {
+		n = len(p.Entries)
+	}
+	return p.Entries[:n]
+}
+
+// ContentionEntry is one contended function's wait aggregation in a
+// lock-contention report.
+type ContentionEntry struct {
+	// WaitSig is the topmost component signature of the blocked
+	// callstacks (the contended acquisition site).
+	WaitSig string
+	// Total is the aggregated wait time, Count the number of waits, and
+	// Max the longest single wait.
+	Total trace.Duration
+	Count int64
+	Max   trace.Duration
+}
+
+// ContentionReport is a per-acquisition-site contention summary, sorted
+// by total wait time descending.
+type ContentionReport struct {
+	Entries   []ContentionEntry
+	TotalWait trace.Duration
+}
+
+// LockContention aggregates wait events whose stacks show a blocking
+// acquisition, grouped by the topmost signature matching the filter
+// (falling back to the innermost non-kernel frame). Each site is analysed
+// in isolation: the report cannot connect contention on one lock to the
+// hierarchical dependencies and further locks behind it (§1's second
+// limitation).
+func LockContention(c *trace.Corpus, filter *trace.ComponentFilter) *ContentionReport {
+	byName := make(map[string]*ContentionEntry)
+	r := &ContentionReport{}
+	for _, s := range c.Streams {
+		for _, e := range s.Events {
+			if e.Type != trace.Wait {
+				continue
+			}
+			if !isLockWait(s, e.Stack) {
+				continue
+			}
+			sig, ok := filter.TopSignature(s, e.Stack)
+			if !ok {
+				sig = firstNonKernel(s, e.Stack)
+				if sig == "" {
+					continue
+				}
+			}
+			entry, found := byName[sig]
+			if !found {
+				entry = &ContentionEntry{WaitSig: sig}
+				byName[sig] = entry
+			}
+			entry.Total += e.Cost
+			entry.Count++
+			if e.Cost > entry.Max {
+				entry.Max = e.Cost
+			}
+			r.TotalWait += e.Cost
+		}
+	}
+	for _, e := range byName {
+		r.Entries = append(r.Entries, *e)
+	}
+	sort.Slice(r.Entries, func(i, j int) bool {
+		if r.Entries[i].Total != r.Entries[j].Total {
+			return r.Entries[i].Total > r.Entries[j].Total
+		}
+		return r.Entries[i].WaitSig < r.Entries[j].WaitSig
+	})
+	return r
+}
+
+// isLockWait reports whether the blocked callstack is a lock acquisition
+// (kernel!AcquireLock on top, as the tracer records it).
+func isLockWait(s *trace.Stream, stack trace.StackID) bool {
+	for _, fid := range s.Stack(stack) {
+		switch s.Frame(fid) {
+		case "kernel!AcquireLock":
+			return true
+		case "kernel!WaitForObject":
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func firstNonKernel(s *trace.Stream, stack trace.StackID) string {
+	for _, fid := range s.Stack(stack) {
+		f := s.Frame(fid)
+		if trace.Module(f) != "kernel" {
+			return f
+		}
+	}
+	return ""
+}
+
+// Top returns the first n entries.
+func (r *ContentionReport) Top(n int) []ContentionEntry {
+	if n > len(r.Entries) {
+		n = len(r.Entries)
+	}
+	return r.Entries[:n]
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/sim"
+	"tracescope/internal/trace"
+)
+
+const ms = trace.Millisecond
+
+func TestCallGraphProfile(t *testing.T) {
+	s := trace.NewStream("p")
+	leafStack := s.InternStackStrings("se.sys!Decrypt", "fs.sys!Read", "App!Main")
+	otherStack := s.InternStackStrings("fs.sys!Read", "App!Main")
+	for i := 0; i < 3; i++ {
+		s.AppendEvent(trace.Event{Type: trace.Running, Time: trace.Time(i) * trace.Time(ms), Cost: ms, TID: 1, WTID: trace.NoThread, Stack: leafStack})
+	}
+	s.AppendEvent(trace.Event{Type: trace.Running, Time: trace.Time(10 * ms), Cost: ms, TID: 1, WTID: trace.NoThread, Stack: otherStack})
+	// A wait event must not contribute CPU.
+	s.AppendEvent(trace.Event{Type: trace.Wait, Time: trace.Time(20 * ms), Cost: 100 * ms, TID: 1, WTID: trace.NoThread, Stack: leafStack})
+
+	p := CallGraphProfile(trace.NewCorpus(s))
+	if p.TotalCPU != 4*ms {
+		t.Errorf("TotalCPU = %v, want 4ms", p.TotalCPU)
+	}
+	byFrame := map[string]ProfileEntry{}
+	for _, e := range p.Entries {
+		byFrame[e.Frame] = e
+	}
+	se := byFrame["se.sys!Decrypt"]
+	if se.Self != 3*ms || se.Cumulative != 3*ms {
+		t.Errorf("se.sys: self=%v cum=%v", se.Self, se.Cumulative)
+	}
+	fs := byFrame["fs.sys!Read"]
+	if fs.Self != ms || fs.Cumulative != 4*ms {
+		t.Errorf("fs.sys: self=%v cum=%v, want 1ms/4ms", fs.Self, fs.Cumulative)
+	}
+	app := byFrame["App!Main"]
+	if app.Self != 0 || app.Cumulative != 4*ms {
+		t.Errorf("App!Main: self=%v cum=%v", app.Self, app.Cumulative)
+	}
+	// Sorted by cumulative descending.
+	for i := 1; i < len(p.Entries); i++ {
+		if p.Entries[i].Cumulative > p.Entries[i-1].Cumulative {
+			t.Fatal("profile not sorted")
+		}
+	}
+	if len(p.Top(2)) != 2 || len(p.Top(100)) != len(p.Entries) {
+		t.Error("Top bounds wrong")
+	}
+}
+
+func TestLockContention(t *testing.T) {
+	k := sim.NewKernel(sim.Config{StreamID: "c"})
+	k.Spawn("A", "T0", []string{"A!Main"},
+		sim.Seq(sim.Invoke("fv.sys!Query", sim.WithLock("L", sim.Burn(10*ms))...)), 0, nil)
+	k.Spawn("B", "T0", []string{"B!Main"},
+		sim.Seq(sim.Invoke("fv.sys!Query", sim.WithLock("L", sim.Burn(2*ms))...)), trace.Time(ms), nil)
+	// A disk wait: not a lock acquisition, must not appear.
+	k.Spawn("C", "T0", []string{"C!Main"},
+		sim.Seq(sim.Invoke("fs.sys!Read", sim.DeviceOp{Device: "disk", D: 5 * ms})), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+
+	r := LockContention(trace.NewCorpus(s), trace.AllDrivers())
+	if len(r.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1: %+v", len(r.Entries), r.Entries)
+	}
+	e := r.Entries[0]
+	if e.WaitSig != "fv.sys!Query" || e.Count != 1 || e.Total != 9*ms {
+		t.Errorf("entry = %+v", e)
+	}
+	if r.TotalWait != 9*ms {
+		t.Errorf("TotalWait = %v", r.TotalWait)
+	}
+}
+
+func TestBaselinesMissPropagation(t *testing.T) {
+	// The §2.2 case: the profile sees only decrypt CPU; the contention
+	// report sees the two locks separately; neither connects them to the
+	// 800 ms tab creation. This is the paper's core argument (§1).
+	s := scenario.MotivatingCase()
+	c := trace.NewCorpus(s)
+
+	p := CallGraphProfile(c)
+	// All CPU in the case is small compared with the propagated delay.
+	if p.TotalCPU > 250*ms {
+		t.Errorf("profile CPU = %v; the case's cost is waiting, not CPU", p.TotalCPU)
+	}
+
+	r := LockContention(c, trace.AllDrivers())
+	var sigs []string
+	for _, e := range r.Entries {
+		sigs = append(sigs, e.WaitSig)
+	}
+	// Both contention regions appear — but as unrelated rows.
+	want := map[string]bool{"fv.sys!QueryFileTable": false, "fs.sys!AcquireMDU": false}
+	for _, sig := range sigs {
+		if _, ok := want[sig]; ok {
+			want[sig] = true
+		}
+	}
+	for sig, seen := range want {
+		if !seen {
+			t.Errorf("contention report misses %s", sig)
+		}
+	}
+	// And no row knows about the disk/decrypt time behind the locks.
+	for _, e := range r.Entries {
+		if e.WaitSig == "se.sys!ReadDecrypt" {
+			t.Error("lock report should not contain the async decrypt wait")
+		}
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	c := trace.NewCorpus()
+	if p := CallGraphProfile(c); p.TotalCPU != 0 || len(p.Entries) != 0 {
+		t.Error("empty corpus produced a profile")
+	}
+	if r := LockContention(c, trace.AllDrivers()); r.TotalWait != 0 {
+		t.Error("empty corpus produced contention")
+	}
+}

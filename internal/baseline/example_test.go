@@ -1,0 +1,29 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"tracescope/internal/baseline"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+// Example shows the three baselines' blind spots on the §2.2 case: the
+// profile sees only the decrypt CPU, the contention report sees the two
+// locks as unrelated rows, and StackMine sees only within-thread stacks.
+func Example() {
+	corpus := trace.NewCorpus(scenario.MotivatingCase())
+
+	prof := baseline.CallGraphProfile(corpus)
+	fmt.Println("profile sees the 780ms propagation chain:", prof.TotalCPU > 700*trace.Millisecond)
+
+	cont := baseline.LockContention(corpus, trace.AllDrivers())
+	fmt.Println("contention rows:", len(cont.Entries))
+
+	sm := baseline.MineStacks(corpus, trace.AllDrivers(), 1)
+	fmt.Println("stackmine patterns:", len(sm.Patterns) > 0)
+	// Output:
+	// profile sees the 780ms propagation chain: false
+	// contention rows: 2
+	// stackmine patterns: true
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+func waitEvent(s *trace.Stream, at trace.Time, cost trace.Duration, frames ...string) {
+	s.AppendEvent(trace.Event{
+		Type: trace.Wait, Time: at, Cost: cost, TID: 1, WTID: trace.NoThread,
+		Stack: s.InternStackStrings(frames...),
+	})
+}
+
+func TestMineStacksAggregatesPrefixes(t *testing.T) {
+	s := trace.NewStream("sm")
+	// Three waits share the fv.sys prefix; two extend into fs.sys.
+	waitEvent(s, 0, 10*ms, "kernel!AcquireLock", "fs.sys!AcquireMDU", "fv.sys!Query", "App!Main")
+	waitEvent(s, 20*1000, 20*ms, "kernel!AcquireLock", "fs.sys!AcquireMDU", "fv.sys!Query", "App!Main")
+	waitEvent(s, 40*1000, 5*ms, "kernel!AcquireLock", "fv.sys!Query", "App!Main")
+
+	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 2)
+	if r.TotalWait != 35*ms {
+		t.Errorf("TotalWait = %v", r.TotalWait)
+	}
+	if len(r.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	// The top pattern must be the shared fv.sys prefix (3 occurrences,
+	// 35ms) or its fs.sys extension (2 occurrences, 30ms), ranked by
+	// cost: prefix first.
+	top := r.Patterns[0]
+	if top.Cost != 35*ms || top.Count != 3 {
+		t.Errorf("top pattern = %+v", top)
+	}
+	if !strings.Contains(top.String(), "fv.sys!Query") {
+		t.Errorf("top pattern misses the shared frame: %s", top)
+	}
+	// The deeper split pattern must exist too.
+	var deep *StackPattern
+	for i := range r.Patterns {
+		if r.Patterns[i].Count == 2 {
+			deep = &r.Patterns[i]
+		}
+	}
+	if deep == nil || deep.Cost != 30*ms {
+		t.Errorf("deep pattern missing or wrong: %+v", deep)
+	}
+}
+
+func TestMineStacksSupportThreshold(t *testing.T) {
+	s := trace.NewStream("sm")
+	waitEvent(s, 0, 10*ms, "kernel!AcquireLock", "fv.sys!A", "App!Main")
+	waitEvent(s, 1000, 10*ms, "kernel!AcquireLock", "fv.sys!B", "App!Main")
+	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 2)
+	// The two stacks only share App!Main+kernel; each leaf has support 1.
+	for _, p := range r.Patterns {
+		if p.Count < 2 {
+			t.Errorf("pattern below support: %+v", p)
+		}
+	}
+}
+
+func TestMineStacksFilterScopes(t *testing.T) {
+	s := trace.NewStream("sm")
+	waitEvent(s, 0, 10*ms, "kernel!Wait", "App!OnlyApp")
+	waitEvent(s, 1000, 10*ms, "kernel!Wait", "App!OnlyApp")
+	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 1)
+	if r.TotalWait != 0 || len(r.Patterns) != 0 {
+		t.Error("app-only waits leaked into a driver-scoped run")
+	}
+	// Nil filter mines everything.
+	r = MineStacks(trace.NewCorpus(s), nil, 1)
+	if r.TotalWait != 20*ms {
+		t.Errorf("nil filter TotalWait = %v", r.TotalWait)
+	}
+}
+
+func TestMineStacksOnMotivatingCase(t *testing.T) {
+	s := scenario.MotivatingCase()
+	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 1)
+	if len(r.Patterns) == 0 {
+		t.Fatal("no patterns on the motivating case")
+	}
+	// StackMine sees the within-thread FileTable waits...
+	var sawFV bool
+	for _, p := range r.Patterns {
+		if strings.Contains(p.String(), "fv.sys!QueryFileTable") {
+			sawFV = true
+		}
+	}
+	if !sawFV {
+		t.Error("StackMine misses the FileTable contention stacks")
+	}
+	// ...but no pattern can mention the decrypt work behind them: the
+	// worker's se.sys frames never appear on any *wait* stack.
+	for _, p := range r.Patterns {
+		if strings.Contains(p.String(), "se.sys!ReadDecrypt") && !strings.Contains(p.String(), "fs.sys!Read") {
+			// se.sys!ReadDecrypt appears only under fs.sys!Read wait of
+			// the worker itself if at all; the cross-thread link to
+			// fv.sys is never visible in one pattern.
+			continue
+		}
+		if strings.Contains(p.String(), "fv.sys") && strings.Contains(p.String(), "se.sys") {
+			t.Errorf("StackMine pattern spans threads, which it should not: %s", p)
+		}
+	}
+	if len(r.Top(3)) > 3 {
+		t.Error("Top bound broken")
+	}
+}

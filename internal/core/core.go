@@ -1,0 +1,231 @@
+// Package core orchestrates the paper's two-step approach: impact
+// analysis (§3) to measure how much chosen components affect scenario
+// performance, and causality analysis (§4) to discover Signature Set
+// Tuple contrast patterns that explain the measured impact.
+//
+// The package ties together waitgraph (data abstraction), impact
+// (measurement), awg (per-class aggregation), and mining (contrast
+// pattern discovery) over a trace corpus.
+package core
+
+import (
+	"fmt"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/impact"
+	"tracescope/internal/mining"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// Analyzer runs impact and causality analyses over one corpus, sharing
+// Wait-Graph construction between them.
+type Analyzer struct {
+	corpus *trace.Corpus
+	imp    *impact.Analyzer
+}
+
+// NewAnalyzer indexes a corpus for analysis.
+func NewAnalyzer(c *trace.Corpus) *Analyzer {
+	return &Analyzer{corpus: c, imp: impact.NewAnalyzer(c, waitgraph.Options{})}
+}
+
+// Corpus returns the corpus under analysis.
+func (a *Analyzer) Corpus() *trace.Corpus { return a.corpus }
+
+// Impact measures the chosen components over all instances of the named
+// scenario ("" means every instance): step one of the approach.
+func (a *Analyzer) Impact(filter *trace.ComponentFilter, scenario string) impact.Metrics {
+	var refs []trace.InstanceRef
+	if scenario != "" {
+		refs = a.corpus.InstancesOf(scenario)
+	}
+	return a.imp.Analyze(filter, refs)
+}
+
+// CausalityConfig parameterises one causality analysis.
+type CausalityConfig struct {
+	// Scenario selects the instances to analyse.
+	Scenario string
+	// Tfast and Tslow are the scenario's developer thresholds
+	// (§4.2.1): instances faster than Tfast form the fast class,
+	// slower than Tslow the slow class.
+	Tfast trace.Duration
+	Tslow trace.Duration
+	// Filter names the components under analysis ({C} in Algorithm 1).
+	Filter *trace.ComponentFilter
+	// Mining bounds pattern discovery; zero values take the paper's
+	// defaults (k=5).
+	Mining mining.Params
+	// DisableReduce turns off the non-optimizable reduction of
+	// Algorithm 1 (for ablation only; the paper always reduces).
+	DisableReduce bool
+	// MaxAWGDepth bounds aggregation depth; zero takes the default.
+	MaxAWGDepth int
+}
+
+func (c *CausalityConfig) applyDefaults() error {
+	if c.Scenario == "" {
+		return fmt.Errorf("core: causality analysis needs a scenario")
+	}
+	if c.Tfast <= 0 || c.Tslow <= c.Tfast {
+		return fmt.Errorf("core: need 0 < Tfast < Tslow, got %v, %v", c.Tfast, c.Tslow)
+	}
+	if c.Filter == nil {
+		c.Filter = trace.AllDrivers()
+	}
+	c.Mining.Tfast = c.Tfast
+	c.Mining.Tslow = c.Tslow
+	c.Mining.ApplyDefaults()
+	return nil
+}
+
+// CausalityResult is the outcome of one causality analysis, carrying the
+// ranked contrast patterns plus every aggregate the evaluation tables
+// report.
+type CausalityResult struct {
+	Scenario string
+	Tfast    trace.Duration
+	Tslow    trace.Duration
+
+	// Class sizes (Table 1).
+	Instances int
+	FastCount int
+	SlowCount int
+
+	// Ranked contrast patterns, highest average cost first.
+	Patterns []mining.Pattern
+	// NumContrasts is the number of contrast meta-patterns found;
+	// SlowOnlyContrasts were selected by criterion 1 (absent from the
+	// fast class) and RatioContrasts by criterion 2 (common but with an
+	// average-cost ratio above Tslow/Tfast).
+	NumContrasts      int
+	SlowOnlyContrasts int
+	RatioContrasts    int
+
+	// SlowMetas and FastMetas count enumerated meta-patterns per class;
+	// SegmentsSlow/Fast count enumerated path segments.
+	SlowMetas    int
+	FastMetas    int
+	SegmentsSlow int
+	SegmentsFast int
+
+	// Slow-class impact metrics: the denominator of the coverages.
+	SlowImpact impact.Metrics
+	// TotalDriverCost is the slow class's driver execution time
+	// (Dwait + Drun), the denominator of ITC and TTC.
+	TotalDriverCost trace.Duration
+	// DriverCostShare is Table 2's "Driver Cost": driver time over the
+	// slow class's total execution time.
+	DriverCostShare float64
+	// ITC and TTC are the impactful-time and total-time coverages
+	// (Table 2).
+	ITC float64
+	TTC float64
+
+	// Non-optimizable reduction accounting (§5.2.2).
+	ReducedCost  trace.Duration
+	KeptCost     trace.Duration
+	ReducedShare float64
+
+	// SlowAWG is the slow class's Aggregated Wait Graph (retained for
+	// rendering, e.g. Figure 2).
+	SlowAWG *awg.Graph
+}
+
+// Causality runs step two of the approach for one scenario.
+func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+
+	refs := a.corpus.InstancesOf(cfg.Scenario)
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("core: no instances of scenario %q", cfg.Scenario)
+	}
+
+	var fastRefs, slowRefs []trace.InstanceRef
+	for _, ref := range refs {
+		_, in := a.corpus.Instance(ref)
+		switch d := in.Duration(); {
+		case d < cfg.Tfast:
+			fastRefs = append(fastRefs, ref)
+		case d > cfg.Tslow:
+			slowRefs = append(slowRefs, ref)
+		}
+	}
+	res := &CausalityResult{
+		Scenario:  cfg.Scenario,
+		Tfast:     cfg.Tfast,
+		Tslow:     cfg.Tslow,
+		Instances: len(refs),
+		FastCount: len(fastRefs),
+		SlowCount: len(slowRefs),
+	}
+	if len(slowRefs) == 0 {
+		return res, nil
+	}
+
+	slowGraphs := a.graphs(slowRefs)
+	fastGraphs := a.graphs(fastRefs)
+
+	awgOpts := awg.Options{MaxDepth: cfg.MaxAWGDepth, Reduce: !cfg.DisableReduce}
+	slowAWG := awg.Aggregate(slowGraphs, cfg.Filter, awgOpts)
+	fastAWG := awg.Aggregate(fastGraphs, cfg.Filter, awgOpts)
+
+	slowMetas, segSlow := mining.EnumerateMetas(slowAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
+	fastMetas, segFast := mining.EnumerateMetas(fastAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
+	contrasts := mining.DiscoverContrasts(slowMetas, fastMetas, cfg.Tfast, cfg.Tslow)
+	patterns := mining.DiscoverPatterns(slowAWG, contrasts)
+
+	slowImpact := a.imp.Analyze(cfg.Filter, slowRefs)
+	res.SlowImpact = slowImpact
+	// The coverage denominator is the slow class's total driver time
+	// under the same full-path accounting as pattern costs, plus the
+	// portions removed as non-optimizable — §5.2.2 keeps them in the
+	// total ("66.6% ... removed, the resulting graph represents the
+	// remaining 33.4%, and more than half of the remaining portions
+	// (17.5%) are represented by contrast patterns").
+	res.TotalDriverCost = mining.TotalPathCost(slowAWG) + slowAWG.ReducedCost
+	if slowImpact.Dscn > 0 {
+		res.DriverCostShare = float64(slowImpact.Dwait+slowImpact.Drun) / float64(slowImpact.Dscn)
+	}
+
+	res.Patterns = patterns
+	res.NumContrasts = len(contrasts)
+	for _, c := range contrasts {
+		if c.SlowOnly {
+			res.SlowOnlyContrasts++
+		} else {
+			res.RatioContrasts++
+		}
+	}
+	res.SlowMetas = len(slowMetas)
+	res.FastMetas = len(fastMetas)
+	res.SegmentsSlow = segSlow
+	res.SegmentsFast = segFast
+	res.ITC = mining.ITC(patterns, cfg.Tslow, res.TotalDriverCost)
+	res.TTC = mining.TTC(patterns, res.TotalDriverCost)
+	res.ReducedCost = slowAWG.ReducedCost
+	res.KeptCost = slowAWG.KeptCost
+	if total := slowAWG.ReducedCost + slowAWG.KeptCost; total > 0 {
+		res.ReducedShare = float64(slowAWG.ReducedCost) / float64(total)
+	}
+	res.SlowAWG = slowAWG
+	return res, nil
+}
+
+// graphs builds Wait Graphs for the given instances.
+func (a *Analyzer) graphs(refs []trace.InstanceRef) []*waitgraph.Graph {
+	out := make([]*waitgraph.Graph, len(refs))
+	for i, ref := range refs {
+		out[i] = a.imp.Graph(ref)
+	}
+	return out
+}
+
+// TopCoverage reports the ranking coverage of the top fraction of
+// patterns (Table 3).
+func (r *CausalityResult) TopCoverage(fraction float64) float64 {
+	return mining.TopCoverage(r.Patterns, fraction)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"tracescope/internal/mining"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+func testCorpus(t *testing.T) *trace.Corpus {
+	t.Helper()
+	return scenario.Generate(scenario.Config{Seed: 11, Streams: 24, Episodes: 12})
+}
+
+func TestCausalityDiscoversPatterns(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	for _, name := range []string{scenario.BrowserTabCreate, scenario.WebPageNavigation} {
+		tfast, tslow, _ := scenario.Thresholds(name)
+		res, err := a.Causality(CausalityConfig{Scenario: name, Tfast: tfast, Tslow: tslow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: inst=%d fast=%d slow=%d metas(slow/fast)=%d/%d contrasts=%d patterns=%d driverCost=%.1f%% ITC=%.1f%% TTC=%.1f%% reduced=%.1f%%",
+			res.Scenario, res.Instances, res.FastCount, res.SlowCount,
+			res.SlowMetas, res.FastMetas, res.NumContrasts, len(res.Patterns),
+			res.DriverCostShare*100, res.ITC*100, res.TTC*100, res.ReducedShare*100)
+		if res.SlowCount == 0 || res.FastCount == 0 {
+			t.Fatalf("%s: degenerate classes fast=%d slow=%d", name, res.FastCount, res.SlowCount)
+		}
+		if len(res.Patterns) == 0 {
+			t.Fatalf("%s: no contrast patterns discovered", name)
+		}
+		if res.TTC < res.ITC {
+			t.Errorf("%s: TTC %.3f < ITC %.3f", name, res.TTC, res.ITC)
+		}
+		if res.TTC <= 0 {
+			t.Errorf("%s: zero total-time coverage", name)
+		}
+		// Ranking is by average cost descending.
+		for i := 1; i < len(res.Patterns); i++ {
+			if res.Patterns[i].AvgC() > res.Patterns[i-1].AvgC() {
+				t.Fatalf("%s: ranking violated at %d", name, i)
+			}
+		}
+		// Show the top patterns for inspection.
+		for i, p := range res.Patterns {
+			if i >= 3 {
+				break
+			}
+			t.Logf("  #%d avg=%v C=%v N=%d %s", i+1, p.AvgC(), p.C, p.N, p.Tuple)
+		}
+	}
+}
+
+func TestCausalityRankingCoverage(t *testing.T) {
+	// Averaged across the eight scenarios, as Table 3's average row: the
+	// ranking curve must be monotone per scenario and concave on
+	// average. Individual scenarios with few, spiky patterns may have a
+	// flat head (a rare 700 ms hard fault ranks first by average cost
+	// but carries little total time), which the paper's per-scenario
+	// spread also shows.
+	a := NewAnalyzer(testCorpus(t))
+	var c10, c20, c30 float64
+	n := 0
+	for _, name := range scenario.Selected() {
+		tfast, tslow, _ := scenario.Thresholds(name)
+		res, err := a.Causality(CausalityConfig{Scenario: name, Tfast: tfast, Tslow: tslow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			continue
+		}
+		s10, s20, s30 := res.TopCoverage(0.10), res.TopCoverage(0.20), res.TopCoverage(0.30)
+		if !(s10 <= s20 && s20 <= s30 && s30 <= 1.0001) {
+			t.Errorf("%s: coverage not monotone: %v %v %v", name, s10, s20, s30)
+		}
+		c10 += s10
+		c20 += s20
+		c30 += s30
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no scenarios with patterns")
+	}
+	c10, c20, c30 = c10/float64(n), c20/float64(n), c30/float64(n)
+	t.Logf("averages: top-10%%=%.1f%% top-20%%=%.1f%% top-30%%=%.1f%% over %d scenarios", c10*100, c20*100, c30*100, n)
+	if c10 < 0.15 {
+		t.Errorf("average top-10%% coverage %.3f too flat (paper: 47.9%%)", c10)
+	}
+	if c30 < 0.5 {
+		t.Errorf("average top-30%% coverage %.3f too flat (paper: 95.9%%)", c30)
+	}
+}
+
+func TestCausalityErrors(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	if _, err := a.Causality(CausalityConfig{}); err == nil {
+		t.Error("missing scenario must error")
+	}
+	if _, err := a.Causality(CausalityConfig{Scenario: "X", Tfast: 100, Tslow: 50}); err == nil {
+		t.Error("inverted thresholds must error")
+	}
+	if _, err := a.Causality(CausalityConfig{Scenario: "NoSuch", Tfast: 100, Tslow: 500}); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
+// TestFlagshipPatternDiscovered checks the §2.3 exemplar: for
+// BrowserTabCreate, some discovered pattern joins the file-virtualisation
+// and file-system wait signatures with storage-encryption or hardware
+// running signatures — the three-driver chain of Figure 1.
+func TestFlagshipPatternDiscovered(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	tfast, tslow, _ := scenario.Thresholds(scenario.BrowserTabCreate)
+	res, err := a.Causality(CausalityConfig{Scenario: scenario.BrowserTabCreate, Tfast: tfast, Tslow: tslow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(set []string, sig string) bool {
+		for _, s := range set {
+			if s == sig {
+				return true
+			}
+		}
+		return false
+	}
+	for i, p := range res.Patterns {
+		if has(p.Tuple.Wait, "fv.sys!QueryFileTable") && has(p.Tuple.Wait, "fs.sys!AcquireMDU") {
+			t.Logf("flagship pattern at rank %d/%d: %s", i+1, len(res.Patterns), p.Tuple)
+			return
+		}
+	}
+	t.Error("no pattern joins fv.sys!QueryFileTable and fs.sys!AcquireMDU wait signatures")
+}
+
+// TestBoundedKAdequacy validates the paper's §4.2.3 claim that bounded
+// segment enumeration loses no contrast patterns: raising k beyond the
+// paper's 5 must not change the discovered pattern set, because longer
+// segments are combinations of the shorter ones already enumerated.
+func TestBoundedKAdequacy(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	tfast, tslow, _ := scenario.Thresholds(scenario.BrowserTabCreate)
+	patternKeys := func(k int) map[string]bool {
+		res, err := a.Causality(CausalityConfig{
+			Scenario: scenario.BrowserTabCreate, Tfast: tfast, Tslow: tslow,
+			Mining: mining.Params{K: k},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make(map[string]bool, len(res.Patterns))
+		for _, p := range res.Patterns {
+			keys[p.Tuple.Key()] = true
+		}
+		return keys
+	}
+	k5 := patternKeys(5)
+	k12 := patternKeys(12)
+	for key := range k12 {
+		if !k5[key] {
+			t.Errorf("pattern only found with k=12: %s", key)
+		}
+	}
+	for key := range k5 {
+		if !k12[key] {
+			t.Errorf("pattern lost when raising k: %s", key)
+		}
+	}
+}
+
+func TestContrastCriteriaCounts(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	tfast, tslow, _ := scenario.Thresholds(scenario.WebPageNavigation)
+	res, err := a.Causality(CausalityConfig{Scenario: scenario.WebPageNavigation, Tfast: tfast, Tslow: tslow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowOnlyContrasts+res.RatioContrasts != res.NumContrasts {
+		t.Errorf("criteria counts %d+%d != total %d",
+			res.SlowOnlyContrasts, res.RatioContrasts, res.NumContrasts)
+	}
+	// Both criteria should fire on a rich corpus: behaviours unique to
+	// storms (criterion 1) and behaviours that merely get slower
+	// (criterion 2).
+	if res.SlowOnlyContrasts == 0 {
+		t.Error("criterion 1 (slow-only) never fired")
+	}
+	if res.RatioContrasts == 0 {
+		t.Error("criterion 2 (cost ratio) never fired")
+	}
+}
+
+func TestCausalityEmptySlowClass(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	// Absurdly high thresholds: everything is fast, nothing is slow.
+	res, err := a.Causality(CausalityConfig{
+		Scenario: scenario.WebPageNavigation,
+		Tfast:    trace.Duration(1e12),
+		Tslow:    trace.Duration(2e12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowCount != 0 {
+		t.Fatalf("slow = %d, want 0", res.SlowCount)
+	}
+	if len(res.Patterns) != 0 || res.TTC != 0 {
+		t.Error("empty slow class produced patterns or coverage")
+	}
+	if res.FastCount != res.Instances {
+		t.Errorf("fast %d != instances %d", res.FastCount, res.Instances)
+	}
+}
+
+func TestCausalityCustomFilter(t *testing.T) {
+	a := NewAnalyzer(testCorpus(t))
+	tfast, tslow, _ := scenario.Thresholds(scenario.MenuDisplay)
+	res, err := a.Causality(CausalityConfig{
+		Scenario: scenario.MenuDisplay, Tfast: tfast, Tslow: tslow,
+		Filter: trace.NewComponentFilter("net.sys"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		for _, sig := range p.Tuple.Wait {
+			if trace.Module(sig) != "net.sys" {
+				t.Errorf("foreign wait signature %q under a net.sys filter", sig)
+			}
+		}
+	}
+}

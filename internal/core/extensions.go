@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+
+	"tracescope/internal/mining"
+	"tracescope/internal/sigset"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// KnownPattern is an analyst-supplied by-design behaviour to separate
+// from actionable findings — the paper's §5.2.5 future-work direction
+// ("we need to incorporate such knowledge to filter out some known and
+// exceptional cases", e.g. Disk Protection halting I/O by design).
+type KnownPattern struct {
+	// Name labels the exception in reports.
+	Name string
+	// Tuple is matched by containment: any discovered pattern containing
+	// this tuple is classified as known.
+	Tuple sigset.Tuple
+}
+
+// DiskProtectionByDesign is the paper's own example of a by-design
+// exception: dp.sys halting reads and writes while the machine is in
+// motion.
+func DiskProtectionByDesign() KnownPattern {
+	return KnownPattern{
+		Name:  "disk-protection-halt",
+		Tuple: sigset.New([]string{"dp.sys!CheckMotion"}, nil, nil),
+	}
+}
+
+// FilterKnown splits ranked patterns into actionable ones and known
+// by-design ones, preserving rank order in both lists.
+func FilterKnown(patterns []mining.Pattern, known []KnownPattern) (actionable, byDesign []mining.Pattern) {
+	for _, p := range patterns {
+		matched := false
+		for _, k := range known {
+			if p.Tuple.Contains(k.Tuple) {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			byDesign = append(byDesign, p)
+		} else {
+			actionable = append(actionable, p)
+		}
+	}
+	return actionable, byDesign
+}
+
+// PatternOccurrence is a concrete scenario instance exhibiting a pattern,
+// for the analyst's drill-down into specific trace streams (§2.3: the
+// pattern "guides the analyst to realize the concrete performance
+// incident by investigating a specific trace stream").
+type PatternOccurrence struct {
+	Ref      trace.InstanceRef
+	Instance trace.Instance
+	// MatchedWait counts the pattern's wait signatures found in the
+	// instance's Wait Graph.
+	MatchedWait int
+}
+
+// LocatePattern finds slow-class instances of the result's scenario whose
+// Wait Graphs exhibit the pattern: every wait signature of the pattern
+// appears on some wait event reachable in the instance's graph, and every
+// running signature on some running or hardware event. Occurrences are
+// sorted slowest first and capped at limit (0 means 16).
+func (a *Analyzer) LocatePattern(res *CausalityResult, p mining.Pattern, filter *trace.ComponentFilter, limit int) []PatternOccurrence {
+	if limit <= 0 {
+		limit = 16
+	}
+	if filter == nil {
+		filter = trace.AllDrivers()
+	}
+	var out []PatternOccurrence
+	for _, ref := range a.corpus.InstancesOf(res.Scenario) {
+		stream, in := a.corpus.Instance(ref)
+		_ = stream
+		if in.Duration() <= res.Tslow {
+			continue
+		}
+		g := a.imp.Graph(ref)
+		if matched, waits := graphExhibits(g, p.Tuple, filter); matched {
+			out = append(out, PatternOccurrence{Ref: ref, Instance: in, MatchedWait: waits})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Instance.Duration() > out[j].Instance.Duration()
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// graphExhibits checks whether an instance's Wait Graph contains the
+// tuple's wait signatures on wait events and running signatures on
+// running/hardware events.
+func graphExhibits(g *waitgraph.Graph, t sigset.Tuple, filter *trace.ComponentFilter) (bool, int) {
+	needWait := make(map[string]bool, len(t.Wait))
+	for _, s := range t.Wait {
+		needWait[s] = false
+	}
+	needRun := make(map[string]bool, len(t.Running))
+	for _, s := range t.Running {
+		needRun[s] = false
+	}
+	g.Walk(func(n *waitgraph.Node, depth int) bool {
+		switch n.Type {
+		case trace.Wait:
+			if sig, ok := filter.TopSignature(g.Stream, n.Stack); ok {
+				if _, want := needWait[sig]; want {
+					needWait[sig] = true
+				}
+			}
+		case trace.Running:
+			if sig, ok := filter.TopSignature(g.Stream, n.Stack); ok {
+				if _, want := needRun[sig]; want {
+					needRun[sig] = true
+				}
+			}
+		case trace.HardwareService:
+			if _, want := needRun[sigset.HardwareSignature]; want {
+				needRun[sigset.HardwareSignature] = true
+			}
+		}
+		return true
+	})
+	matchedWaits := 0
+	for _, seen := range needWait {
+		if !seen {
+			return false, 0
+		}
+		matchedWaits++
+	}
+	for _, seen := range needRun {
+		if !seen {
+			return false, 0
+		}
+	}
+	return true, matchedWaits
+}
+
+// ComponentImpact is one module's contribution in a per-component impact
+// breakdown — the "different scopes" of §2.3's workflow.
+type ComponentImpact struct {
+	Module string
+	Dwait  trace.Duration
+	Drun   trace.Duration
+}
+
+// ImpactByComponent measures Dwait and Drun per driver module over the
+// given instances (nil means all), using top-level wait counting per
+// module. It answers "which driver?" before causality analysis answers
+// "which behaviour?".
+func (a *Analyzer) ImpactByComponent(filter *trace.ComponentFilter, refs []trace.InstanceRef) []ComponentImpact {
+	if filter == nil {
+		filter = trace.AllDrivers()
+	}
+	if refs == nil {
+		refs = a.corpus.InstancesOf("")
+	}
+	byModule := make(map[string]*ComponentImpact)
+	get := func(module string) *ComponentImpact {
+		ci, ok := byModule[module]
+		if !ok {
+			ci = &ComponentImpact{Module: module}
+			byModule[module] = ci
+		}
+		return ci
+	}
+	for _, ref := range refs {
+		g := a.imp.Graph(ref)
+		seen := make(map[trace.EventID]bool)
+		var walk func(n *waitgraph.Node, covered bool)
+		walk = func(n *waitgraph.Node, covered bool) {
+			if seen[n.Event] {
+				return
+			}
+			seen[n.Event] = true
+			switch n.Type {
+			case trace.Running:
+				if sig, ok := filter.TopSignature(g.Stream, n.Stack); ok {
+					get(trace.Module(sig)).Drun += n.Cost
+				}
+			case trace.Wait:
+				sig, isDriver := filter.TopSignature(g.Stream, n.Stack)
+				if isDriver && !covered {
+					get(trace.Module(sig)).Dwait += n.Cost
+					covered = true
+				}
+				for _, c := range n.Children {
+					walk(c, covered)
+				}
+			}
+		}
+		for _, r := range g.Roots {
+			walk(r, false)
+		}
+	}
+	out := make([]ComponentImpact, 0, len(byModule))
+	for _, ci := range byModule {
+		out = append(out, *ci)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dwait != out[j].Dwait {
+			return out[i].Dwait > out[j].Dwait
+		}
+		return out[i].Module < out[j].Module
+	})
+	return out
+}

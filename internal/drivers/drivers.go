@@ -1,0 +1,441 @@
+// Package drivers models the device-driver substrate: ten driver families
+// matching the taxonomy of Table 4 in the paper, arranged in hierarchical
+// driver stacks (filter drivers above file-system drivers above storage
+// encryption, the pattern of §2.2), with per-driver locks and hardware
+// usage. The package produces sim op trees; the scenario package composes
+// them into application scenarios.
+//
+// Driver names follow the paper's anonymised convention: fv.sys (file
+// virtualisation filter), fs.sys (file system), se.sys (storage
+// encryption), and so on.
+package drivers
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tracescope/internal/sim"
+	"tracescope/internal/stats"
+	"tracescope/internal/trace"
+)
+
+// Type is a driver category, the classification used by Table 4.
+type Type int
+
+// The ten driver categories of Table 4.
+const (
+	FileSystemGeneralStorage Type = iota
+	FileSystemFilter
+	Network
+	StorageEncryption
+	DiskProtection
+	Graphics
+	StorageBackup
+	IOCache
+	Mouse
+	ACPI
+	NumTypes int = iota
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case FileSystemGeneralStorage:
+		return "FileSystem, General Storage"
+	case FileSystemFilter:
+		return "FileSystem Filter"
+	case Network:
+		return "Network"
+	case StorageEncryption:
+		return "Storage Encryption"
+	case DiskProtection:
+		return "Disk Protection"
+	case Graphics:
+		return "Graphics"
+	case StorageBackup:
+		return "Storage Backup"
+	case IOCache:
+		return "IO Cache"
+	case Mouse:
+		return "Mouse"
+	case ACPI:
+		return "ACPI"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// AllTypes lists every driver category in Table 4 column order.
+func AllTypes() []Type {
+	out := make([]Type, NumTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// Module names of the synthetic driver fleet (anonymised as in the paper).
+const (
+	ModFS       = "fs.sys"       // file system
+	ModStor     = "stor.sys"     // general storage port driver
+	ModFV       = "fv.sys"       // file-virtualisation filter
+	ModAV       = "av.sys"       // antivirus filter
+	ModNet      = "net.sys"      // network
+	ModSE       = "se.sys"       // storage encryption
+	ModDP       = "dp.sys"       // disk protection
+	ModGraphics = "graphics.sys" // graphics
+	ModBak      = "bak.sys"      // storage backup
+	ModIOC      = "ioc.sys"      // IO cache
+	ModMouse    = "mou.sys"      // mouse
+	ModACPI     = "acpi.sys"     // ACPI
+)
+
+var moduleTypes = map[string]Type{
+	ModFS:       FileSystemGeneralStorage,
+	ModStor:     FileSystemGeneralStorage,
+	ModFV:       FileSystemFilter,
+	ModAV:       FileSystemFilter,
+	ModNet:      Network,
+	ModSE:       StorageEncryption,
+	ModDP:       DiskProtection,
+	ModGraphics: Graphics,
+	ModBak:      StorageBackup,
+	ModIOC:      IOCache,
+	ModMouse:    Mouse,
+	ModACPI:     ACPI,
+}
+
+// TypeOfModule classifies a driver module name.
+func TypeOfModule(module string) (Type, bool) {
+	t, ok := moduleTypes[strings.ToLower(module)]
+	return t, ok
+}
+
+// TypeOfFrame classifies the module of a "module!function" frame.
+func TypeOfFrame(frame string) (Type, bool) {
+	return TypeOfModule(trace.Module(frame))
+}
+
+// TypesOfSignatures returns the set of driver types appearing in a list of
+// signatures (frames), as a fixed-size membership array.
+func TypesOfSignatures(signatures []string) [NumTypes]bool {
+	var out [NumTypes]bool
+	for _, sig := range signatures {
+		if t, ok := TypeOfFrame(sig); ok {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// Config selects which drivers are present on a simulated machine and how
+// they behave. The zero value enables only the base file-system stack.
+type Config struct {
+	// Encrypted routes storage reads and writes through se.sys on a
+	// system worker thread (the §2.2 pattern).
+	Encrypted bool
+	// AVFilter intercepts file operations through av.sys and its
+	// process-wide scan database lock.
+	AVFilter bool
+	// DiskProtection passes disk requests through dp.sys, which can halt
+	// I/O while the machine is "in motion" (the §5.2.5 false-positive
+	// family).
+	DiskProtection bool
+	// MDULocks is the number of metadata-unit locks in fs.sys; lower
+	// numbers mean coarser locking and more contention. Zero means 4.
+	MDULocks int
+	// FileTableLocks is the number of file-table entry locks in fv.sys.
+	// Zero means 4.
+	FileTableLocks int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MDULocks <= 0 {
+		c.MDULocks = 4
+	}
+	if c.FileTableLocks <= 0 {
+		c.FileTableLocks = 4
+	}
+}
+
+// Latency parameterises the synthetic device and computation latencies.
+// All fields are medians of log-normal distributions except where noted.
+type Latency struct {
+	DiskRead     trace.Duration // one disk service
+	DiskSigma    float64
+	NetRTT       trace.Duration // one network transfer
+	NetSigma     float64
+	Decrypt      trace.Duration // se.sys CPU per read
+	DecryptSigma float64
+	DriverCPU    trace.Duration // small in-driver bookkeeping compute
+	HardFault    trace.Duration // page-read service for a hard fault
+}
+
+// DefaultLatency returns latencies in the bands the paper's cases show:
+// milliseconds-scale disk, tens-of-ms network tails, and hundreds-of-ms
+// decrypt bursts under storms.
+func DefaultLatency() Latency {
+	return Latency{
+		DiskRead:     1200,
+		DiskSigma:    0.8,
+		NetRTT:       5 * trace.Millisecond,
+		NetSigma:     1.0,
+		Decrypt:      600, // 0.6 ms
+		DecryptSigma: 0.7,
+		DriverCPU:    80, // 0.08 ms
+		HardFault:    700 * trace.Millisecond,
+	}
+}
+
+// Stack is a configured driver stack on one simulated machine. Its methods
+// build op trees for driver-mediated operations; every sampled duration
+// comes from the stack's own deterministic generator.
+type Stack struct {
+	cfg Config
+	lat Latency
+	rng *stats.Rand
+}
+
+// NewStack builds a driver stack with the given configuration, latencies,
+// and random source.
+func NewStack(cfg Config, lat Latency, rng *stats.Rand) *Stack {
+	cfg.applyDefaults()
+	return &Stack{cfg: cfg, lat: lat, rng: rng}
+}
+
+// Config returns the stack's configuration.
+func (st *Stack) Config() Config { return st.cfg }
+
+func (st *Stack) fileTableLock(bucket int) string {
+	return fmt.Sprintf("fv:FileTable:%d", bucket%st.cfg.FileTableLocks)
+}
+
+func (st *Stack) mduLock(bucket int) string {
+	return fmt.Sprintf("fs:MDU:%d", bucket%st.cfg.MDULocks)
+}
+
+func (st *Stack) cpu() sim.Op {
+	return sim.Burn(trace.Duration(st.rng.LogNormal(float64(st.lat.DriverCPU), 0.5)))
+}
+
+func (st *Stack) diskTime(scale float64) trace.Duration {
+	// Storms stretch device service sub-linearly: queueing, not the
+	// medium, is what blows up under load.
+	return trace.Duration(st.rng.LogNormal(float64(st.lat.DiskRead)*math.Sqrt(scale), st.lat.DiskSigma))
+}
+
+// StorageRead builds the raw storage read path below fs.sys: through
+// dp.sys when disk protection is active, then either a direct disk
+// service or (when encrypted) a system-service call running
+// se.sys!ReadDecrypt on a worker thread — the paper's hierarchical
+// dependency from fs.sys to se.sys (§2.2, arrow 1).
+//
+// scale stretches the disk service time; severity >= 1 additionally
+// stretches the decrypt CPU burst (contention storms).
+func (st *Stack) StorageRead(scale, severity float64) []sim.Op {
+	d := st.diskTime(scale)
+	if severity > 1 && st.rng.Bool(0.015*severity) {
+		// Cold read under load: a large or fragmented transfer taking
+		// tens of milliseconds — the §2.2 case's long disk service.
+		d += trace.Duration(st.rng.Uniform(20, 90)) * trace.Millisecond
+	}
+	disk := sim.DeviceOp{Device: "disk", D: d}
+	var inner []sim.Op
+	if st.cfg.Encrypted {
+		decrypt := trace.Duration(st.rng.LogNormal(float64(st.lat.Decrypt)*math.Sqrt(severity), st.lat.DecryptSigma))
+		inner = sim.Seq(sim.AsyncCall{
+			Body: sim.Seq(sim.Invoke("se.sys!ReadDecrypt", sim.Burn(decrypt), disk)),
+		})
+	} else {
+		inner = sim.Seq(sim.Invoke("stor.sys!Transfer", st.cpu(), disk))
+	}
+	if st.cfg.DiskProtection {
+		// dp.sys checks motion state under its global lock — briefly,
+		// unless the machine is "in motion", in which case it halts the
+		// request deliberately: blocked time, not CPU (§5.2.5's
+		// by-design false positive). The read itself proceeds outside
+		// the lock.
+		check := sim.Seq(st.cpu())
+		if st.rng.Bool(0.02) {
+			halt := trace.Duration(st.rng.Uniform(30, 150)) * trace.Millisecond
+			check = append(check, sim.DeviceOp{Device: "disk", D: halt})
+		}
+		guarded := sim.Invoke("dp.sys!CheckMotion", sim.WithLock("dp:Motion", check...)...)
+		inner = append(sim.Seq(guarded), inner...)
+	}
+	return inner
+}
+
+// AcquireMDU builds the fs.sys metadata path: acquire the bucket's MDU
+// lock, do bookkeeping, and perform reads while holding it — the lower
+// contention region of Figure 1.
+func (st *Stack) AcquireMDU(bucket int, reads int, scale, severity float64) sim.Op {
+	var body []sim.Op
+	body = append(body, st.cpu())
+	for i := 0; i < reads; i++ {
+		body = append(body, sim.Invoke("fs.sys!Read", st.StorageRead(scale, severity)...))
+	}
+	return sim.Invoke("fs.sys!AcquireMDU", sim.WithLock(st.mduLock(bucket), body...)...)
+}
+
+// QueryFileTable builds the fv.sys file-virtualisation path: query the
+// file table under its entry lock and, while holding it, call down into
+// fs.sys — the upper contention region and the fv→fs dependency of
+// Figure 1 (arrow 4).
+func (st *Stack) QueryFileTable(bucket int, reads int, scale, severity float64) sim.Op {
+	return sim.Invoke("fv.sys!QueryFileTable",
+		sim.WithLock(st.fileTableLock(bucket),
+			st.cpu(),
+			st.AcquireMDU(bucket, reads, scale, severity),
+		)...)
+}
+
+// FileOpen is a full file-open through the filter stack: optional av.sys
+// interception, then fv.sys → fs.sys → storage.
+func (st *Stack) FileOpen(bucket int, reads int, scale, severity float64) []sim.Op {
+	var ops []sim.Op
+	if st.cfg.AVFilter {
+		ops = append(ops, st.AVIntercept(severity))
+	}
+	ops = append(ops, st.QueryFileTable(bucket, reads, scale, severity))
+	return ops
+}
+
+// AVIntercept models security software intercepting a request: a
+// system-wide filter driver consulting a single scan database under one
+// process-wide lock (§5.2.4 first observation).
+func (st *Stack) AVIntercept(severity float64) sim.Op {
+	scan := trace.Duration(st.rng.LogNormal(250*math.Sqrt(severity), 0.8))
+	body := []sim.Op{sim.Burn(scan)}
+	if severity > 1 && st.rng.Bool(0.10) {
+		// Signature-database page-in while every interception queues
+		// behind the single DB lock.
+		dbRead := trace.Duration(st.rng.Uniform(20, 100)) * trace.Millisecond
+		body = append(body, sim.DeviceOp{Device: "disk", D: dbRead})
+	}
+	return sim.Invoke("av.sys!ScanIntercept",
+		sim.WithLock("av:ScanDB", body...)...)
+}
+
+// NetworkFetch models net.sys transferring data from a remote server:
+// buffer bookkeeping under the adapter lock, then a NIC service whose
+// latency is heavy-tailed (unstable bandwidth, §5.2.4 second
+// observation). stall >= 1 stretches the tail.
+func (st *Stack) NetworkFetch(stall float64) sim.Op {
+	rtt := trace.Duration(st.rng.LogNormal(float64(st.lat.NetRTT)*stall, st.lat.NetSigma))
+	if stall > 1 && st.rng.Bool(0.08) {
+		// Unstable bandwidth: rare multi-hundred-ms stalls with a
+		// Pareto tail (the §5.2.4 network observation).
+		rtt += trace.Duration(st.rng.Pareto(30_000, 1.3, 800_000))
+	}
+	// Completion is indicated by a DPC running net.sys!Indicate after
+	// the NIC service — so a network wait propagates through driver
+	// code, not straight to hardware.
+	dpc := trace.Duration(st.rng.LogNormal(100, 0.5))
+	return sim.Invoke("net.sys!Transfer",
+		append(sim.WithLock("net:AdapterBuf", st.cpu()),
+			sim.AsyncCall{
+				Pool:       "Ndis",
+				BaseFrames: []string{"kernel!DPC"},
+				Body: sim.Seq(sim.Invoke("net.sys!Indicate",
+					sim.DeviceOp{Device: "nic", D: rtt},
+					sim.Burn(dpc),
+				)),
+			})...)
+}
+
+// GPUAcquire models graphics.sys acquiring GPU resources under the GPU
+// lock, optionally suffering a hard fault while initialising internal
+// structures (§5.2.4 third observation): the fault is resolved by a
+// system worker that executes se.sys for the page read when the machine
+// is storage-encrypted.
+func (st *Stack) GPUAcquire(render trace.Duration, hardFault bool) sim.Op {
+	// The render itself runs on the GPU (a hardware service); the driver
+	// only spends bookkeeping CPU around it.
+	body := []sim.Op{st.cpu(), sim.DeviceOp{Device: "gpu", D: render}}
+	if hardFault {
+		body = append(body, st.HardFault())
+	}
+	return sim.Invoke("graphics.sys!AcquireGPU",
+		sim.WithLock("gpu:Resource",
+			sim.Invoke("graphics.sys!InitStruct", body...))...)
+}
+
+// HardFault models a page-in of paged driver memory: the faulting thread
+// blocks while a system worker performs the page read — through se.sys
+// on encrypted machines — taking HardFault-scale time.
+func (st *Stack) HardFault() sim.Op {
+	pageRead := trace.Duration(st.rng.LogNormal(float64(st.lat.HardFault), 0.6))
+	disk := sim.DeviceOp{Device: "disk", D: pageRead}
+	var body []sim.Op
+	if st.cfg.Encrypted {
+		decrypt := trace.Duration(st.rng.LogNormal(float64(st.lat.Decrypt)*4, st.lat.DecryptSigma))
+		body = sim.Seq(sim.Invoke("se.sys!ReadDecrypt", sim.Burn(decrypt), disk))
+	} else {
+		body = sim.Seq(sim.Invoke("stor.sys!Transfer", st.cpu(), disk))
+	}
+	return sim.Invoke("kernel!PageFault", sim.AsyncCall{Body: body})
+}
+
+// CacheLookup models ioc.sys consulting the I/O cache; a miss falls
+// through to the file-system path.
+func (st *Stack) CacheLookup(bucket int, hitRate, scale, severity float64) sim.Op {
+	var body []sim.Op
+	// Cache lookups read the index under a shared (reader) acquisition;
+	// only invalidations take it exclusively.
+	body = append(body, sim.WithSharedLock("ioc:Index", st.cpu())...)
+	if !st.rng.Bool(hitRate) {
+		body = append(body, st.AcquireMDU(bucket, 1, scale, severity))
+	}
+	return sim.Invoke("ioc.sys!Lookup", body...)
+}
+
+// ServiceQuery models an RPC into a shared service host (one dispatcher
+// thread per machine) that resolves the request through the file-system
+// stack. Queueing behind other requests on the dispatcher is a major
+// cross-instance propagation channel: the caller's wait is app-level, so
+// every driver wait the dispatcher performs — for this request and the
+// queued ones before it — surfaces in the caller's Wait Graph.
+func (st *Stack) ServiceQuery(bucket int, scale, severity float64) sim.Op {
+	return sim.AsyncCall{
+		Pool:       "SvcHost",
+		BaseFrames: []string{"SvcHost!Worker"},
+		Body: sim.Seq(
+			sim.Invoke("SvcHost!Dispatch",
+				st.cpu(),
+				st.AcquireMDU(bucket, 1, scale, severity),
+			),
+		),
+	}
+}
+
+// BackupScan models bak.sys checkpointing file state before destructive
+// operations (tab close writes, for example).
+func (st *Stack) BackupScan(bucket int, scale float64) sim.Op {
+	body := []sim.Op{st.cpu(), sim.Invoke("fs.sys!Read", st.StorageRead(scale, 1)...)}
+	if scale > 1 && st.rng.Bool(0.12) {
+		// Journal flush forced by checkpoint pressure.
+		flush := trace.Duration(st.rng.Uniform(20, 80)) * trace.Millisecond
+		body = append(body, sim.DeviceOp{Device: "disk", D: flush})
+	}
+	return sim.Invoke("bak.sys!Checkpoint",
+		sim.WithLock("bak:Journal", body...)...)
+}
+
+// MouseQuery models mou.sys servicing an input query — short, but under
+// one device lock.
+func (st *Stack) MouseQuery() sim.Op {
+	return sim.Invoke("mou.sys!Poll", sim.WithSharedLock("mou:State", st.cpu())...)
+}
+
+// ACPIQuery models acpi.sys evaluating firmware state, occasionally slow.
+func (st *Stack) ACPIQuery() sim.Op {
+	body := []sim.Op{sim.Burn(trace.Duration(st.rng.LogNormal(400, 1.2)))}
+	if st.rng.Bool(0.05) {
+		// Firmware round-trips are occasionally glacial.
+		fw := trace.Duration(st.rng.Uniform(30, 150)) * trace.Millisecond
+		body = append(body, sim.DeviceOp{Device: "firmware", D: fw})
+	}
+	return sim.Invoke("acpi.sys!Evaluate", sim.WithSharedLock("acpi:Tables", body...)...)
+}

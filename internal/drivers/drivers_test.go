@@ -1,0 +1,222 @@
+package drivers
+
+import (
+	"fmt"
+	"testing"
+
+	"tracescope/internal/sim"
+	"tracescope/internal/stats"
+	"tracescope/internal/trace"
+)
+
+func TestTypeOfModule(t *testing.T) {
+	cases := []struct {
+		module string
+		want   Type
+		ok     bool
+	}{
+		{"fs.sys", FileSystemGeneralStorage, true},
+		{"FS.SYS", FileSystemGeneralStorage, true},
+		{"fv.sys", FileSystemFilter, true},
+		{"av.sys", FileSystemFilter, true},
+		{"net.sys", Network, true},
+		{"se.sys", StorageEncryption, true},
+		{"dp.sys", DiskProtection, true},
+		{"graphics.sys", Graphics, true},
+		{"bak.sys", StorageBackup, true},
+		{"ioc.sys", IOCache, true},
+		{"mou.sys", Mouse, true},
+		{"acpi.sys", ACPI, true},
+		{"kernel", 0, false},
+		{"unknown.sys", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := TypeOfModule(c.module)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TypeOfModule(%q) = %v, %v; want %v, %v", c.module, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTypeOfFrame(t *testing.T) {
+	ty, ok := TypeOfFrame("se.sys!ReadDecrypt")
+	if !ok || ty != StorageEncryption {
+		t.Errorf("TypeOfFrame = %v, %v", ty, ok)
+	}
+}
+
+func TestTypesOfSignatures(t *testing.T) {
+	m := TypesOfSignatures([]string{"fs.sys!Read", "net.sys!Transfer", "App!Main"})
+	if !m[FileSystemGeneralStorage] || !m[Network] {
+		t.Error("membership missing known types")
+	}
+	if m[Graphics] {
+		t.Error("phantom membership")
+	}
+}
+
+func TestAllTypesStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ty := range AllTypes() {
+		s := ty.String()
+		if seen[s] {
+			t.Errorf("duplicate type name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != NumTypes {
+		t.Errorf("got %d names, want %d", len(seen), NumTypes)
+	}
+}
+
+// runOps executes an op program on a fresh kernel and returns the stream;
+// any lock imbalance or misuse panics inside the simulator.
+func runOps(t *testing.T, ops []sim.Op) *trace.Stream {
+	t.Helper()
+	k := sim.NewKernel(sim.Config{StreamID: "drv"})
+	k.Spawn("App", "T0", []string{"App!Main"}, ops, 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid stream: %v", err)
+	}
+	return s
+}
+
+// TestEveryOperationRunsToCompletion drives each driver-stack operation
+// under every machine configuration: locks must balance, programs must
+// terminate, and streams must validate.
+func TestEveryOperationRunsToCompletion(t *testing.T) {
+	configs := []Config{
+		{},
+		{Encrypted: true},
+		{AVFilter: true},
+		{DiskProtection: true},
+		{Encrypted: true, AVFilter: true, DiskProtection: true, MDULocks: 1, FileTableLocks: 1},
+	}
+	for ci, cfg := range configs {
+		for sev := 1.0; sev <= 4; sev += 3 {
+			st := NewStack(cfg, DefaultLatency(), stats.NewRand(int64(ci)*10+int64(sev)))
+			ops := map[string][]sim.Op{
+				"FileOpen":       st.FileOpen(3, 2, sev, sev),
+				"QueryFileTable": {st.QueryFileTable(3, 1, sev, sev)},
+				"AcquireMDU":     {st.AcquireMDU(3, 2, sev, sev)},
+				"StorageRead":    st.StorageRead(sev, sev),
+				"AVIntercept":    {st.AVIntercept(sev)},
+				"NetworkFetch":   {st.NetworkFetch(sev)},
+				"GPUAcquire":     {st.GPUAcquire(5000, false)},
+				"GPUFault":       {st.GPUAcquire(5000, true)},
+				"HardFault":      {st.HardFault()},
+				"CacheHit":       {st.CacheLookup(3, 1.0, sev, sev)},
+				"CacheMiss":      {st.CacheLookup(3, 0.0, sev, sev)},
+				"BackupScan":     {st.BackupScan(3, sev)},
+				"MouseQuery":     {st.MouseQuery()},
+				"ACPIQuery":      {st.ACPIQuery()},
+				"ServiceQuery":   {st.ServiceQuery(3, sev, sev)},
+			}
+			for name, program := range ops {
+				t.Run(fmt.Sprintf("cfg%d/sev%.0f/%s", ci, sev, name), func(t *testing.T) {
+					runOps(t, program)
+				})
+			}
+		}
+	}
+}
+
+func TestEncryptedReadUsesWorkerAndSE(t *testing.T) {
+	st := NewStack(Config{Encrypted: true}, DefaultLatency(), stats.NewRand(1))
+	s := runOps(t, st.StorageRead(1, 1))
+	var sawSE, sawHW bool
+	for _, e := range s.Events {
+		if e.Type == trace.HardwareService {
+			sawHW = true
+		}
+		for _, f := range s.StackStrings(e.Stack) {
+			if f == "se.sys!ReadDecrypt" {
+				sawSE = true
+			}
+		}
+	}
+	if !sawSE || !sawHW {
+		t.Errorf("encrypted read: sawSE=%v sawHW=%v", sawSE, sawHW)
+	}
+}
+
+func TestUnencryptedReadSkipsSE(t *testing.T) {
+	st := NewStack(Config{}, DefaultLatency(), stats.NewRand(1))
+	s := runOps(t, st.StorageRead(1, 1))
+	for _, e := range s.Events {
+		for _, f := range s.StackStrings(e.Stack) {
+			if trace.Module(f) == "se.sys" {
+				t.Fatal("unencrypted read touched se.sys")
+			}
+		}
+	}
+}
+
+func TestHardFaultPathSignatures(t *testing.T) {
+	st := NewStack(Config{Encrypted: true}, DefaultLatency(), stats.NewRand(2))
+	s := runOps(t, []sim.Op{st.GPUAcquire(2000, true)})
+	want := map[string]bool{
+		"graphics.sys!InitStruct": false,
+		"kernel!PageFault":        false,
+		"se.sys!ReadDecrypt":      false,
+	}
+	for _, e := range s.Events {
+		for _, f := range s.StackStrings(e.Stack) {
+			if _, ok := want[f]; ok {
+				want[f] = true
+			}
+		}
+	}
+	for f, seen := range want {
+		if !seen {
+			t.Errorf("hard-fault path missing %s", f)
+		}
+	}
+}
+
+func TestLockBucketing(t *testing.T) {
+	st := NewStack(Config{MDULocks: 2, FileTableLocks: 2}, DefaultLatency(), stats.NewRand(3))
+	if st.mduLock(0) != st.mduLock(2) {
+		t.Error("bucket 0 and 2 must share a lock with 2 MDU locks")
+	}
+	if st.mduLock(0) == st.mduLock(1) {
+		t.Error("buckets 0 and 1 must differ")
+	}
+	if st.fileTableLock(1) == st.mduLock(1) {
+		t.Error("file-table and MDU lock namespaces collide")
+	}
+}
+
+func TestNetworkFetchIndicatesViaDPC(t *testing.T) {
+	st := NewStack(Config{}, DefaultLatency(), stats.NewRand(4))
+	s := runOps(t, []sim.Op{st.NetworkFetch(1)})
+	var sawIndicate bool
+	for _, e := range s.Events {
+		if e.Type != trace.Running {
+			continue
+		}
+		for _, f := range s.StackStrings(e.Stack) {
+			if f == "net.sys!Indicate" {
+				sawIndicate = true
+			}
+		}
+	}
+	_ = sawIndicate // DPC compute is sub-millisecond; samples may or may not fire.
+	// But the unwait chain must include the indicate signature.
+	var sawUnwait bool
+	for _, e := range s.Events {
+		if e.Type != trace.Unwait {
+			continue
+		}
+		for _, f := range s.StackStrings(e.Stack) {
+			if f == "net.sys!Indicate" {
+				sawUnwait = true
+			}
+		}
+	}
+	if !sawUnwait {
+		t.Error("network completion does not carry net.sys!Indicate")
+	}
+}

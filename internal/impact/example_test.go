@@ -1,0 +1,24 @@
+package impact_test
+
+import (
+	"fmt"
+
+	"tracescope/internal/impact"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// Example measures the motivating case of §2.2: three instances whose
+// time is dominated by waiting on device drivers.
+func Example() {
+	stream := scenario.MotivatingCase()
+	corpus := trace.NewCorpus(stream)
+	a := impact.NewAnalyzer(corpus, waitgraph.Options{})
+	m := a.Analyze(trace.AllDrivers(), nil)
+	fmt.Printf("instances: %d\n", m.Instances)
+	fmt.Printf("waiting dominates CPU: %v\n", m.IAwait() > 3*m.IArun())
+	// Output:
+	// instances: 3
+	// waiting dominates CPU: true
+}

@@ -1,0 +1,151 @@
+// Package impact implements the paper's impact analysis (§3): given
+// scenario instances over a corpus and a component filter, it constructs
+// Wait Graphs and derives the three output metrics
+//
+//	IArun  = Drun / Dscn      (CPU impact of the chosen components)
+//	IAwait = Dwait / Dscn     (blocking impact)
+//	IAopt  = (Dwait - Dwaitdist) / Dscn
+//
+// where Dwaitdist deduplicates wait events shared across scenario
+// instances — the extra wait introduced by cost propagation, and an upper
+// bound on its optimisation potential.
+package impact
+
+import (
+	"fmt"
+
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// Metrics is the result of one impact analysis.
+type Metrics struct {
+	// Instances is the number of scenario instances analysed.
+	Instances int
+	// Dscn is the aggregated execution time of all instances.
+	Dscn trace.Duration
+	// Dwait is the aggregated top-level wait time of the chosen
+	// components, counted per instance (duplicates across instances
+	// included).
+	Dwait trace.Duration
+	// Drun is the aggregated running time of the chosen components
+	// (1 ms sampling granularity, so approximate).
+	Drun trace.Duration
+	// Dwaitdist is Dwait with wait events deduplicated across instances.
+	Dwaitdist trace.Duration
+}
+
+// IAwait is the wait-percentage output metric.
+func (m Metrics) IAwait() float64 { return ratio(m.Dwait, m.Dscn) }
+
+// IArun is the running-percentage output metric.
+func (m Metrics) IArun() float64 { return ratio(m.Drun, m.Dscn) }
+
+// IAopt is the percentage of waiting time introduced by cost propagation,
+// an upper bound for its optimisation potential.
+func (m Metrics) IAopt() float64 { return ratio(m.Dwait-m.Dwaitdist, m.Dscn) }
+
+// WaitDistinctRatio is Dwait/Dwaitdist: how many scenario instances the
+// average distinct wait second propagates into (≈3.5 in the paper).
+func (m Metrics) WaitDistinctRatio() float64 {
+	if m.Dwaitdist == 0 {
+		return 0
+	}
+	return float64(m.Dwait) / float64(m.Dwaitdist)
+}
+
+func ratio(a, b trace.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// String renders the headline numbers.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"instances=%d Dscn=%v IAwait=%.1f%% IArun=%.1f%% IAopt=%.1f%% Dwait/Dwaitdist=%.2f",
+		m.Instances, m.Dscn, m.IAwait()*100, m.IArun()*100, m.IAopt()*100, m.WaitDistinctRatio())
+}
+
+// Analyzer runs impact analyses over one corpus, reusing per-stream
+// Wait-Graph builders across calls.
+type Analyzer struct {
+	corpus   *trace.Corpus
+	builders []*waitgraph.Builder
+}
+
+// NewAnalyzer indexes the corpus for impact analysis.
+func NewAnalyzer(c *trace.Corpus, opts waitgraph.Options) *Analyzer {
+	return &Analyzer{corpus: c, builders: waitgraph.BuildAll(c, opts)}
+}
+
+// Corpus returns the corpus under analysis.
+func (a *Analyzer) Corpus() *trace.Corpus { return a.corpus }
+
+// Builders exposes the per-stream Wait-Graph builders (shared with the
+// causality analysis so graphs are built once).
+func (a *Analyzer) Builders() []*waitgraph.Builder { return a.builders }
+
+// Graph builds (or retrieves) the Wait Graph of an instance.
+func (a *Analyzer) Graph(ref trace.InstanceRef) *waitgraph.Graph {
+	s := a.corpus.Streams[ref.Stream]
+	return a.builders[ref.Stream].Instance(s.Instances[ref.Instance])
+}
+
+// Analyze measures the chosen components over the given instances (nil
+// means every instance in the corpus).
+func (a *Analyzer) Analyze(filter *trace.ComponentFilter, refs []trace.InstanceRef) Metrics {
+	if refs == nil {
+		refs = a.corpus.InstancesOf("")
+	}
+	var m Metrics
+	distinct := make(map[trace.EventID]bool)
+	cache := trace.NewFilterCache(filter)
+	for _, ref := range refs {
+		g := a.Graph(ref)
+		m.Instances++
+		m.Dscn += g.Instance.Duration()
+		a.measureGraph(g, cache, distinct, &m)
+	}
+	return m
+}
+
+// measureGraph walks one instance graph accumulating Dwait, Drun, and
+// Dwaitdist. Driver waits are counted only at the top level: a driver
+// wait below a counted driver wait is already included in its parent's
+// cost (§3.2, "total wait duration").
+func (a *Analyzer) measureGraph(g *waitgraph.Graph, filter *trace.FilterCache,
+	distinct map[trace.EventID]bool, m *Metrics) {
+
+	seen := make(map[trace.EventID]bool)
+	var walk func(n *waitgraph.Node, covered bool)
+	walk = func(n *waitgraph.Node, covered bool) {
+		if seen[n.Event] {
+			return
+		}
+		seen[n.Event] = true
+		switch n.Type {
+		case trace.Running:
+			if filter.MatchStack(g.Stream, n.Stack) {
+				m.Drun += n.Cost
+			}
+		case trace.Wait:
+			isDriver := filter.MatchStack(g.Stream, n.Stack)
+			if isDriver && !covered {
+				m.Dwait += n.Cost
+				if !distinct[n.Event] {
+					distinct[n.Event] = true
+					m.Dwaitdist += n.Cost
+				}
+				covered = true
+			}
+			for _, c := range n.Children {
+				walk(c, covered)
+			}
+		}
+	}
+	for _, r := range g.Roots {
+		walk(r, false)
+	}
+}

@@ -1,0 +1,142 @@
+package impact
+
+import (
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+func TestMotivatingCaseMetrics(t *testing.T) {
+	s := scenario.MotivatingCase()
+	c := trace.NewCorpus(s)
+	a := NewAnalyzer(c, waitgraph.Options{})
+	m := a.Analyze(trace.AllDrivers(), nil)
+
+	if m.Instances != 3 {
+		t.Fatalf("instances = %d, want 3", m.Instances)
+	}
+	if m.Dscn <= 0 || m.Dwait <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+	// In this case every instance's root wait is itself a driver wait,
+	// so top-level counting yields no cross-instance duplicates: each
+	// deeper shared wait is covered by its instance's own root wait.
+	// (Corpus-level duplication — Dwait > Dwaitdist — arises from
+	// app-level waits above driver activity; see TestHeadlineBands.)
+	if m.Dwait != m.Dwaitdist {
+		t.Errorf("Dwait=%v != Dwaitdist=%v for the all-driver-root case", m.Dwait, m.Dwaitdist)
+	}
+	// The propagated disk+decrypt delay dominates all three instances.
+	if m.IAwait() < 0.5 {
+		t.Errorf("IAwait = %.2f, want > 0.5: the delay chain dominates", m.IAwait())
+	}
+	// Waiting dominates driver CPU in this disk-bound case.
+	if m.IAwait() <= m.IArun() {
+		t.Errorf("IAwait=%.3f <= IArun=%.3f", m.IAwait(), m.IArun())
+	}
+}
+
+func TestEmptyFilterMatchesNothing(t *testing.T) {
+	s := scenario.MotivatingCase()
+	c := trace.NewCorpus(s)
+	a := NewAnalyzer(c, waitgraph.Options{})
+	m := a.Analyze(trace.NewComponentFilter(), nil)
+	if m.Dwait != 0 || m.Drun != 0 || m.Dwaitdist != 0 {
+		t.Errorf("empty filter matched time: %+v", m)
+	}
+	if m.Dscn <= 0 {
+		t.Error("Dscn must still accumulate instance durations")
+	}
+}
+
+func TestSubsetOfInstances(t *testing.T) {
+	s := scenario.MotivatingCase()
+	c := trace.NewCorpus(s)
+	a := NewAnalyzer(c, waitgraph.Options{})
+	refs := c.InstancesOf(scenario.BrowserTabCreate)
+	if len(refs) != 1 {
+		t.Fatalf("got %d BrowserTabCreate refs, want 1", len(refs))
+	}
+	m := a.Analyze(trace.AllDrivers(), refs)
+	if m.Instances != 1 {
+		t.Errorf("instances = %d, want 1", m.Instances)
+	}
+	all := a.Analyze(trace.AllDrivers(), nil)
+	if m.Dscn >= all.Dscn {
+		t.Errorf("subset Dscn %v >= full Dscn %v", m.Dscn, all.Dscn)
+	}
+}
+
+func TestNoDoubleCountingNestedDriverWaits(t *testing.T) {
+	// The BrowserTabCreate wait chain nests driver waits (FileTable wait
+	// over MDU wait over disk wait). Only the top-level driver wait may
+	// count, so Dwait for the single instance must not exceed its Dscn by
+	// more than the parallelism the graph actually has.
+	s := scenario.MotivatingCase()
+	c := trace.NewCorpus(s)
+	a := NewAnalyzer(c, waitgraph.Options{})
+	refs := c.InstancesOf(scenario.BrowserTabCreate)
+	m := a.Analyze(trace.AllDrivers(), refs)
+	if m.Dwait > m.Dscn {
+		t.Errorf("single-instance Dwait %v exceeds Dscn %v: nested waits double-counted", m.Dwait, m.Dscn)
+	}
+}
+
+// TestHeadlineBands generates a small corpus and checks the §5.1 headline
+// metrics land in the paper's qualitative bands: waiting dominates driver
+// CPU by an order of magnitude, cost propagation accounts for a large
+// share of waiting, and the wait/distinct ratio shows propagation into
+// multiple instances.
+func TestHeadlineBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation in -short mode")
+	}
+	corpus := scenario.Generate(scenario.Config{Seed: 1, Streams: 24, Episodes: 12})
+	a := NewAnalyzer(corpus, waitgraph.Options{})
+	m := a.Analyze(trace.AllDrivers(), nil)
+	t.Logf("headline: %v", m)
+
+	if m.IAwait() < 0.15 || m.IAwait() > 0.65 {
+		t.Errorf("IAwait = %.1f%%, want within 15%%..65%% (paper: 36.4%%)", m.IAwait()*100)
+	}
+	if m.IArun() > 0.10 {
+		t.Errorf("IArun = %.1f%%, want small (paper: 1.6%%)", m.IArun()*100)
+	}
+	if m.IAwait() < 8*m.IArun() {
+		t.Errorf("IAwait (%.3f) should dominate IArun (%.3f) by >8x", m.IAwait(), m.IArun())
+	}
+	if m.IAopt() <= 0.05 {
+		t.Errorf("IAopt = %.1f%%, want a substantial propagation share (paper: 26%%)", m.IAopt()*100)
+	}
+	if r := m.WaitDistinctRatio(); r < 1.5 || r > 8 {
+		t.Errorf("Dwait/Dwaitdist = %.2f, want within 1.5..8 (paper: 3.5)", r)
+	}
+}
+
+// TestImpactInvariantsProperty checks metric invariants over random small
+// corpora: Dwaitdist <= Dwait, all ratios within [0, ~1+], and IAopt
+// non-negative.
+func TestImpactInvariantsProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		corpus := scenario.Generate(scenario.Config{Seed: seed, Streams: 2, Episodes: 5})
+		a := NewAnalyzer(corpus, waitgraph.Options{})
+		m := a.Analyze(trace.AllDrivers(), nil)
+		if m.Dwaitdist > m.Dwait {
+			t.Errorf("seed %d: Dwaitdist %v > Dwait %v", seed, m.Dwaitdist, m.Dwait)
+		}
+		if m.IAopt() < 0 {
+			t.Errorf("seed %d: negative IAopt %v", seed, m.IAopt())
+		}
+		if m.IAwait() < 0 || m.IArun() < 0 {
+			t.Errorf("seed %d: negative ratios", seed)
+		}
+		if m.Dscn <= 0 {
+			t.Errorf("seed %d: non-positive Dscn", seed)
+		}
+		if r := m.WaitDistinctRatio(); m.Dwaitdist > 0 && r < 1 {
+			t.Errorf("seed %d: ratio %v < 1", seed, r)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package mining implements the contrast-data-mining step of the
+// causality analysis (§4.2.3): bounded-length meta-pattern enumeration
+// over Aggregated Wait Graphs, the two contrast criteria, full-path
+// contrast-pattern discovery, ranking by average cost, and the coverage
+// metrics of the evaluation (ITC, TTC, top-n% ranking coverage).
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/sigset"
+	"tracescope/internal/trace"
+)
+
+// Params configures pattern discovery.
+type Params struct {
+	// K bounds the length of enumerated path segments. The paper uses
+	// 5 in all experiments. Zero means 5.
+	K int
+	// Tfast and Tslow are the scenario's contrast thresholds; their
+	// ratio is the cost-contrast criterion of §4.2.3.
+	Tfast trace.Duration
+	Tslow trace.Duration
+	// MaxSegments caps segment enumeration per graph as a safety valve
+	// against pathological branching. Zero means 4,000,000.
+	MaxSegments int
+}
+
+// ApplyDefaults fills zero fields with the paper's defaults.
+func (p *Params) ApplyDefaults() {
+	if p.K <= 0 {
+		p.K = 5
+	}
+	if p.MaxSegments <= 0 {
+		p.MaxSegments = 4_000_000
+	}
+}
+
+// Meta is a meta-pattern: a Signature Set Tuple collected from path
+// segments, with aggregated metrics (Definition 5).
+type Meta struct {
+	Tuple sigset.Tuple
+	C     trace.Duration
+	N     int64
+	MaxC  trace.Duration
+}
+
+// AvgC is the meta-pattern's average cost per occurrence.
+func (m *Meta) AvgC() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.C) / float64(m.N)
+}
+
+// EnumerateMetas enumerates meta-patterns from all path segments of
+// length 1..k in the graph, aggregating C and N over segments that share
+// a tuple. It returns the tuple-keyed map and the number of segments
+// enumerated (which saturates at maxSegments).
+func EnumerateMetas(g *awg.Graph, k, maxSegments int) (map[string]*Meta, int) {
+	metas := make(map[string]*Meta)
+	segments := 0
+
+	var nodes []*awg.Node
+	var collect func(n *awg.Node)
+	collect = func(n *awg.Node) {
+		nodes = append(nodes, n)
+		for _, c := range n.Children() {
+			collect(c)
+		}
+	}
+	for _, r := range g.Roots() {
+		collect(r)
+	}
+
+	// For each start node, walk every downward path of length <= k,
+	// emitting the tuple of each visited prefix.
+	var path []*awg.Node
+	var walk func(n *awg.Node)
+	walk = func(n *awg.Node) {
+		if segments >= maxSegments {
+			return
+		}
+		path = append(path, n)
+		segments++
+		emit(metas, path, n)
+		if len(path) < k {
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		path = path[:len(path)-1]
+	}
+	for _, start := range nodes {
+		if segments >= maxSegments {
+			break
+		}
+		walk(start)
+	}
+	return metas, segments
+}
+
+// emit folds the segment ending at `end` into the meta map. The segment's
+// metric is its end node's metric (Definition 4).
+func emit(metas map[string]*Meta, path []*awg.Node, end *awg.Node) {
+	t := tupleOf(path)
+	if t.IsEmpty() {
+		return
+	}
+	key := t.Key()
+	m, ok := metas[key]
+	if !ok {
+		m = &Meta{Tuple: t}
+		metas[key] = m
+	}
+	m.C += end.C
+	m.N += end.N
+	if end.MaxC > m.MaxC {
+		m.MaxC = end.MaxC
+	}
+}
+
+// tupleOf builds the Signature Set Tuple of a node sequence
+// (Definition 5: unions of wait, unwait, and running signatures).
+func tupleOf(path []*awg.Node) sigset.Tuple {
+	var wait, unwait, running []string
+	for _, n := range path {
+		switch n.Kind {
+		case awg.Waiting:
+			wait = append(wait, n.WaitSig)
+			if n.UnwaitSig != "" {
+				unwait = append(unwait, n.UnwaitSig)
+			}
+		case awg.Running, awg.Hardware:
+			running = append(running, n.RunSig)
+		}
+	}
+	return sigset.New(wait, unwait, running)
+}
+
+// Contrast is a contrast meta-pattern with the criterion that selected it.
+type Contrast struct {
+	Meta *Meta
+	// SlowOnly marks criterion 1: the pattern appears only in the slow
+	// class. Otherwise criterion 2 selected it and Ratio holds the
+	// slow/fast average-cost ratio.
+	SlowOnly bool
+	Ratio    float64
+}
+
+// DiscoverContrasts applies the two contrast criteria of §4.2.3 to the
+// meta-pattern groups of the slow and fast classes.
+func DiscoverContrasts(slow, fast map[string]*Meta, tfast, tslow trace.Duration) []Contrast {
+	threshold := 0.0
+	if tfast > 0 {
+		threshold = float64(tslow) / float64(tfast)
+	}
+	var out []Contrast
+	for key, ps := range slow {
+		pf, common := fast[key]
+		if !common {
+			out = append(out, Contrast{Meta: ps, SlowOnly: true})
+			continue
+		}
+		fAvg := pf.AvgC()
+		if fAvg <= 0 {
+			continue
+		}
+		ratio := ps.AvgC() / fAvg
+		if threshold > 0 && ratio > threshold {
+			out = append(out, Contrast{Meta: ps, Ratio: ratio})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Meta.Tuple.Key() < out[j].Meta.Tuple.Key()
+	})
+	return out
+}
+
+// Pattern is a discovered contrast pattern: the tuple of a full path in
+// the slow class's Aggregated Wait Graph that contains at least one
+// contrast meta-pattern, merged over identical tuples.
+type Pattern struct {
+	Tuple sigset.Tuple
+	C     trace.Duration
+	N     int64
+	// MaxC is the largest single end-node cost merged into the pattern.
+	MaxC trace.Duration
+	// MaxExec is the largest single execution of the pattern: the
+	// maximum root-node occurrence cost over its merged paths. The
+	// automated high-impact rule of §5.2.1 tests this against Tslow
+	// ("at least one of its executions in trace streams exceeds
+	// Tslow").
+	MaxExec trace.Duration
+}
+
+// AvgC is the pattern's impact: average execution cost (§4.2.3's ranking
+// key, P.C/P.N).
+func (p Pattern) AvgC() trace.Duration {
+	if p.N == 0 {
+		return 0
+	}
+	return p.C / trace.Duration(p.N)
+}
+
+// Describe renders the pattern the way §2.3 explains one to an analyst:
+// the cost of the running signatures propagates through the unwait
+// signatures to the wait signatures.
+func (p Pattern) Describe() string {
+	var b strings.Builder
+	b.WriteString("the cost of ")
+	writeList(&b, p.Tuple.Running, "the measured components")
+	b.WriteString(" is propagated through ")
+	writeList(&b, p.Tuple.Unwait, "direct wake-ups")
+	b.WriteString(" to threads blocked in ")
+	writeList(&b, p.Tuple.Wait, "the scenario")
+	fmt.Fprintf(&b, " (avg %v per occurrence, %d occurrences)", p.AvgC(), p.N)
+	return b.String()
+}
+
+func writeList(b *strings.Builder, items []string, empty string) {
+	if len(items) == 0 {
+		b.WriteString(empty)
+		return
+	}
+	for i, s := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+}
+
+// DiscoverPatterns computes a pattern for each full root-to-leaf path of
+// the slow class's graph, keeps those containing any contrast
+// meta-pattern, merges identical tuples, and ranks by average cost
+// descending (ties broken by total cost, then key, for determinism).
+func DiscoverPatterns(slowGraph *awg.Graph, contrasts []Contrast) []Pattern {
+	byKey := make(map[string]*Pattern)
+
+	var path []*awg.Node
+	var walk func(n *awg.Node)
+	walk = func(n *awg.Node) {
+		path = append(path, n)
+		if len(n.Children()) == 0 {
+			t := tupleOf(path)
+			if !t.IsEmpty() && containsAnyContrast(t, contrasts) {
+				key := t.Key()
+				p, ok := byKey[key]
+				if !ok {
+					p = &Pattern{Tuple: t}
+					byKey[key] = p
+				}
+				p.C += n.C
+				p.N += n.N
+				if n.MaxC > p.MaxC {
+					p.MaxC = n.MaxC
+				}
+				if root := path[0]; root.MaxC > p.MaxExec {
+					p.MaxExec = root.MaxC
+				}
+			}
+		} else {
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		path = path[:len(path)-1]
+	}
+	for _, r := range slowGraph.Roots() {
+		walk(r)
+	}
+
+	out := make([]Pattern, 0, len(byKey))
+	for _, p := range byKey {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].AvgC(), out[j].AvgC()
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].C != out[j].C {
+			return out[i].C > out[j].C
+		}
+		return out[i].Tuple.Key() < out[j].Tuple.Key()
+	})
+	return out
+}
+
+func containsAnyContrast(t sigset.Tuple, contrasts []Contrast) bool {
+	for i := range contrasts {
+		if t.Contains(contrasts[i].Meta.Tuple) {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalPathCost sums the end-node cost of every full root-to-leaf path in
+// the graph: the total driver time represented by the (reduced) graph,
+// under the same accounting as pattern costs. Adding the graph's
+// ReducedCost yields the coverage denominator of Table 2.
+func TotalPathCost(g *awg.Graph) trace.Duration {
+	var total trace.Duration
+	var walk func(n *awg.Node)
+	walk = func(n *awg.Node) {
+		children := n.Children()
+		if len(children) == 0 {
+			total += n.C
+			return
+		}
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	for _, r := range g.Roots() {
+		walk(r)
+	}
+	return total
+}
+
+// Coverage metrics (§5.2.1, Table 2): execution-time coverages of the
+// discovered patterns over the total driver time of the slow class.
+
+// ITC is the impactful-time coverage: the share of totalDriverCost
+// covered by high-impact patterns — those with at least one execution
+// exceeding Tslow.
+func ITC(patterns []Pattern, tslow trace.Duration, totalDriverCost trace.Duration) float64 {
+	if totalDriverCost <= 0 {
+		return 0
+	}
+	var c trace.Duration
+	for _, p := range patterns {
+		if p.MaxExec > tslow {
+			c += p.C
+		}
+	}
+	return float64(c) / float64(totalDriverCost)
+}
+
+// TTC is the total-time coverage: the share of totalDriverCost covered by
+// all discovered patterns.
+func TTC(patterns []Pattern, totalDriverCost trace.Duration) float64 {
+	if totalDriverCost <= 0 {
+		return 0
+	}
+	var c trace.Duration
+	for _, p := range patterns {
+		c += p.C
+	}
+	return float64(c) / float64(totalDriverCost)
+}
+
+// TopCoverage returns the execution-time coverage of the top fraction
+// (0..1] of the ranked patterns over all discovered patterns (Table 3).
+func TopCoverage(patterns []Pattern, fraction float64) float64 {
+	if len(patterns) == 0 || fraction <= 0 {
+		return 0
+	}
+	var total trace.Duration
+	for _, p := range patterns {
+		total += p.C
+	}
+	if total == 0 {
+		return 0
+	}
+	n := int(float64(len(patterns))*fraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(patterns) {
+		n = len(patterns)
+	}
+	var c trace.Duration
+	for _, p := range patterns[:n] {
+		c += p.C
+	}
+	return float64(c) / float64(total)
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// HTMLReport builds a self-contained HTML page out of metric cards,
+// tables, and preformatted sections — the shareable artefact of an
+// analysis run.
+type HTMLReport struct {
+	Title    string
+	Subtitle string
+	sections []htmlSection
+}
+
+type htmlSection struct {
+	Kind    string // "metrics", "table", "pre", "text"
+	Title   string
+	Note    string
+	Metrics []Metric
+	Header  []string
+	Rows    [][]string
+	Body    string
+}
+
+// Metric is one headline card.
+type Metric struct {
+	Label string
+	Value string
+	Note  string
+}
+
+// AddMetrics appends a row of metric cards.
+func (r *HTMLReport) AddMetrics(title string, metrics []Metric) {
+	r.sections = append(r.sections, htmlSection{Kind: "metrics", Title: title, Metrics: metrics})
+}
+
+// AddTable appends a text Table as an HTML table.
+func (r *HTMLReport) AddTable(t *Table) {
+	r.sections = append(r.sections, htmlSection{
+		Kind: "table", Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows,
+	})
+}
+
+// AddPre appends a preformatted block (snapshots, rendered graphs).
+func (r *HTMLReport) AddPre(title, body string) {
+	r.sections = append(r.sections, htmlSection{Kind: "pre", Title: title, Body: body})
+}
+
+// AddText appends a paragraph of commentary.
+func (r *HTMLReport) AddText(title, body string) {
+	r.sections = append(r.sections, htmlSection{Kind: "text", Title: title, Body: body})
+}
+
+var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{"isNum": looksNumeric}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font: 14px/1.5 -apple-system, "Segoe UI", sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; padding: 0 1rem; }
+  h1 { font-size: 1.6rem; margin-bottom: .2rem; }
+  h2 { font-size: 1.15rem; margin-top: 2rem; border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+  .subtitle { color: #666; margin-top: 0; }
+  .cards { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+  .card { border: 1px solid #ddd; border-radius: .5rem; padding: .7rem 1rem; min-width: 9rem; }
+  .card .value { font-size: 1.5rem; font-weight: 600; }
+  .card .label { color: #666; font-size: .8rem; text-transform: uppercase; letter-spacing: .03em; }
+  .card .note { color: #888; font-size: .78rem; }
+  table { border-collapse: collapse; margin: .8rem 0; }
+  th, td { border: 1px solid #ddd; padding: .3rem .6rem; text-align: left; font-size: .85rem; }
+  th { background: #f5f5f5; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  pre { background: #f8f8f8; border: 1px solid #eee; border-radius: .4rem; padding: .8rem; overflow-x: auto; font-size: .78rem; }
+  .note { color: #777; font-size: .82rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Subtitle}}<p class="subtitle">{{.Subtitle}}</p>{{end}}
+{{range .Sections}}
+  {{if .Title}}<h2>{{.Title}}</h2>{{end}}
+  {{if eq .Kind "metrics"}}
+    <div class="cards">
+    {{range .Metrics}}
+      <div class="card"><div class="label">{{.Label}}</div><div class="value">{{.Value}}</div><div class="note">{{.Note}}</div></div>
+    {{end}}
+    </div>
+  {{else if eq .Kind "table"}}
+    <table><tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+    {{range .Rows}}<tr>{{range .}}<td{{if isNum .}} class="num"{{end}}>{{.}}</td>{{end}}</tr>{{end}}
+    </table>
+    {{if .Note}}<p class="note">{{.Note}}</p>{{end}}
+  {{else if eq .Kind "pre"}}
+    <pre>{{.Body}}</pre>
+  {{else}}
+    <p>{{.Body}}</p>
+  {{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// Write renders the report.
+func (r *HTMLReport) Write(w io.Writer) error {
+	data := struct {
+		Title    string
+		Subtitle string
+		Sections []htmlSection
+	}{r.Title, r.Subtitle, r.sections}
+	if err := htmlTmpl.Execute(w, data); err != nil {
+		return fmt.Errorf("report: rendering HTML: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package report renders the evaluation's tables and figures as text: the
+// aligned tables of §5, paper-vs-measured comparison records for
+// EXPERIMENTS.md, and the thread-level snapshot view of Figure 1.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tracescope/internal/trace"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			// Right-align numeric-looking cells.
+			if looksNumeric(c) {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func looksNumeric(s string) bool {
+	if s == "" || s == "–" || s == "-" {
+		return true
+	}
+	c := s[0]
+	return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.'
+}
+
+// Percent formats a ratio as "12.3%".
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Comparison is one paper-vs-measured record for EXPERIMENTS.md.
+type Comparison struct {
+	Experiment string
+	Metric     string
+	Paper      string
+	Measured   string
+	ShapeHolds bool
+	Comment    string
+}
+
+// WriteComparisons renders comparison records as a table.
+func WriteComparisons(w io.Writer, title string, comps []Comparison) error {
+	t := &Table{
+		Title:  title,
+		Header: []string{"experiment", "metric", "paper", "measured", "shape", "comment"},
+	}
+	for _, c := range comps {
+		shape := "HOLDS"
+		if !c.ShapeHolds {
+			shape = "DIFFERS"
+		}
+		t.AddRow(c.Experiment, c.Metric, c.Paper, c.Measured, shape, c.Comment)
+	}
+	return t.Write(w)
+}
+
+// WriteThreadSnapshot renders a Figure-1-style thread-level view of a
+// stream window: one section per thread, with each event's type, timing,
+// and topmost callstack frames, plus unwait arrows between threads.
+func WriteThreadSnapshot(w io.Writer, s *trace.Stream, from, to trace.Time, maxFrames int) error {
+	if maxFrames <= 0 {
+		maxFrames = 4
+	}
+	byThread := make(map[trace.ThreadID][]trace.Event)
+	var tids []trace.ThreadID
+	for _, e := range s.Events {
+		if e.Time >= to || e.End() <= from {
+			continue
+		}
+		if _, ok := byThread[e.TID]; !ok {
+			tids = append(tids, e.TID)
+		}
+		byThread[e.TID] = append(byThread[e.TID], e)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	fmt.Fprintf(w, "thread snapshot of %s [%v, %v)\n\n", s.ID, trace.Duration(from), trace.Duration(to))
+	for _, tid := range tids {
+		fmt.Fprintf(w, "%s (tid %d)\n", s.ThreadName(tid), tid)
+		for _, e := range byThread[tid] {
+			frames := s.StackStrings(e.Stack)
+			if len(frames) > maxFrames {
+				frames = frames[:maxFrames]
+			}
+			arrow := ""
+			if e.Type == trace.Unwait {
+				arrow = fmt.Sprintf(" -> wakes %s", s.ThreadName(e.WTID))
+			}
+			fmt.Fprintf(w, "  %9v %-9s %-10v%s  [%s]\n",
+				trace.Duration(e.Time), e.Type, e.Cost, arrow, strings.Join(frames, " < "))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"name", "value"},
+		Note:   "a note",
+	}
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "12345")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("note missing")
+	}
+	// Numeric cells right-align: "1" and "12345" end at the same column.
+	var c1, c2 int
+	for _, l := range lines {
+		if strings.Contains(l, "short") {
+			c1 = len(strings.TrimRight(l, " "))
+		}
+		if strings.Contains(l, "longer") {
+			c2 = len(strings.TrimRight(l, " "))
+		}
+	}
+	if c1 != c2 {
+		t.Errorf("numeric columns misaligned: %d vs %d\n%s", c1, c2, out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.123) != "12.3%" {
+		t.Errorf("Percent = %q", Percent(0.123))
+	}
+}
+
+func TestWriteComparisons(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteComparisons(&buf, "cmp", []Comparison{
+		{Experiment: "E1", Metric: "M", Paper: "1", Measured: "2", ShapeHolds: true},
+		{Experiment: "E2", Metric: "M", Paper: "1", Measured: "9", ShapeHolds: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HOLDS") || !strings.Contains(out, "DIFFERS") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+}
+
+func TestThreadSnapshot(t *testing.T) {
+	s := scenario.MotivatingCase()
+	var buf bytes.Buffer
+	if err := WriteThreadSnapshot(&buf, s, 0, trace.Time(s.Duration()), 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Browser!UI", "CM!W0", "AV!W0",
+		"fv.sys!QueryFileTable", "wait", "wakes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+}
+
+func TestThreadSnapshotWindow(t *testing.T) {
+	s := scenario.MotivatingCase()
+	var all, windowed bytes.Buffer
+	if err := WriteThreadSnapshot(&all, s, 0, trace.Time(s.Duration()), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteThreadSnapshot(&windowed, s, 0, trace.Time(2*trace.Millisecond), 4); err != nil {
+		t.Fatal(err)
+	}
+	if windowed.Len() >= all.Len() {
+		t.Error("windowing did not restrict output")
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	r := &HTMLReport{Title: "T", Subtitle: "sub"}
+	r.AddMetrics("cards", []Metric{{Label: "IAwait", Value: "36.4%", Note: "paper"}})
+	tb := &Table{Title: "tbl", Header: []string{"a", "b"}, Note: "n"}
+	tb.AddRow("x", "1")
+	r.AddTable(tb)
+	r.AddPre("pre", "line1\nline2 <escaped>")
+	r.AddText("txt", "hello & goodbye")
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<title>T</title>", "IAwait", "36.4%",
+		"<th>a</th>", `<td class="num">1</td>`, "line1",
+		"&lt;escaped&gt;", "hello &amp; goodbye",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<escaped>") {
+		t.Error("HTML injection not escaped")
+	}
+}

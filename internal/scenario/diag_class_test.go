@@ -1,0 +1,28 @@
+package scenario
+
+import "testing"
+
+func TestDiagClassSplit(t *testing.T) {
+	c := Generate(Config{Seed: 1, Streams: 24, Episodes: 12})
+	for _, name := range Selected() {
+		tf, ts, _ := Thresholds(name)
+		var fast, slow, mid int
+		for _, s := range c.Streams {
+			for _, in := range s.Instances {
+				if in.Scenario != name {
+					continue
+				}
+				d := in.Duration()
+				switch {
+				case d < tf:
+					fast++
+				case d > ts:
+					slow++
+				default:
+					mid++
+				}
+			}
+		}
+		t.Logf("%-20s total=%4d fast=%4d mid=%4d slow=%4d", name, fast+mid+slow, fast, mid, slow)
+	}
+}

@@ -1,0 +1,23 @@
+package scenario
+
+import (
+	"testing"
+
+	"tracescope/internal/stats"
+)
+
+func TestDiagPercentiles(t *testing.T) {
+	c := Generate(Config{Seed: 1, Streams: 32, Episodes: 12})
+	for _, name := range Selected() {
+		var ds []float64
+		for _, s := range c.Streams {
+			for _, in := range s.Instances {
+				if in.Scenario == name {
+					ds = append(ds, in.Duration().Milliseconds())
+				}
+			}
+		}
+		t.Logf("%-20s n=%4d p35=%6.0f p65=%6.0f", name, len(ds),
+			stats.Percentile(ds, 35), stats.Percentile(ds, 65))
+	}
+}

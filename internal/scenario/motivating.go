@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"tracescope/internal/sim"
+	"tracescope/internal/trace"
+)
+
+// MotivatingCase replays the real-world case of §2.2 deterministically:
+// six threads across four processes, two lock-contention regions
+// (fv.sys's FileTable lock and fs.sys's MDU lock), and two hierarchical
+// dependencies (fv.sys→fs.sys by function call, fs.sys→se.sys by
+// system-service call). The disk service plus se.sys decryption delay on
+// the system worker propagates along arrows (1)–(6) of Figure 1 to the
+// browser UI thread, which takes over 800 ms to create a tab.
+//
+// The returned stream records a BrowserTabCreate instance for the UI
+// thread and instances for the two victim applications.
+func MotivatingCase() *trace.Stream {
+	k := sim.NewKernel(sim.Config{StreamID: "motivating-case", Workers: 2})
+
+	const (
+		fileTable = "fv:FileTable:0"
+		mdu       = "fs:MDU:0"
+	)
+	ms := func(v float64) trace.Duration { return trace.Duration(v * 1000) }
+
+	spawn := func(scenarioName, proc, threadName string, base []string, at trace.Time, program []sim.Op) *sim.Thread {
+		var th *sim.Thread
+		th = k.Spawn(proc, threadName, base, program, at, func(end trace.Time) {
+			if scenarioName != "" {
+				k.RecordInstance(trace.Instance{
+					Scenario: scenarioName, TID: th.TID(), Start: at, End: end,
+				})
+			}
+		})
+		return th
+	}
+
+	// T_{C,W0}: Configuration Manager worker. First to take the MDU lock;
+	// while holding it, issues a read served by a system worker running
+	// se.sys!ReadDecrypt plus a long disk service (arrows 1 and 2).
+	spawn(ConfigSync, "CM", "W0", []string{"CM!Worker"}, 0, sim.Seq(
+		sim.Invoke("CM!SyncSettings",
+			sim.Invoke("kernel!OpenFile",
+				sim.Invoke("fs.sys!AcquireMDU",
+					sim.WithLock(mdu,
+						sim.Burn(ms(1)),
+						sim.Invoke("fs.sys!Read",
+							sim.AsyncCall{Body: sim.Seq(
+								sim.Invoke("se.sys!ReadDecrypt",
+									sim.Burn(ms(160)),
+									sim.DeviceOp{Device: "disk", D: ms(620)},
+								),
+							)},
+						),
+					)...,
+				),
+			)),
+	))
+
+	// T_{A,W0}: AntiVirus worker. Second in the MDU queue (arrow 3).
+	spawn(AVScanBurst, "AV", "W0", []string{"AV!Worker"}, trace.Time(ms(1)), sim.Seq(
+		sim.Invoke("AV!ScanBurst",
+			sim.Invoke("kernel!OpenFile",
+				sim.Invoke("fs.sys!AcquireMDU",
+					sim.WithLock(mdu, sim.Burn(ms(8)))...,
+				),
+			),
+		),
+	))
+
+	// T_{B,W1}: browser worker. Takes the FileTable lock first and, while
+	// holding it, joins the MDU contention (arrows 4 and 5).
+	spawn("", "Browser", "W1", []string{"Browser!Worker"}, trace.Time(ms(2)), sim.Seq(
+		sim.Invoke("kernel!CreateFile",
+			sim.Invoke("fv.sys!QueryFileTable",
+				sim.WithLock(fileTable,
+					sim.Burn(ms(1)),
+					sim.Invoke("fs.sys!AcquireMDU",
+						sim.WithLock(mdu, sim.Burn(ms(5)))...,
+					),
+				)...,
+			),
+		),
+	))
+
+	// T_{B,W0}: browser worker. Second in the FileTable queue (arrow 6).
+	spawn("", "Browser", "W0", []string{"Browser!Worker"}, trace.Time(ms(3)), sim.Seq(
+		sim.Invoke("kernel!CreateFile",
+			sim.Invoke("fv.sys!QueryFileTable",
+				sim.WithLock(fileTable, sim.Burn(ms(6)))...,
+			),
+		),
+	))
+
+	// T_{B,UI}: the browser UI thread reacting to "create a new tab".
+	// Last in the FileTable queue; receives the accumulated delay.
+	spawn(BrowserTabCreate, "Browser", "UI", []string{"Browser!Main"}, trace.Time(ms(4)), sim.Seq(
+		sim.Invoke("Browser!TabCreate",
+			sim.Burn(ms(5)),
+			sim.Invoke("kernel!OpenFile",
+				sim.Invoke("fv.sys!QueryFileTable",
+					sim.WithLock(fileTable, sim.Burn(ms(2)))...,
+				),
+			),
+			sim.Burn(ms(25)), // finish rendering the tab
+		),
+	))
+
+	k.Run(0)
+	return k.Finish()
+}

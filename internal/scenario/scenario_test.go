@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"testing"
+
+	"tracescope/internal/trace"
+)
+
+func TestMotivatingCaseShape(t *testing.T) {
+	s := MotivatingCase()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var tabCreate *trace.Instance
+	for i := range s.Instances {
+		if s.Instances[i].Scenario == BrowserTabCreate {
+			tabCreate = &s.Instances[i]
+		}
+	}
+	if tabCreate == nil {
+		t.Fatal("no BrowserTabCreate instance recorded")
+	}
+	if d := tabCreate.Duration(); d < 800*trace.Millisecond {
+		t.Errorf("tab create took %v, want over 800ms (the paper's case)", d)
+	}
+	// The chain involves all three drivers.
+	want := map[string]bool{
+		"fv.sys!QueryFileTable": false,
+		"fs.sys!AcquireMDU":     false,
+		"se.sys!ReadDecrypt":    false,
+	}
+	for _, e := range s.Events {
+		for _, f := range s.StackStrings(e.Stack) {
+			if _, ok := want[f]; ok {
+				want[f] = true
+			}
+		}
+	}
+	for f, seen := range want {
+		if !seen {
+			t.Errorf("signature %s never appeared in the trace", f)
+		}
+	}
+}
+
+func TestGenerateSmallCorpus(t *testing.T) {
+	cfg := Config{Seed: 42, Streams: 4, Episodes: 6}
+	c := Generate(cfg)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStreams() != 4 {
+		t.Fatalf("got %d streams, want 4", c.NumStreams())
+	}
+	if c.NumInstances() == 0 {
+		t.Fatal("no instances generated")
+	}
+	// Instances must cover several scenarios, and durations must be
+	// positive.
+	scens := c.Scenarios()
+	if len(scens) < 4 {
+		t.Errorf("only %d scenarios appeared: %v", len(scens), scens)
+	}
+	for _, s := range c.Streams {
+		for _, in := range s.Instances {
+			if in.Duration() <= 0 {
+				t.Errorf("instance %v has non-positive duration", in)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, Streams: 2, Episodes: 4})
+	b := Generate(Config{Seed: 7, Streams: 2, Episodes: 4})
+	if a.NumEvents() != b.NumEvents() {
+		t.Fatalf("event counts differ: %d vs %d", a.NumEvents(), b.NumEvents())
+	}
+	for si := range a.Streams {
+		for i := range a.Streams[si].Events {
+			if a.Streams[si].Events[i] != b.Streams[si].Events[i] {
+				t.Fatalf("stream %d event %d differs", si, i)
+			}
+		}
+	}
+	c := Generate(Config{Seed: 8, Streams: 2, Episodes: 4})
+	if a.NumEvents() == c.NumEvents() && a.TotalDuration() == c.TotalDuration() {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestThresholdsKnown(t *testing.T) {
+	for _, name := range Selected() {
+		tf, ts, ok := Thresholds(name)
+		if !ok {
+			t.Errorf("no thresholds for %s", name)
+			continue
+		}
+		if tf <= 0 || ts <= tf {
+			t.Errorf("%s: bad thresholds Tfast=%v Tslow=%v", name, tf, ts)
+		}
+	}
+	if _, _, ok := Thresholds("NoSuchScenario"); ok {
+		t.Error("unknown scenario reported thresholds")
+	}
+}
+
+func TestEveryScenarioHasEntryFrame(t *testing.T) {
+	for _, name := range All() {
+		frame, ok := EntryFrame(name)
+		if !ok || frame == "" {
+			t.Errorf("%s: no entry frame", name)
+			continue
+		}
+		d, _ := Lookup(name)
+		if got := trace.Module(frame); got != d.Process {
+			t.Errorf("%s: entry frame module %q != process %q", name, got, d.Process)
+		}
+	}
+	if _, ok := EntryFrame("NoSuch"); ok {
+		t.Error("unknown scenario has an entry frame")
+	}
+}
+
+func TestEntryFramesAppearInGeneratedTraces(t *testing.T) {
+	c := Generate(Config{Seed: 12, Streams: 3, Episodes: 8})
+	seen := map[string]bool{}
+	for _, s := range c.Streams {
+		for _, in := range s.Instances {
+			if seen[in.Scenario] {
+				continue
+			}
+			frame, _ := EntryFrame(in.Scenario)
+			// Some event of the initiating thread inside the window must
+			// carry the entry frame.
+			for _, e := range s.Events {
+				if e.TID != in.TID || e.Time < in.Start || e.Time >= in.End {
+					continue
+				}
+				for _, f := range s.StackStrings(e.Stack) {
+					if f == frame {
+						seen[in.Scenario] = true
+					}
+				}
+				if seen[in.Scenario] {
+					break
+				}
+			}
+			if !seen[in.Scenario] {
+				t.Errorf("%s: entry frame %s absent from instance events", in.Scenario, frame)
+				seen[in.Scenario] = true // report once
+			}
+		}
+	}
+}

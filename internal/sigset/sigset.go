@@ -1,0 +1,137 @@
+// Package sigset implements the Signature Set Tuple (Definitions 4 and 5
+// of the paper): the pattern representation of the causality analysis. A
+// tuple generalises runtime interactions related to cost propagation into
+// three signature sets — wait signatures (functions that suspend their
+// callers), unwait signatures (functions that signal suspended threads),
+// and running signatures (CPU work or the dummy hardware-service
+// signature) — so that variations of a cost-propagation sequence map to
+// one pattern.
+package sigset
+
+import (
+	"sort"
+	"strings"
+)
+
+// HardwareSignature is the dummy running signature representing hardware
+// service events (Definition 3).
+const HardwareSignature = "HardwareService"
+
+// Tuple is a Signature Set Tuple. Each field is sorted and duplicate-free;
+// always build tuples through New or the builder methods so the canonical
+// form holds.
+type Tuple struct {
+	Wait    []string
+	Unwait  []string
+	Running []string
+}
+
+// New builds a canonical tuple from (possibly unsorted, duplicated)
+// signature sets.
+func New(wait, unwait, running []string) Tuple {
+	return Tuple{
+		Wait:    canon(wait),
+		Unwait:  canon(unwait),
+		Running: canon(running),
+	}
+}
+
+func canon(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(in))
+	seen := make(map[string]bool, len(in))
+	for _, s := range in {
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// IsEmpty reports whether all three sets are empty.
+func (t Tuple) IsEmpty() bool {
+	return len(t.Wait) == 0 && len(t.Unwait) == 0 && len(t.Running) == 0
+}
+
+// Key returns a canonical string form usable as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	writeSet := func(prefix byte, set []string) {
+		b.WriteByte(prefix)
+		for i, s := range set {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(s)
+		}
+		b.WriteByte(';')
+	}
+	writeSet('W', t.Wait)
+	writeSet('U', t.Unwait)
+	writeSet('R', t.Running)
+	return b.String()
+}
+
+// String renders the tuple in the paper's display form.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteString("wait{")
+	b.WriteString(strings.Join(t.Wait, ", "))
+	b.WriteString("} unwait{")
+	b.WriteString(strings.Join(t.Unwait, ", "))
+	b.WriteString("} running{")
+	b.WriteString(strings.Join(t.Running, ", "))
+	b.WriteString("}")
+	return b.String()
+}
+
+// Contains reports whether t contains sub set-wise: every signature of
+// sub's three sets appears in the corresponding set of t. Used to test
+// whether a full-path pattern contains a contrast meta-pattern (§4.2.3).
+func (t Tuple) Contains(sub Tuple) bool {
+	return containsAll(t.Wait, sub.Wait) &&
+		containsAll(t.Unwait, sub.Unwait) &&
+		containsAll(t.Running, sub.Running)
+}
+
+// containsAll reports whether sorted haystack contains every element of
+// sorted needle.
+func containsAll(haystack, needle []string) bool {
+	if len(needle) > len(haystack) {
+		return false
+	}
+	i := 0
+	for _, n := range needle {
+		for i < len(haystack) && haystack[i] < n {
+			i++
+		}
+		if i >= len(haystack) || haystack[i] != n {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Merge returns the set-wise union of two tuples.
+func Merge(a, b Tuple) Tuple {
+	return New(
+		append(append([]string{}, a.Wait...), b.Wait...),
+		append(append([]string{}, a.Unwait...), b.Unwait...),
+		append(append([]string{}, a.Running...), b.Running...),
+	)
+}
+
+// Signatures returns all signatures of the tuple (union of the three
+// sets), canonicalised.
+func (t Tuple) Signatures() []string {
+	return canon(append(append(append([]string{}, t.Wait...), t.Unwait...), t.Running...))
+}

@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tracescope/internal/trace"
+)
+
+// Config parameterises a kernel instance.
+type Config struct {
+	// StreamID names the emitted trace stream.
+	StreamID string
+	// Cores is the number of CPU cores; Compute ops are non-preemptive
+	// and queue FIFO when all cores are busy. Zero means 4.
+	Cores int
+	// Workers is the size of the default system worker pool ("System").
+	// Zero means 4.
+	Workers int
+	// SampleInterval is the running-event sampling interval. Zero means
+	// 1 ms, matching ETW and DTrace (§2.1).
+	SampleInterval trace.Duration
+	// DeviceChannels sets per-device service parallelism (a NIC
+	// interleaves many transfers; a disk has a shallow queue). Devices
+	// not listed serve strictly FIFO with one channel.
+	DeviceChannels map[string]int
+	// PoolSizes overrides the worker count of named pools (an RPC
+	// service host with one dispatcher thread, say). Pools not listed
+	// use Workers.
+	PoolSizes map[string]int
+	// Quantum is the CPU timeslice: a Compute op runs at most one
+	// quantum before round-robin requeueing when other threads want a
+	// core. Zero means 4 ms.
+	Quantum trace.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = trace.Millisecond
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 4 * trace.Millisecond
+	}
+}
+
+// Kernel is a single-machine discrete-event simulation producing one trace
+// stream. It is not safe for concurrent use.
+type Kernel struct {
+	cfg Config
+	now trace.Time
+	seq int64
+	q   timerHeap
+
+	rec *recorder
+
+	threads map[trace.ThreadID]*Thread
+	nextTID trace.ThreadID
+
+	coresBusy int
+	cpuQueue  []*Thread // threads whose pending Compute awaits a core
+
+	locks   map[string]*lock
+	devices map[string]*device
+	pools   map[string]*workerPool
+
+	timer      *Thread
+	timerStack trace.StackID
+
+	finished bool
+}
+
+// NewKernel builds a kernel with the given configuration.
+func NewKernel(cfg Config) *Kernel {
+	cfg.applyDefaults()
+	k := &Kernel{
+		cfg:     cfg,
+		rec:     newRecorder(cfg.StreamID),
+		threads: make(map[trace.ThreadID]*Thread),
+		locks:   make(map[string]*lock),
+		devices: make(map[string]*device),
+		pools:   make(map[string]*workerPool),
+	}
+	k.pool("System") // default worker pool
+	return k
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() trace.Time { return k.now }
+
+// timer is a scheduled continuation.
+type timer struct {
+	at  trace.Time
+	seq int64
+	fn  func()
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// post schedules fn to run after delay.
+func (k *Kernel) post(delay trace.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	heap.Push(&k.q, &timer{at: k.now + trace.Time(delay), seq: k.seq, fn: fn})
+}
+
+// Spawn creates a thread in process proc with the given name, base
+// callstack frames (outermost first) and program, starting at time `at`
+// (absolute). onExit, if non-nil, runs when the program completes.
+func (k *Kernel) Spawn(proc, name string, baseFrames []string, program []Op, at trace.Time, onExit func(end trace.Time)) *Thread {
+	t := k.newThread(proc, name)
+	t.onExit = onExit
+	k.seq++
+	delay := trace.Duration(at - k.now)
+	if delay < 0 {
+		delay = 0
+	}
+	k.post(delay, func() {
+		t.pushFrames(baseFrames)
+		t.pushActivation(program, 0)
+		k.step(t)
+	})
+	return t
+}
+
+func (k *Kernel) newThread(proc, name string) *Thread {
+	tid := k.nextTID
+	k.nextTID++
+	t := &Thread{tid: tid, proc: proc, name: name, state: stateNew, pendingWait: -1}
+	k.threads[tid] = t
+	k.rec.setThread(tid, proc, name)
+	return t
+}
+
+// Run processes scheduled work until the event queue drains or the
+// simulation clock passes `until` (0 means no limit). It returns the final
+// simulation time.
+func (k *Kernel) Run(until trace.Time) trace.Time {
+	for k.q.Len() > 0 {
+		t := k.q[0]
+		if until > 0 && t.at > until {
+			break
+		}
+		heap.Pop(&k.q)
+		if t.at > k.now {
+			k.now = t.at
+		}
+		t.fn()
+	}
+	return k.now
+}
+
+// Finish patches any still-pending wait events, sorts the stream, and
+// returns it. The kernel must not be used afterwards.
+func (k *Kernel) Finish() *trace.Stream {
+	if k.finished {
+		return k.rec.stream
+	}
+	k.finished = true
+	k.rec.patchPending(k.now)
+	k.rec.stream.SortEvents()
+	return k.rec.stream
+}
+
+// RecordInstance adds a scenario-instance record to the stream under
+// construction.
+func (k *Kernel) RecordInstance(in trace.Instance) {
+	k.rec.stream.Instances = append(k.rec.stream.Instances, in)
+}
+
+// step executes t's program until it blocks, consumes time, or finishes.
+func (k *Kernel) step(t *Thread) {
+	if t.state == stateDone {
+		return
+	}
+	t.state = stateRunnable
+	for {
+		act := t.top()
+		if act == nil {
+			k.exitThread(t)
+			return
+		}
+		if act.pc >= len(act.ops) {
+			t.popActivation()
+			continue
+		}
+		op := act.ops[act.pc]
+		act.pc++
+		if !k.execOp(t, op) {
+			return // blocked or consuming time; a timer resumes stepping
+		}
+	}
+}
+
+// execOp runs one op for t. It returns true when the op completed
+// synchronously and stepping should continue, false when the thread
+// blocked or started a timed operation.
+func (k *Kernel) execOp(t *Thread, op Op) bool {
+	switch op := op.(type) {
+	case Call:
+		t.pushFrame(op.Frame)
+		t.pushActivation(op.Body, 1)
+		return true
+
+	case Compute:
+		if op.D <= 0 {
+			return true
+		}
+		if t.burnRemaining <= 0 {
+			t.burnRemaining = op.D
+		}
+		return k.startCompute(t)
+
+	case Acquire:
+		return k.acquire(t, op.Lock, op.Shared)
+
+	case Release:
+		k.release(t, op.Lock)
+		return true
+
+	case DeviceOp:
+		k.submitDevice(t, op)
+		return false
+
+	case AsyncCall:
+		k.submitWork(t, op)
+		return false
+
+	case Fork:
+		k.Spawn(op.Process, op.Name, op.BaseFrames, op.Body, k.now, nil)
+		return true
+
+	case Delay:
+		k.startDelay(t, op.D)
+		return false
+
+	default:
+		panic(fmt.Sprintf("sim: unknown op %T", op))
+	}
+}
+
+// startCompute occupies a core for up to one quantum of the thread's
+// remaining burst, or queues the thread when all cores are busy. Returns
+// false: stepping resumes from a completion timer.
+func (k *Kernel) startCompute(t *Thread) bool {
+	if k.coresBusy >= k.cfg.Cores {
+		// Retry this very op once a core frees: rewind the pc. The
+		// remaining burst is carried in t.burnRemaining.
+		t.top().pc--
+		t.state = stateReadyCPU
+		k.cpuQueue = append(k.cpuQueue, t)
+		return false
+	}
+	k.coresBusy++
+	t.state = stateRunning
+	start := k.now
+	q := t.burnRemaining
+	if q > k.cfg.Quantum {
+		q = k.cfg.Quantum
+	}
+	k.post(q, func() {
+		k.emitSamples(t, start, q)
+		t.burnRemaining -= q
+		k.coresBusy--
+		if t.burnRemaining > 0 {
+			// Timeslice expired: requeue at the back (round-robin).
+			t.top().pc--
+			t.state = stateReadyCPU
+			k.cpuQueue = append(k.cpuQueue, t)
+			k.dispatchCPU()
+			return
+		}
+		k.dispatchCPU()
+		k.step(t)
+	})
+	return false
+}
+
+// startDelay blocks t on a kernel timer for d.
+func (k *Kernel) startDelay(t *Thread, d trace.Duration) {
+	stack := k.rec.internThreadStack(t, "kernel!WaitForObject", "kernel!DelayExecution")
+	t.pendingWait = k.rec.emitWait(t.tid, k.now, stack)
+	t.state = stateBlocked
+	timer := k.timerThread()
+	if d < 0 {
+		d = 0
+	}
+	k.post(d, func() {
+		k.rec.emitUnwait(timer.tid, k.now, t.tid, k.timerStack)
+		k.wake(t)
+	})
+}
+
+// timerThread lazily creates the kernel timer pseudo-thread.
+func (k *Kernel) timerThread() *Thread {
+	if k.timer == nil {
+		k.timer = k.newThread("Kernel", "Timer")
+		k.timer.state = stateIdle
+		k.timerStack = k.rec.stream.InternStackStrings("kernel!TimerExpiry")
+	}
+	return k.timer
+}
+
+// dispatchCPU resumes the first CPU-queued thread when a core is free.
+func (k *Kernel) dispatchCPU() {
+	for k.coresBusy < k.cfg.Cores && len(k.cpuQueue) > 0 {
+		t := k.cpuQueue[0]
+		k.cpuQueue = k.cpuQueue[1:]
+		if t.state != stateReadyCPU {
+			continue
+		}
+		k.step(t)
+		// step may immediately occupy a core (it will, since the pending
+		// op is the rewound Compute), so re-check the loop condition.
+	}
+}
+
+// emitSamples emits 1 ms running samples for a compute burst of duration d
+// starting at `start`, carrying per-thread accumulation so short bursts
+// still surface with the right long-run rate.
+func (k *Kernel) emitSamples(t *Thread, start trace.Time, d trace.Duration) {
+	interval := k.cfg.SampleInterval
+	stack := k.rec.internThreadStack(t)
+	acc := t.cpuAccum + d
+	// A sample is emitted each time accumulated CPU crosses the interval,
+	// stamped at the start of the interval it accounts for so the sample
+	// lies within the burst (the final partial interval carries over).
+	offset := interval - t.cpuAccum
+	for acc >= interval {
+		at := start + trace.Time(offset) - trace.Time(interval)
+		if at < 0 {
+			at = 0
+		}
+		k.rec.emitRunning(t.tid, at, interval, stack)
+		acc -= interval
+		offset += interval
+	}
+	t.cpuAccum = acc
+}
+
+// exitThread finishes a thread's program.
+func (k *Kernel) exitThread(t *Thread) {
+	t.state = stateDone
+	t.frames = t.frames[:0]
+	if t.onExit != nil {
+		fn := t.onExit
+		t.onExit = nil
+		fn(k.now)
+	}
+}
+
+// Stream exposes the stream under construction (for tests).
+func (k *Kernel) Stream() *trace.Stream { return k.rec.stream }

@@ -1,0 +1,523 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"tracescope/internal/trace"
+)
+
+const ms = trace.Millisecond
+
+func TestComputeEmitsSamples(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	k.Spawn("App", "Main", []string{"App!Main"}, Seq(Burn(5*ms)), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	var running int
+	var total trace.Duration
+	for _, e := range s.Events {
+		if e.Type == trace.Running {
+			running++
+			total += e.Cost
+			if got := s.StackStrings(e.Stack); len(got) != 1 || got[0] != "App!Main" {
+				t.Errorf("sample stack = %v, want [App!Main]", got)
+			}
+		}
+	}
+	if running != 5 || total != 5*ms {
+		t.Errorf("got %d samples totalling %v, want 5 samples / 5ms", running, total)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMillisecondComputeAccumulates(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	var ops []Op
+	for i := 0; i < 10; i++ {
+		ops = append(ops, Burn(300)) // 0.3 ms each, 3 ms total
+	}
+	k.Spawn("App", "Main", []string{"App!Main"}, ops, 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	var running int
+	for _, e := range s.Events {
+		if e.Type == trace.Running {
+			running++
+		}
+	}
+	if running != 3 {
+		t.Errorf("got %d samples, want 3 (accumulated)", running)
+	}
+}
+
+func TestLockContentionEmitsWaitUnwait(t *testing.T) {
+	// Holder takes the lock for 10ms; the waiter arrives at 1ms and must
+	// wait ~9ms.
+	k2 := NewKernel(Config{StreamID: "t"})
+	h := k2.Spawn("A", "T0", []string{"A!Main"},
+		Seq(Invoke("fv.sys!QueryFileTable", WithLock("FileTable", Burn(10*ms))...)), 0, nil)
+	w := k2.Spawn("A", "T1", []string{"A!Worker"},
+		Seq(Invoke("fv.sys!QueryFileTable", WithLock("FileTable", Burn(1*ms))...)), trace.Time(1*ms), nil)
+	k2.Run(0)
+	s := k2.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var waits, unwaits []trace.Event
+	for _, e := range s.Events {
+		switch e.Type {
+		case trace.Wait:
+			waits = append(waits, e)
+		case trace.Unwait:
+			unwaits = append(unwaits, e)
+		}
+	}
+	if len(waits) != 1 || len(unwaits) != 1 {
+		t.Fatalf("got %d waits, %d unwaits, want 1 and 1", len(waits), len(unwaits))
+	}
+	if waits[0].TID != w.TID() {
+		t.Errorf("wait TID = %d, want %d", waits[0].TID, w.TID())
+	}
+	if unwaits[0].TID != h.TID() || unwaits[0].WTID != w.TID() {
+		t.Errorf("unwait = %+v, want from %d to %d", unwaits[0], h.TID(), w.TID())
+	}
+	if got := waits[0].Cost; got != 9*ms {
+		t.Errorf("wait cost = %v, want 9ms", got)
+	}
+	// The wait stack's topmost driver frame is the contended function.
+	frames := s.StackStrings(waits[0].Stack)
+	found := false
+	for _, f := range frames {
+		if f == "fv.sys!QueryFileTable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wait stack %v missing fv.sys!QueryFileTable", frames)
+	}
+}
+
+func TestDeviceFIFOAndHardwareEvents(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	a := k.Spawn("A", "T0", []string{"A!Main"},
+		Seq(Invoke("fs.sys!Read", DeviceOp{Device: "disk", D: 10 * ms})), 0, nil)
+	b := k.Spawn("B", "T0", []string{"B!Main"},
+		Seq(Invoke("fs.sys!Read", DeviceOp{Device: "disk", D: 5 * ms})), trace.Time(2*ms), nil)
+	var aEnd, bEnd trace.Time
+	_ = a
+	_ = b
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var hw []trace.Event
+	var waits []trace.Event
+	for _, e := range s.Events {
+		switch e.Type {
+		case trace.HardwareService:
+			hw = append(hw, e)
+		case trace.Wait:
+			waits = append(waits, e)
+		}
+	}
+	if len(hw) != 2 {
+		t.Fatalf("got %d hardware events, want 2", len(hw))
+	}
+	// FIFO: second request starts when the first completes (10ms), ends 15ms.
+	if hw[0].Time != 0 || hw[0].Cost != 10*ms {
+		t.Errorf("first hw = %+v, want start 0 cost 10ms", hw[0])
+	}
+	if hw[1].Time != trace.Time(10*ms) || hw[1].Cost != 5*ms {
+		t.Errorf("second hw = %+v, want start 10ms cost 5ms", hw[1])
+	}
+	if len(waits) != 2 {
+		t.Fatalf("got %d waits, want 2", len(waits))
+	}
+	// Waiter B blocked from 2ms to 15ms.
+	if waits[1].Cost != 13*ms {
+		t.Errorf("second wait cost = %v, want 13ms", waits[1].Cost)
+	}
+	_ = aEnd
+	_ = bEnd
+}
+
+func TestAsyncCallRunsOnWorkerAndSignals(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	var end trace.Time
+	k.Spawn("App", "UI", []string{"App!Main"},
+		Seq(Invoke("fs.sys!Read",
+			AsyncCall{Body: Seq(Invoke("se.sys!ReadDecrypt",
+				Burn(3*ms),
+				DeviceOp{Device: "disk", D: 7 * ms},
+			))},
+		)), 0, func(e trace.Time) { end = e })
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if end != trace.Time(10*ms) {
+		t.Errorf("requester finished at %v, want 10ms", trace.Duration(end))
+	}
+	// The worker's unwait carries the se.sys operation signature.
+	var sawSig bool
+	for _, e := range s.Events {
+		if e.Type != trace.Unwait {
+			continue
+		}
+		for _, f := range s.StackStrings(e.Stack) {
+			if f == "se.sys!ReadDecrypt" {
+				sawSig = true
+			}
+		}
+	}
+	if !sawSig {
+		t.Error("no unwait carrying se.sys!ReadDecrypt signature")
+	}
+}
+
+func TestCPUQueueWithOneCore(t *testing.T) {
+	// Two 10 ms bursts on one core with a 4 ms quantum round-robin:
+	// A runs [0,4) [8,12) [16,18), B runs [4,8) [12,16) [18,20).
+	k := NewKernel(Config{StreamID: "t", Cores: 1})
+	var endA, endB trace.Time
+	k.Spawn("A", "T0", nil, Seq(Burn(10*ms)), 0, func(e trace.Time) { endA = e })
+	k.Spawn("B", "T0", nil, Seq(Burn(10*ms)), 0, func(e trace.Time) { endB = e })
+	k.Run(0)
+	k.Finish()
+	if endA != trace.Time(18*ms) || endB != trace.Time(20*ms) {
+		t.Errorf("ends = %v, %v; want 18ms, 20ms", trace.Duration(endA), trace.Duration(endB))
+	}
+}
+
+func TestQuantumPreservesTotalCPU(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t", Cores: 1})
+	k.Spawn("A", "T0", []string{"A!Main"}, Seq(Burn(7*ms)), 0, nil)
+	k.Spawn("B", "T0", []string{"B!Main"}, Seq(Burn(9*ms)), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	perThread := map[trace.ThreadID]trace.Duration{}
+	for _, e := range s.Events {
+		if e.Type == trace.Running {
+			perThread[e.TID] += e.Cost
+		}
+	}
+	var total trace.Duration
+	for _, d := range perThread {
+		total += d
+	}
+	if total != 16*ms {
+		t.Errorf("sampled CPU = %v, want 16ms", total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *trace.Stream {
+		k := NewKernel(Config{StreamID: "t"})
+		for i := 0; i < 5; i++ {
+			at := trace.Time(i) * trace.Time(ms)
+			k.Spawn("P", "T", []string{"P!Main"},
+				Seq(Invoke("fv.sys!Op", WithLock("L", Burn(2*ms))...)), at, nil)
+		}
+		k.Run(0)
+		return k.Finish()
+	}
+	a, b := build(), build()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestDelayBlocksAndTimerWakes(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	var end trace.Time
+	k.Spawn("App", "UI", []string{"App!Main"},
+		Seq(Burn(1*ms), Delay{D: 7 * ms}, Burn(1*ms)), 0,
+		func(e trace.Time) { end = e })
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if end != trace.Time(9*ms) {
+		t.Errorf("end = %v, want 9ms", trace.Duration(end))
+	}
+	var sawTimerUnwait bool
+	for _, e := range s.Events {
+		if e.Type == trace.Unwait {
+			for _, f := range s.StackStrings(e.Stack) {
+				if f == "kernel!TimerExpiry" {
+					sawTimerUnwait = true
+				}
+			}
+		}
+		if e.Type == trace.Wait && e.Cost != 7*ms {
+			t.Errorf("delay wait cost = %v, want 7ms", e.Cost)
+		}
+	}
+	if !sawTimerUnwait {
+		t.Error("no timer-expiry unwait recorded")
+	}
+}
+
+func TestForkRunsConcurrently(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	var mainEnd trace.Time
+	k.Spawn("App", "UI", []string{"App!Main"}, Seq(
+		Fork{Process: "App", Name: "BG", BaseFrames: []string{"App!BG"}, Body: Seq(Burn(20 * ms))},
+		Burn(2*ms),
+	), 0, func(e trace.Time) { mainEnd = e })
+	k.Run(0)
+	s := k.Finish()
+	if mainEnd != trace.Time(2*ms) {
+		t.Errorf("main ended at %v; fork must not block it", trace.Duration(mainEnd))
+	}
+	// The forked thread's samples exist under its own base frame.
+	var bgCPU trace.Duration
+	for _, e := range s.Events {
+		if e.Type != trace.Running {
+			continue
+		}
+		for _, f := range s.StackStrings(e.Stack) {
+			if f == "App!BG" {
+				bgCPU += e.Cost
+			}
+		}
+	}
+	if bgCPU != 20*ms {
+		t.Errorf("forked CPU = %v, want 20ms", bgCPU)
+	}
+}
+
+func TestWorkerPoolSaturationQueues(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t", PoolSizes: map[string]int{"P1": 1}})
+	ends := make([]trace.Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("App", "T", []string{"App!Main"}, Seq(
+			AsyncCall{Pool: "P1", Body: Seq(Invoke("x.sys!Work", Burn(10*ms)))},
+		), 0, func(e trace.Time) { ends[i] = e })
+	}
+	k.Run(0)
+	k.Finish()
+	// One worker serves three 10ms items FIFO: completions at 10/20/30ms.
+	want := []trace.Time{trace.Time(10 * ms), trace.Time(20 * ms), trace.Time(30 * ms)}
+	got := append([]trace.Time{}, ends...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("completion %d = %v, want %v", i, trace.Duration(got[i]), trace.Duration(want[i]))
+		}
+	}
+}
+
+func TestReleaseUnheldLockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on releasing an unheld lock")
+		}
+	}()
+	k := NewKernel(Config{StreamID: "t"})
+	k.Spawn("A", "T", nil, Seq(Release{Lock: "L"}), 0, nil)
+	k.Run(0)
+}
+
+func TestReacquireLockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on re-acquiring a held lock")
+		}
+	}()
+	k := NewKernel(Config{StreamID: "t"})
+	k.Spawn("A", "T", nil, Seq(Acquire{Lock: "L"}, Acquire{Lock: "L"}), 0, nil)
+	k.Run(0)
+}
+
+func TestDeviceChannelsParallelism(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t", DeviceChannels: map[string]int{"nic": 2}})
+	ends := make([]trace.Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("A", "T", nil, Seq(DeviceOp{Device: "nic", D: 10 * ms}), 0,
+			func(e trace.Time) { ends[i] = e })
+	}
+	k.Run(0)
+	k.Finish()
+	// Two channels serve four 10ms requests: two finish at 10ms, two at
+	// 20ms.
+	var at10, at20 int
+	for _, e := range ends {
+		switch e {
+		case trace.Time(10 * ms):
+			at10++
+		case trace.Time(20 * ms):
+			at20++
+		}
+	}
+	if at10 != 2 || at20 != 2 {
+		t.Errorf("completions: %v", ends)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	k.Spawn("A", "T", nil, Seq(Burn(ms)), 0, nil)
+	k.Run(0)
+	a := k.Finish()
+	b := k.Finish()
+	if a != b {
+		t.Error("Finish not idempotent")
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	done := false
+	k.Spawn("A", "T", nil, Seq(Burn(50*ms)), 0, func(trace.Time) { done = true })
+	k.Run(trace.Time(10 * ms))
+	if done {
+		t.Error("Run(until) ran past the limit")
+	}
+	k.Run(0)
+	if !done {
+		t.Error("resumed Run did not finish the work")
+	}
+}
+
+func TestSharedLockAllowsConcurrentReaders(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	ends := make([]trace.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("A", "T", nil,
+			WithSharedLock("rw", Burn(10*ms)), 0,
+			func(e trace.Time) { ends[i] = e })
+	}
+	k.Run(0)
+	k.Finish()
+	// Both readers hold concurrently: both finish at 10ms.
+	for i, e := range ends {
+		if e != trace.Time(10*ms) {
+			t.Errorf("reader %d finished at %v, want 10ms", i, trace.Duration(e))
+		}
+	}
+}
+
+func TestExclusiveWaitsForReaders(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	var readerEnd, writerEnd trace.Time
+	k.Spawn("R", "T", nil, WithSharedLock("rw", Burn(10*ms)), 0,
+		func(e trace.Time) { readerEnd = e })
+	k.Spawn("W", "T", nil, WithLock("rw", Burn(5*ms)), trace.Time(1*ms),
+		func(e trace.Time) { writerEnd = e })
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if readerEnd != trace.Time(10*ms) || writerEnd != trace.Time(15*ms) {
+		t.Errorf("reader=%v writer=%v, want 10ms/15ms",
+			trace.Duration(readerEnd), trace.Duration(writerEnd))
+	}
+}
+
+func TestQueuedWriterBlocksLaterReaders(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	var r2End trace.Time
+	k.Spawn("R1", "T", nil, WithSharedLock("rw", Burn(10*ms)), 0, nil)
+	k.Spawn("W", "T", nil, WithLock("rw", Burn(5*ms)), trace.Time(1*ms), nil)
+	// A reader arriving behind the queued writer must wait for it (no
+	// writer starvation): granted at 15ms, finishes at 17ms.
+	k.Spawn("R2", "T", nil, WithSharedLock("rw", Burn(2*ms)), trace.Time(2*ms),
+		func(e trace.Time) { r2End = e })
+	k.Run(0)
+	k.Finish()
+	if r2End != trace.Time(17*ms) {
+		t.Errorf("late reader finished at %v, want 17ms", trace.Duration(r2End))
+	}
+}
+
+func TestSharedRunGrantedTogether(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	ends := make([]trace.Time, 3)
+	k.Spawn("W", "T", nil, WithLock("rw", Burn(10*ms)), 0, nil)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("R", "T", nil, WithSharedLock("rw", Burn(4*ms)), trace.Time(1*ms),
+			func(e trace.Time) { ends[i] = e })
+	}
+	k.Run(0)
+	k.Finish()
+	// All three queued readers are granted together when the writer
+	// releases at 10ms; all finish at 14ms.
+	for i, e := range ends {
+		if e != trace.Time(14*ms) {
+			t.Errorf("reader %d finished at %v, want 14ms", i, trace.Duration(e))
+		}
+	}
+}
+
+func TestNestedAsyncCallAcrossPools(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t", PoolSizes: map[string]int{"A": 1, "B": 1}})
+	var end trace.Time
+	k.Spawn("App", "UI", []string{"App!Main"}, Seq(
+		AsyncCall{Pool: "A", Body: Seq(
+			Invoke("x.sys!Outer",
+				Burn(2*ms),
+				AsyncCall{Pool: "B", Body: Seq(Invoke("y.sys!Inner", Burn(3*ms)))},
+				Burn(1*ms),
+			),
+		)},
+	), 0, func(e trace.Time) { end = e })
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if end != trace.Time(6*ms) {
+		t.Errorf("end = %v, want 6ms (2+3+1 across nested pools)", trace.Duration(end))
+	}
+}
+
+func TestNeverWokenWaitIsClosedAtFinish(t *testing.T) {
+	k := NewKernel(Config{StreamID: "t"})
+	// The holder exits without releasing (a leaked lock); the waiter
+	// blocks forever. Finish must close the dangling wait at simulation
+	// end so the stream stays valid.
+	k.Spawn("A", "Holder", nil, Seq(Acquire{Lock: "leak"}, Burn(3*ms)), 0, nil)
+	k.Spawn("B", "Waiter", nil, Seq(Acquire{Lock: "leak"}), trace.Time(1*ms), nil)
+	k.Spawn("C", "Other", nil, Seq(Burn(10*ms)), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var wait *trace.Event
+	for i := range s.Events {
+		if s.Events[i].Type == trace.Wait {
+			wait = &s.Events[i]
+		}
+	}
+	if wait == nil {
+		t.Fatal("no wait recorded")
+	}
+	// Closed at simulation end (10ms), having started at 1ms.
+	if wait.Cost != 9*ms {
+		t.Errorf("dangling wait cost = %v, want 9ms (closed at stream end)", wait.Cost)
+	}
+	// No unwait exists for it: the wait graph treats it as an orphan.
+	for _, e := range s.Events {
+		if e.Type == trace.Unwait {
+			t.Error("unexpected unwait for a leaked lock")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package sim is a discrete-event simulator of a Windows-like kernel with
+// threads, FIFO locks, an N-core run queue, hardware device queues, and
+// system worker threads. It exists to generate ETW-shaped trace streams
+// (internal/trace) that exercise the cost-propagation mechanisms the paper
+// analyses: lock contention, hierarchical driver dependencies, hardware
+// services, and hard faults.
+//
+// Thread behaviour is described as a small op tree (Compute, Acquire,
+// Release, Call, DeviceOp, AsyncCall, ...) executed by the kernel's event
+// loop. The simulator is single-goroutine and fully deterministic for a
+// given seed.
+package sim
+
+import (
+	"tracescope/internal/trace"
+)
+
+// Op is one step of a thread program. Programs are finite op sequences;
+// Call nests sequences under a pushed callstack frame.
+type Op interface{ isOp() }
+
+// Compute consumes CPU for the given duration on one core, emitting
+// 1 ms running samples attributed to the thread's current callstack.
+type Compute struct {
+	D trace.Duration
+}
+
+// Call pushes Frame onto the callstack and executes Body under it.
+type Call struct {
+	Frame string
+	Body  []Op
+}
+
+// Acquire blocks until the named lock is available and takes it. A
+// contended acquire emits a wait event whose stack is the current
+// callstack under kernel acquire frames.
+//
+// Shared requests model ERESOURCE-style reader/writer semantics: multiple
+// shared holders may coexist; an exclusive request waits for all of them
+// and blocks later shared requests (no writer starvation).
+type Acquire struct {
+	Lock   string
+	Shared bool
+}
+
+// Release releases the named lock, waking the first FIFO waiter (emitting
+// an unwait event attributed to the releasing thread's callstack).
+type Release struct {
+	Lock string
+}
+
+// DeviceOp submits a request of duration D to the named device's FIFO
+// queue and blocks until service completes. The device records a
+// hardware-service event and wakes the thread with an unwait from its
+// pseudo-thread.
+type DeviceOp struct {
+	Device string
+	D      trace.Duration
+}
+
+// AsyncCall posts Body to a system worker pool and blocks until a worker
+// finishes executing it — the "system-service call" dependency of §2.2
+// (fs.sys invoking se.sys through a system thread). BaseFrames seed the
+// worker's callstack for this item (for example ["kernel!Worker"]).
+type AsyncCall struct {
+	Pool       string
+	BaseFrames []string
+	Body       []Op
+}
+
+// Fork spawns an independent thread executing Body and continues without
+// waiting for it. Used for background activity tied to a scenario.
+type Fork struct {
+	Process    string
+	Name       string
+	BaseFrames []string
+	Body       []Op
+}
+
+// Delay blocks the thread for D on a kernel timer. The wake is recorded
+// as an unwait from the timer pseudo-thread, as ETW shows timer expiry.
+type Delay struct {
+	D trace.Duration
+}
+
+func (Compute) isOp()   {}
+func (Call) isOp()      {}
+func (Acquire) isOp()   {}
+func (Release) isOp()   {}
+func (DeviceOp) isOp()  {}
+func (AsyncCall) isOp() {}
+func (Fork) isOp()      {}
+func (Delay) isOp()     {}
+
+// Seq is a convenience constructor for op slices.
+func Seq(ops ...Op) []Op { return ops }
+
+// WithLock brackets body with an exclusive Acquire/Release of the named
+// lock.
+func WithLock(lock string, body ...Op) []Op {
+	ops := make([]Op, 0, len(body)+2)
+	ops = append(ops, Acquire{Lock: lock})
+	ops = append(ops, body...)
+	ops = append(ops, Release{Lock: lock})
+	return ops
+}
+
+// WithSharedLock brackets body with a shared (reader) acquisition.
+func WithSharedLock(lock string, body ...Op) []Op {
+	ops := make([]Op, 0, len(body)+2)
+	ops = append(ops, Acquire{Lock: lock, Shared: true})
+	ops = append(ops, body...)
+	ops = append(ops, Release{Lock: lock})
+	return ops
+}
+
+// Invoke wraps body in a Call frame, mirroring a function call into a
+// module ("fv.sys!QueryFileTable").
+func Invoke(frame string, body ...Op) Op { return Call{Frame: frame, Body: body} }
+
+// Burn is shorthand for a Compute op.
+func Burn(d trace.Duration) Op { return Compute{D: d} }

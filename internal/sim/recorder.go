@@ -1,0 +1,89 @@
+package sim
+
+import "tracescope/internal/trace"
+
+// recorder accumulates trace events for the stream under construction and
+// tracks wait events whose durations are patched at wake time.
+type recorder struct {
+	stream  *trace.Stream
+	pending map[int]bool // event indexes with unpatched wait costs
+}
+
+func newRecorder(id string) *recorder {
+	return &recorder{stream: trace.NewStream(id), pending: make(map[int]bool)}
+}
+
+func (r *recorder) setThread(tid trace.ThreadID, proc, name string) {
+	r.stream.SetThread(tid, proc, name)
+}
+
+// internThreadStack interns t's current callstack with extraTop frames
+// stacked above it. Frames in t.frames are outermost-first; trace stacks
+// are topmost-first, so the result is extraTop (already topmost-first)
+// followed by t.frames reversed.
+func (r *recorder) internThreadStack(t *Thread, extraTop ...string) trace.StackID {
+	frames := make([]string, 0, len(extraTop)+len(t.frames))
+	frames = append(frames, extraTop...)
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		frames = append(frames, t.frames[i])
+	}
+	return r.stream.InternStackStrings(frames...)
+}
+
+// internFrames interns an outermost-first frame list with extraTop frames
+// above it.
+func (r *recorder) internFrames(outerFirst []string, extraTop ...string) trace.StackID {
+	frames := make([]string, 0, len(extraTop)+len(outerFirst))
+	frames = append(frames, extraTop...)
+	for i := len(outerFirst) - 1; i >= 0; i-- {
+		frames = append(frames, outerFirst[i])
+	}
+	return r.stream.InternStackStrings(frames...)
+}
+
+// emitWait appends a wait event with a zero cost placeholder and returns
+// its index for later patching.
+func (r *recorder) emitWait(tid trace.ThreadID, at trace.Time, stack trace.StackID) int {
+	idx := len(r.stream.Events)
+	r.stream.AppendEvent(trace.Event{
+		Type: trace.Wait, Time: at, Cost: 0, TID: tid, WTID: trace.NoThread, Stack: stack,
+	})
+	r.pending[idx] = true
+	return idx
+}
+
+// patchWait fills in the duration of a pending wait event.
+func (r *recorder) patchWait(idx int, now trace.Time) {
+	e := &r.stream.Events[idx]
+	cost := trace.Duration(now - e.Time)
+	if cost < 0 {
+		cost = 0
+	}
+	e.Cost = cost
+	delete(r.pending, idx)
+}
+
+// patchPending closes any wait events still open at simulation end.
+func (r *recorder) patchPending(now trace.Time) {
+	for idx := range r.pending {
+		r.patchWait(idx, now)
+	}
+}
+
+func (r *recorder) emitUnwait(tid trace.ThreadID, at trace.Time, wtid trace.ThreadID, stack trace.StackID) {
+	r.stream.AppendEvent(trace.Event{
+		Type: trace.Unwait, Time: at, TID: tid, WTID: wtid, Stack: stack,
+	})
+}
+
+func (r *recorder) emitRunning(tid trace.ThreadID, at trace.Time, cost trace.Duration, stack trace.StackID) {
+	r.stream.AppendEvent(trace.Event{
+		Type: trace.Running, Time: at, Cost: cost, TID: tid, WTID: trace.NoThread, Stack: stack,
+	})
+}
+
+func (r *recorder) emitHardware(tid trace.ThreadID, at trace.Time, cost trace.Duration, stack trace.StackID) {
+	r.stream.AppendEvent(trace.Event{
+		Type: trace.HardwareService, Time: at, Cost: cost, TID: tid, WTID: trace.NoThread, Stack: stack,
+	})
+}

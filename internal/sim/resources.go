@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"fmt"
+
+	"tracescope/internal/trace"
+)
+
+// lock is a FIFO reader/writer lock (ERESOURCE-style): one exclusive
+// holder, or any number of shared holders. Contended acquires emit wait
+// events; releases that wake waiters emit unwait events and hand the lock
+// over directly. Queued exclusive requests block later shared requests,
+// so writers do not starve.
+type lock struct {
+	name      string
+	exclusive *Thread
+	shared    map[*Thread]bool
+	waiters   []lockWaiter
+}
+
+type lockWaiter struct {
+	t      *Thread
+	shared bool
+}
+
+func (k *Kernel) lock(name string) *lock {
+	l, ok := k.locks[name]
+	if !ok {
+		l = &lock{name: name}
+		k.locks[name] = l
+	}
+	return l
+}
+
+func (l *lock) holds(t *Thread) bool {
+	return l.exclusive == t || l.shared[t]
+}
+
+// acquire takes the lock or blocks t. Returns true when acquired
+// synchronously.
+func (k *Kernel) acquire(t *Thread, name string, shared bool) bool {
+	l := k.lock(name)
+	if l.holds(t) {
+		panic(fmt.Sprintf("sim: thread %d re-acquiring lock %q", t.tid, name))
+	}
+	if shared {
+		// Granted when no exclusive holder and no queued requests
+		// (queued exclusive waiters must not starve).
+		if l.exclusive == nil && len(l.waiters) == 0 {
+			if l.shared == nil {
+				l.shared = make(map[*Thread]bool)
+			}
+			l.shared[t] = true
+			return true
+		}
+	} else {
+		if l.exclusive == nil && len(l.shared) == 0 {
+			l.exclusive = t
+			return true
+		}
+	}
+	stack := k.rec.internThreadStack(t, "kernel!WaitForObject", "kernel!AcquireLock")
+	t.pendingWait = k.rec.emitWait(t.tid, k.now, stack)
+	t.state = stateBlocked
+	l.waiters = append(l.waiters, lockWaiter{t: t, shared: shared})
+	return false
+}
+
+// release drops t's hold, granting as many queued requests as the new
+// state admits (one exclusive, or a run of shared requests).
+func (k *Kernel) release(t *Thread, name string) {
+	l := k.lock(name)
+	switch {
+	case l.exclusive == t:
+		l.exclusive = nil
+	case l.shared[t]:
+		delete(l.shared, t)
+	default:
+		panic(fmt.Sprintf("sim: thread %d releasing lock %q it does not hold", t.tid, name))
+	}
+	// The unwait is attributed to the releasing thread's current stack:
+	// the topmost component signature there is the unwait signature.
+	var stack trace.StackID = trace.NoStack
+	grant := func(w lockWaiter) {
+		if stack == trace.NoStack {
+			stack = k.rec.internThreadStack(t, "kernel!ReleaseLock")
+		}
+		k.rec.emitUnwait(t.tid, k.now, w.t.tid, stack)
+		k.wake(w.t)
+	}
+	for len(l.waiters) > 0 {
+		head := l.waiters[0]
+		if head.shared {
+			if l.exclusive != nil {
+				break
+			}
+			if l.shared == nil {
+				l.shared = make(map[*Thread]bool)
+			}
+			l.shared[head.t] = true
+			l.waiters = l.waiters[1:]
+			grant(head)
+			continue // grant the whole run of shared requests
+		}
+		if l.exclusive != nil || len(l.shared) > 0 {
+			break
+		}
+		l.exclusive = head.t
+		l.waiters = l.waiters[1:]
+		grant(head)
+		break
+	}
+}
+
+// wake patches w's pending wait event and schedules it to continue.
+func (k *Kernel) wake(w *Thread) {
+	if w.pendingWait >= 0 {
+		k.rec.patchWait(w.pendingWait, k.now)
+		w.pendingWait = -1
+	}
+	w.state = stateRunnable
+	k.post(0, func() { k.step(w) })
+}
+
+// device is a hardware service queue with a pseudo-thread that owns its
+// hardware-service and unwait events. Channels model service parallelism;
+// each channel serves FIFO.
+type device struct {
+	name    string
+	tid     trace.ThreadID
+	busy    []trace.Time // per-channel busy-until
+	hwStack trace.StackID
+}
+
+func (k *Kernel) device(name string) *device {
+	d, ok := k.devices[name]
+	if !ok {
+		t := k.newThread("Hardware", name)
+		t.state = stateIdle
+		channels := k.cfg.DeviceChannels[name]
+		if channels <= 0 {
+			channels = 1
+		}
+		d = &device{name: name, tid: t.tid, busy: make([]trace.Time, channels)}
+		d.hwStack = k.rec.stream.InternStackStrings(trace.FrameString(name, "Service"))
+		k.devices[name] = d
+	}
+	return d
+}
+
+// submitDevice blocks t on a hardware request of duration op.D.
+func (k *Kernel) submitDevice(t *Thread, op DeviceOp) {
+	d := k.device(op.Device)
+	stack := k.rec.internThreadStack(t, "kernel!WaitForObject", "kernel!RequireResource")
+	t.pendingWait = k.rec.emitWait(t.tid, k.now, stack)
+	t.state = stateBlocked
+
+	// Pick the channel that frees first.
+	ch := 0
+	for i := 1; i < len(d.busy); i++ {
+		if d.busy[i] < d.busy[ch] {
+			ch = i
+		}
+	}
+	start := k.now
+	if d.busy[ch] > start {
+		start = d.busy[ch]
+	}
+	dur := op.D
+	if dur < 0 {
+		dur = 0
+	}
+	d.busy[ch] = start + trace.Time(dur)
+	done := d.busy[ch]
+	k.post(trace.Duration(done-k.now), func() {
+		k.rec.emitHardware(d.tid, start, dur, d.hwStack)
+		k.rec.emitUnwait(d.tid, k.now, t.tid, d.hwStack)
+		k.wake(t)
+	})
+}
+
+// workItem is a unit of deferred work executed by a system worker thread
+// on behalf of a blocked requester.
+type workItem struct {
+	requester *Thread
+	base      []string
+	body      []Op
+	// sigFrames is the callstack attributed to the completion unwait:
+	// the base frames plus the outermost Call frame of the body.
+	sigFrames []string
+}
+
+// workerPool is a fixed-size pool of system worker threads.
+type workerPool struct {
+	name    string
+	proc    string
+	size    int
+	idle    []*Thread
+	spawned int
+	queue   []workItem
+}
+
+func (k *Kernel) pool(name string) *workerPool {
+	p, ok := k.pools[name]
+	if !ok {
+		size := k.cfg.PoolSizes[name]
+		if size <= 0 {
+			size = k.cfg.Workers
+		}
+		p = &workerPool{name: name, proc: name, size: size}
+		k.pools[name] = p
+	}
+	return p
+}
+
+// submitWork posts op.Body to the pool and blocks t until completion.
+func (k *Kernel) submitWork(t *Thread, op AsyncCall) {
+	poolName := op.Pool
+	if poolName == "" {
+		poolName = "System"
+	}
+	p := k.pool(poolName)
+	stack := k.rec.internThreadStack(t, "kernel!WaitForObject")
+	t.pendingWait = k.rec.emitWait(t.tid, k.now, stack)
+	t.state = stateBlocked
+
+	base := op.BaseFrames
+	if len(base) == 0 {
+		base = []string{"kernel!Worker"}
+	}
+	item := workItem{
+		requester: t,
+		base:      base,
+		body:      op.Body,
+		sigFrames: append(append([]string{}, base...), outerCallFrames(op.Body)...),
+	}
+	if w := p.takeIdle(); w != nil {
+		k.assignWork(p, w, item)
+		return
+	}
+	if p.spawned < p.size {
+		w := k.newThread(p.proc, fmt.Sprintf("W%d", p.spawned))
+		p.spawned++
+		k.assignWork(p, w, item)
+		return
+	}
+	p.queue = append(p.queue, item)
+}
+
+func (p *workerPool) takeIdle() *Thread {
+	if len(p.idle) == 0 {
+		return nil
+	}
+	w := p.idle[0]
+	p.idle = p.idle[1:]
+	return w
+}
+
+// assignWork runs item on worker w; on completion the worker signals the
+// requester and picks up the next queued item or goes idle.
+func (k *Kernel) assignWork(p *workerPool, w *Thread, item workItem) {
+	w.frames = append(w.frames[:0], item.base...)
+	w.stack = w.stack[:0]
+	w.state = stateRunnable
+	w.pushActivation(item.body, 0)
+	w.onExit = func(end trace.Time) {
+		sig := k.rec.internFrames(item.sigFrames, "kernel!SignalObject")
+		k.rec.emitUnwait(w.tid, k.now, item.requester.tid, sig)
+		k.wake(item.requester)
+		if len(p.queue) > 0 {
+			next := p.queue[0]
+			p.queue = p.queue[1:]
+			k.assignWork(p, w, next)
+			return
+		}
+		w.state = stateIdle
+		p.idle = append(p.idle, w)
+	}
+	k.post(0, func() { k.step(w) })
+}
+
+// outerCallFrames extracts the leading Call frames of a body (one per
+// nesting level of a single leading Invoke chain), used to attribute the
+// completion unwait to the operation the worker performed.
+func outerCallFrames(body []Op) []string {
+	var out []string
+	for len(body) >= 1 {
+		c, ok := body[0].(Call)
+		if !ok {
+			break
+		}
+		out = append(out, c.Frame)
+		if len(body) > 1 {
+			break
+		}
+		body = c.Body
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "tracescope/internal/trace"
+
+type threadState uint8
+
+const (
+	stateNew threadState = iota
+	stateRunnable
+	stateRunning
+	stateReadyCPU // waiting for a free core
+	stateBlocked  // waiting on a lock, device, or async call
+	stateIdle     // worker with no assigned item
+	stateDone
+)
+
+// activation is one level of a thread's program: an op slice with a
+// program counter, plus the number of callstack frames it pushed (popped
+// when the activation completes).
+type activation struct {
+	ops       []Op
+	pc        int
+	numFrames int
+}
+
+// Thread is a simulated thread. All state is owned by the kernel's event
+// loop.
+type Thread struct {
+	tid   trace.ThreadID
+	proc  string
+	name  string
+	state threadState
+
+	// frames is the current callstack, outermost first.
+	frames []string
+	stack  []activation
+
+	// cpuAccum carries sub-interval CPU time between compute bursts so
+	// sampling preserves long-run CPU totals.
+	cpuAccum trace.Duration
+	// burnRemaining is the unfinished part of the current Compute op,
+	// carried across round-robin timeslices.
+	burnRemaining trace.Duration
+
+	// pendingWait indexes the wait event to patch when this thread wakes,
+	// -1 when none.
+	pendingWait int
+
+	onExit func(end trace.Time)
+}
+
+// TID returns the thread's identifier in the emitted stream.
+func (t *Thread) TID() trace.ThreadID { return t.tid }
+
+func (t *Thread) top() *activation {
+	if len(t.stack) == 0 {
+		return nil
+	}
+	return &t.stack[len(t.stack)-1]
+}
+
+func (t *Thread) pushActivation(ops []Op, numFrames int) {
+	t.stack = append(t.stack, activation{ops: ops, numFrames: numFrames})
+}
+
+func (t *Thread) popActivation() {
+	act := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	if act.numFrames > 0 {
+		t.frames = t.frames[:len(t.frames)-act.numFrames]
+	}
+}
+
+func (t *Thread) pushFrame(f string) {
+	t.frames = append(t.frames, f)
+}
+
+func (t *Thread) pushFrames(fs []string) {
+	t.frames = append(t.frames, fs...)
+}

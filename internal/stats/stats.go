@@ -1,0 +1,223 @@
+// Package stats provides the small statistical toolbox the workload
+// generator and the evaluation harness need: a deterministic PRNG, a few
+// heavy-tailed duration distributions, percentiles, and histograms.
+//
+// Everything is seeded explicitly; no global randomness, so every corpus
+// and every experiment is reproducible bit-for-bit.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Rand wraps math/rand with duration-oriented helpers. It is not safe for
+// concurrent use; the simulator is single-goroutine by design.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent generator whose stream is a pure function of
+// the parent seed and the label, so adding consumers does not perturb
+// existing streams.
+func (g *Rand) Fork(label string) *Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRand(h ^ g.r.Int63())
+}
+
+// Int63n returns a uniform value in [0, n).
+func (g *Rand) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Intn returns a uniform value in [0, n).
+func (g *Rand) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (g *Rand) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *Rand) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *Rand) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (g *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// LogNormal returns a log-normally distributed value parameterised by the
+// median and the shape sigma (sigma of the underlying normal). Real-world
+// operation latencies are heavy-tailed; log-normal is the usual model.
+func (g *Rand) LogNormal(median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(sigma*g.r.NormFloat64())
+}
+
+// Pareto returns a bounded Pareto sample with minimum xm and tail index
+// alpha, capped at cap (0 disables the cap). Used for rare long stalls.
+func (g *Rand) Pareto(xm, alpha, cap float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		return xm
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	v := xm / math.Pow(u, 1/alpha)
+	if cap > 0 && v > cap {
+		v = cap
+	}
+	return v
+}
+
+// Pick returns a random element of choices.
+func Pick[T any](g *Rand, choices []T) T {
+	return choices[g.Intn(len(choices))]
+}
+
+// WeightedPick returns an index into weights drawn proportionally to the
+// weights. Zero or negative total weight yields index 0.
+func (g *Rand) WeightedPick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Percentile returns the p-th percentile (0..100) of values using linear
+// interpolation. It returns 0 for an empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Sum returns the sum of values.
+func Sum(values []float64) float64 {
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum
+}
+
+// Histogram accumulates values into fixed-width buckets for quick textual
+// inspection of latency shapes.
+type Histogram struct {
+	Min, Width float64
+	Counts     []int
+	Overflow   int
+	Underflow  int
+	N          int
+}
+
+// NewHistogram builds a histogram of n buckets of the given width starting
+// at min.
+func NewHistogram(min, width float64, n int) *Histogram {
+	return &Histogram{Min: min, Width: width, Counts: make([]int, n)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	h.N++
+	if v < h.Min {
+		h.Underflow++
+		return
+	}
+	i := int((v - h.Min) / h.Width)
+	if i >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[i]++
+}
+
+// String renders the histogram as ASCII bars.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*h.Width
+		bar := strings.Repeat("#", c*40/max)
+		fmt.Fprintf(&b, "%10.1f..%-10.1f %6d %s\n", lo, lo+h.Width, c, bar)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "%22s %6d\n", "underflow", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "%22s %6d\n", "overflow", h.Overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRand(1).Fork("x")
+	b := NewRand(1).Fork("x")
+	if a.Float64() != b.Float64() {
+		t.Error("fork of same label/seed differs")
+	}
+	c := NewRand(1).Fork("y")
+	d := NewRand(1).Fork("x")
+	if c.Float64() == d.Float64() {
+		t.Error("different labels produced identical streams")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRand(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(10)
+	}
+	mean := sum / n
+	if mean < 9 || mean > 11 {
+		t.Errorf("Exp(10) mean = %v, want ~10", mean)
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Error("non-positive mean must yield 0")
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	g := NewRand(8)
+	var vals []float64
+	for i := 0; i < 20001; i++ {
+		vals = append(vals, g.LogNormal(100, 0.8))
+	}
+	med := Percentile(vals, 50)
+	if med < 90 || med > 110 {
+		t.Errorf("LogNormal median = %v, want ~100", med)
+	}
+	if g.LogNormal(0, 1) != 0 {
+		t.Error("zero median must yield 0")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	g := NewRand(9)
+	for i := 0; i < 5000; i++ {
+		v := g.Pareto(10, 1.5, 1000)
+		if v < 10 || v > 1000 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+	if g.Pareto(0, 1, 0) != 0 {
+		t.Error("xm=0 must return xm")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := NewRand(10)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(5, 7)
+		if v < 5 || v >= 7 {
+			t.Fatalf("Uniform out of bounds: %v", v)
+		}
+	}
+	if g.Uniform(3, 3) != 3 {
+		t.Error("degenerate range must return lo")
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	g := NewRand(11)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 12000; i++ {
+		counts[g.WeightedPick(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Error("zero weight picked")
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	if g.WeightedPick([]float64{0, 0}) != 0 {
+		t.Error("all-zero weights must pick 0")
+	}
+}
+
+func TestBool(t *testing.T) {
+	g := NewRand(12)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Errorf("Bool(0.3) hit %d/10000", hits)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// The input must not be mutated.
+	if vals[0] != 4 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+// TestPercentileBoundsProperty: percentiles lie within [min, max] and are
+// monotone in p.
+func TestPercentileBoundsProperty(t *testing.T) {
+	prop := func(raw []float64, pa, pb float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		pa = math.Mod(math.Abs(pa), 100)
+		pb = math.Mod(math.Abs(pb), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		lo, hi := Percentile(vals, 0), Percentile(vals, 100)
+		a, b := Percentile(vals, pa), Percentile(vals, pb)
+		return a >= lo && b <= hi && a <= b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty Mean must be 0")
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Error("Sum wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 3)
+	for _, v := range []float64{-1, 5, 15, 25, 99} {
+		h.Add(v)
+	}
+	if h.Underflow != 1 || h.Overflow != 1 || h.N != 5 {
+		t.Errorf("histogram accounting: %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("bucket counts: %v", h.Counts)
+	}
+	out := h.String()
+	if !strings.Contains(out, "underflow") || !strings.Contains(out, "overflow") {
+		t.Error("rendering misses under/overflow")
+	}
+}
+
+func TestPick(t *testing.T) {
+	g := NewRand(13)
+	choices := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(g, choices)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick covered %d choices", len(seen))
+	}
+}

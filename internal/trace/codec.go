@@ -1,0 +1,412 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary stream container format:
+//
+//	magic "TSCP" | u16 version | ID | frame table | stack table |
+//	thread table | instance table | event sequence
+//
+// All integers are unsigned varints (zig-zag for signed fields); strings
+// are length-prefixed UTF-8. Event times and costs are delta-encoded
+// against the previous event to keep corpora small.
+
+const (
+	binaryMagic   = "TSCP"
+	binaryVersion = 1
+	// maxTableLen bounds table sizes read from untrusted input so a
+	// corrupt length prefix cannot trigger a huge allocation.
+	maxTableLen = 1 << 28
+	// maxStringLen bounds individual strings (frames, IDs, names).
+	maxStringLen = 1 << 20
+	// maxPrealloc caps slice capacity allocated up-front from untrusted
+	// lengths; longer inputs grow the slice as bytes actually arrive,
+	// so a forged length cannot allocate memory the input cannot back.
+	maxPrealloc = 1 << 16
+)
+
+// prealloc returns a safe initial capacity for an untrusted length.
+func prealloc(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// ErrBadFormat reports a malformed binary stream.
+var ErrBadFormat = errors.New("trace: malformed binary stream")
+
+// WriteBinary encodes the stream in the tracescope binary container format.
+func (s *Stream) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var verBuf [2]byte
+	binary.LittleEndian.PutUint16(verBuf[:], binaryVersion)
+	if _, err := bw.Write(verBuf[:]); err != nil {
+		return err
+	}
+	writeString(bw, s.ID)
+
+	writeUvarint(bw, uint64(len(s.frames)))
+	for _, f := range s.frames {
+		writeString(bw, f)
+	}
+
+	writeUvarint(bw, uint64(len(s.stacks)))
+	for _, st := range s.stacks {
+		writeUvarint(bw, uint64(len(st)))
+		for _, f := range st {
+			writeUvarint(bw, uint64(f))
+		}
+	}
+
+	writeUvarint(bw, uint64(len(s.Threads)))
+	// Deterministic order: iterate ascending TIDs.
+	for _, tid := range sortedThreadIDs(s.Threads) {
+		ti := s.Threads[tid]
+		writeVarint(bw, int64(tid))
+		writeString(bw, ti.Process)
+		writeString(bw, ti.Name)
+	}
+
+	writeUvarint(bw, uint64(len(s.Instances)))
+	for _, in := range s.Instances {
+		writeString(bw, in.Scenario)
+		writeVarint(bw, int64(in.TID))
+		writeVarint(bw, int64(in.Start))
+		writeVarint(bw, int64(in.End))
+	}
+
+	writeUvarint(bw, uint64(len(s.Events)))
+	var prevTime Time
+	for _, e := range s.Events {
+		if err := bw.WriteByte(byte(e.Type)); err != nil {
+			return err
+		}
+		writeVarint(bw, int64(e.Time-prevTime))
+		prevTime = e.Time
+		writeVarint(bw, int64(e.Cost))
+		writeVarint(bw, int64(e.TID))
+		writeVarint(bw, int64(e.WTID))
+		writeVarint(bw, int64(e.Stack))
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a stream written by WriteBinary.
+func ReadBinary(r io.Reader) (*Stream, error) {
+	return readBinary(bufio.NewReader(r))
+}
+
+// readBinary decodes one stream from br without reading past its end, so
+// multiple concatenated streams can be decoded from a shared reader.
+func readBinary(br *bufio.Reader) (*Stream, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	verBuf := make([]byte, 2)
+	if _, err := io.ReadFull(br, verBuf); err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrBadFormat, err)
+	}
+	if v := binary.LittleEndian.Uint16(verBuf); v != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+
+	id, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStream(id)
+
+	nFrames, err := readLen(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nFrames; i++ {
+		f, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		s.InternFrame(f)
+	}
+
+	nStacks, err := readLen(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nStacks; i++ {
+		n, err := readLen(br)
+		if err != nil {
+			return nil, err
+		}
+		frames := make([]FrameID, 0, prealloc(n))
+		for j := 0; j < n; j++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: stack frame: %v", ErrBadFormat, err)
+			}
+			if v >= uint64(len(s.frames)) {
+				return nil, fmt.Errorf("%w: stack frame id %d out of range", ErrBadFormat, v)
+			}
+			frames = append(frames, FrameID(v))
+		}
+		s.InternStack(frames)
+	}
+
+	nThreads, err := readLen(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nThreads; i++ {
+		tid, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		proc, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		s.SetThread(ThreadID(tid), proc, name)
+	}
+
+	nInst, err := readLen(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nInst; i++ {
+		scen, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		tid, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		start, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		end, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		s.Instances = append(s.Instances, Instance{
+			Scenario: scen, TID: ThreadID(tid), Start: Time(start), End: Time(end),
+		})
+	}
+
+	nEvents, err := readLen(br)
+	if err != nil {
+		return nil, err
+	}
+	s.Events = make([]Event, 0, prealloc(nEvents))
+	var prevTime Time
+	for i := 0; i < nEvents; i++ {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event type: %v", ErrBadFormat, err)
+		}
+		dt, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		tid, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		wtid, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		stack, err := readVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prevTime += Time(dt)
+		s.Events = append(s.Events, Event{
+			Type:  EventType(tb),
+			Time:  prevTime,
+			Cost:  Duration(cost),
+			TID:   ThreadID(tid),
+			WTID:  ThreadID(wtid),
+			Stack: StackID(stack),
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return s, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func readLen(br *bufio.Reader) (int, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: length: %v", ErrBadFormat, err)
+	}
+	if v > maxTableLen {
+		return 0, fmt.Errorf("%w: length %d too large", ErrBadFormat, v)
+	}
+	return int(v), nil
+}
+
+func readVarint(br *bufio.Reader) (int64, error) {
+	v, err := binary.ReadVarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: varint: %v", ErrBadFormat, err)
+	}
+	return v, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readLen(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string length %d too large", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("%w: string body: %v", ErrBadFormat, err)
+	}
+	return string(buf), nil
+}
+
+func sortedThreadIDs(m map[ThreadID]ThreadInfo) []ThreadID {
+	ids := make([]ThreadID, 0, len(m))
+	for tid := range m {
+		ids = append(ids, tid)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// streamJSON is the JSON wire form of a Stream.
+type streamJSON struct {
+	ID        string                `json:"id"`
+	Frames    []string              `json:"frames"`
+	Stacks    [][]FrameID           `json:"stacks"`
+	Threads   map[string]ThreadInfo `json:"threads,omitempty"`
+	Instances []Instance            `json:"instances,omitempty"`
+	Events    []eventJSON           `json:"events"`
+}
+
+type eventJSON struct {
+	Type  string   `json:"type"`
+	Time  Time     `json:"t"`
+	Cost  Duration `json:"c,omitempty"`
+	TID   ThreadID `json:"tid"`
+	WTID  ThreadID `json:"wtid,omitempty"`
+	Stack StackID  `json:"stack"`
+}
+
+// MarshalJSON encodes the stream as JSON, mainly for debugging and
+// interchange with external tooling.
+func (s *Stream) MarshalJSON() ([]byte, error) {
+	js := streamJSON{
+		ID:        s.ID,
+		Frames:    s.frames,
+		Stacks:    s.stacks,
+		Instances: s.Instances,
+		Events:    make([]eventJSON, len(s.Events)),
+	}
+	if len(s.Threads) > 0 {
+		js.Threads = make(map[string]ThreadInfo, len(s.Threads))
+		for tid, ti := range s.Threads {
+			js.Threads[fmt.Sprint(tid)] = ti
+		}
+	}
+	for i, e := range s.Events {
+		js.Events[i] = eventJSON{
+			Type: e.Type.String(), Time: e.Time, Cost: e.Cost,
+			TID: e.TID, WTID: e.WTID, Stack: e.Stack,
+		}
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON decodes a stream from its JSON wire form.
+func (s *Stream) UnmarshalJSON(data []byte) error {
+	var js streamJSON
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	ns := NewStream(js.ID)
+	for _, f := range js.Frames {
+		ns.InternFrame(f)
+	}
+	for _, st := range js.Stacks {
+		ns.InternStack(st)
+	}
+	for tidStr, ti := range js.Threads {
+		var tid ThreadID
+		if _, err := fmt.Sscan(tidStr, &tid); err != nil {
+			return fmt.Errorf("trace: bad thread id %q: %v", tidStr, err)
+		}
+		ns.SetThread(tid, ti.Process, ti.Name)
+	}
+	ns.Instances = js.Instances
+	for _, e := range js.Events {
+		var t EventType
+		switch e.Type {
+		case "running":
+			t = Running
+		case "wait":
+			t = Wait
+		case "unwait":
+			t = Unwait
+		case "hwservice":
+			t = HardwareService
+		default:
+			return fmt.Errorf("trace: unknown event type %q", e.Type)
+		}
+		ns.AppendEvent(Event{Type: t, Time: e.Time, Cost: e.Cost, TID: e.TID, WTID: e.WTID, Stack: e.Stack})
+	}
+	if err := ns.Validate(); err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
+}

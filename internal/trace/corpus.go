@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Corpus is a collection of trace streams, the unit over which impact and
+// causality analyses run. Stream order is significant: EventIDs reference
+// streams by index.
+type Corpus struct {
+	Streams []*Stream
+}
+
+// NewCorpus builds a corpus over the given streams.
+func NewCorpus(streams ...*Stream) *Corpus { return &Corpus{Streams: streams} }
+
+// Add appends a stream and returns its index.
+func (c *Corpus) Add(s *Stream) int {
+	c.Streams = append(c.Streams, s)
+	return len(c.Streams) - 1
+}
+
+// NumStreams returns the number of streams.
+func (c *Corpus) NumStreams() int { return len(c.Streams) }
+
+// NumInstances returns the total number of scenario instances recorded.
+func (c *Corpus) NumInstances() int {
+	n := 0
+	for _, s := range c.Streams {
+		n += len(s.Instances)
+	}
+	return n
+}
+
+// NumEvents returns the total number of events across all streams.
+func (c *Corpus) NumEvents() int {
+	n := 0
+	for _, s := range c.Streams {
+		n += len(s.Events)
+	}
+	return n
+}
+
+// TotalDuration sums the time spans of all streams.
+func (c *Corpus) TotalDuration() Duration {
+	var d Duration
+	for _, s := range c.Streams {
+		d += s.Duration()
+	}
+	return d
+}
+
+// Scenarios returns the sorted set of scenario names appearing in the
+// corpus, with instance counts.
+func (c *Corpus) Scenarios() []ScenarioCount {
+	counts := make(map[string]int)
+	for _, s := range c.Streams {
+		for _, in := range s.Instances {
+			counts[in.Scenario]++
+		}
+	}
+	out := make([]ScenarioCount, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, ScenarioCount{Name: name, Instances: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioCount pairs a scenario name with its instance count.
+type ScenarioCount struct {
+	Name      string
+	Instances int
+}
+
+// InstanceRef locates a scenario instance within a corpus.
+type InstanceRef struct {
+	Stream   int
+	Instance int
+}
+
+// InstancesOf returns references to every instance of the named scenario.
+// An empty name selects all instances.
+func (c *Corpus) InstancesOf(scenario string) []InstanceRef {
+	var out []InstanceRef
+	for si, s := range c.Streams {
+		for ii, in := range s.Instances {
+			if scenario == "" || in.Scenario == scenario {
+				out = append(out, InstanceRef{Stream: si, Instance: ii})
+			}
+		}
+	}
+	return out
+}
+
+// Instance resolves a reference.
+func (c *Corpus) Instance(ref InstanceRef) (*Stream, Instance) {
+	s := c.Streams[ref.Stream]
+	return s, s.Instances[ref.Instance]
+}
+
+// Validate validates every stream.
+func (c *Corpus) Validate() error {
+	for i, s := range c.Streams {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("trace: corpus stream %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteDir persists the corpus as one binary file per stream plus an index
+// file, creating dir if needed.
+func (c *Corpus) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	index, err := os.Create(filepath.Join(dir, "corpus.index"))
+	if err != nil {
+		return err
+	}
+	defer index.Close()
+	for i, s := range c.Streams {
+		name := fmt.Sprintf("stream-%05d.tscp", i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = s.WriteBinary(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: writing %s: %w", name, err)
+		}
+		if _, err := fmt.Fprintln(index, name); err != nil {
+			return err
+		}
+	}
+	return index.Close()
+}
+
+// ReadDir loads a corpus previously written with WriteDir.
+func ReadDir(dir string) (*Corpus, error) {
+	indexPath := filepath.Join(dir, "corpus.index")
+	data, err := os.ReadFile(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{}
+	for _, line := range splitLines(string(data)) {
+		if line == "" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, line))
+		if err != nil {
+			return nil, err
+		}
+		s, err := ReadBinary(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading %s: %w", line, err)
+		}
+		c.Add(s)
+	}
+	return c, nil
+}
+
+// WriteTo streams every trace in the corpus to w, concatenated with a
+// count header, for single-file interchange.
+func (c *Corpus) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if _, err := fmt.Fprintf(cw, "TSCORPUS %d\n", len(c.Streams)); err != nil {
+		return cw.n, err
+	}
+	for _, s := range c.Streams {
+		if err := s.WriteBinary(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadFrom reads a corpus written with WriteTo.
+func ReadFrom(r io.Reader) (*Corpus, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: corpus header: %v", ErrBadFormat, err)
+	}
+	var n int
+	if _, err := fmt.Sscanf(header, "TSCORPUS %d", &n); err != nil {
+		return nil, fmt.Errorf("%w: corpus header %q: %v", ErrBadFormat, header, err)
+	}
+	if n < 0 || n > maxTableLen {
+		return nil, fmt.Errorf("%w: corpus stream count %d", ErrBadFormat, n)
+	}
+	c := &Corpus{}
+	for i := 0; i < n; i++ {
+		s, err := readBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: corpus stream %d: %w", i, err)
+		}
+		c.Add(s)
+	}
+	return c, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEventsCSV exports the stream's events for spreadsheet or external
+// analysis: one row per event with resolved thread names and callstacks
+// (frames joined innermost-first with " < ").
+func (s *Stream) WriteEventsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"index", "type", "time_us", "cost_us", "tid", "thread", "wtid", "stack",
+	}); err != nil {
+		return err
+	}
+	for i, e := range s.Events {
+		wtid := ""
+		if e.WTID != NoThread {
+			wtid = strconv.Itoa(int(e.WTID))
+		}
+		row := []string{
+			strconv.Itoa(i),
+			e.Type.String(),
+			strconv.FormatInt(int64(e.Time), 10),
+			strconv.FormatInt(int64(e.Cost), 10),
+			strconv.Itoa(int(e.TID)),
+			s.ThreadName(e.TID),
+			wtid,
+			strings.Join(s.StackStrings(e.Stack), " < "),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteInstancesCSV exports a corpus's scenario instances, one row per
+// instance with stream provenance.
+func (c *Corpus) WriteInstancesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"stream", "stream_id", "scenario", "tid", "thread", "start_us", "end_us", "duration_ms",
+	}); err != nil {
+		return err
+	}
+	for si, s := range c.Streams {
+		for _, in := range s.Instances {
+			row := []string{
+				strconv.Itoa(si),
+				s.ID,
+				in.Scenario,
+				strconv.Itoa(int(in.TID)),
+				s.ThreadName(in.TID),
+				strconv.FormatInt(int64(in.Start), 10),
+				strconv.FormatInt(int64(in.End), 10),
+				fmt.Sprintf("%.3f", in.Duration().Milliseconds()),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,159 @@
+package trace
+
+import "strings"
+
+// ComponentFilter selects tracing events for chosen components (§3). A
+// filter holds module-name patterns; a frame belongs to the filter when its
+// module matches any pattern. Patterns support '*' wildcards ("*.sys"
+// selects all device drivers) and are matched case-insensitively, matching
+// how Windows module names behave.
+type ComponentFilter struct {
+	patterns []string
+}
+
+// NewComponentFilter builds a filter from module-name patterns. An empty
+// pattern list yields a filter matching nothing.
+func NewComponentFilter(patterns ...string) *ComponentFilter {
+	lowered := make([]string, 0, len(patterns))
+	for _, p := range patterns {
+		p = strings.TrimSpace(strings.ToLower(p))
+		if p != "" {
+			lowered = append(lowered, p)
+		}
+	}
+	return &ComponentFilter{patterns: lowered}
+}
+
+// AllDrivers is the filter the paper's evaluation uses: every module whose
+// name matches "*.sys" (§5.1).
+func AllDrivers() *ComponentFilter { return NewComponentFilter("*.sys") }
+
+// Patterns returns a copy of the filter's patterns.
+func (f *ComponentFilter) Patterns() []string {
+	out := make([]string, len(f.patterns))
+	copy(out, f.patterns)
+	return out
+}
+
+// MatchModule reports whether a module name matches any pattern.
+func (f *ComponentFilter) MatchModule(module string) bool {
+	if f == nil {
+		return false
+	}
+	module = strings.ToLower(module)
+	for _, p := range f.patterns {
+		if wildcardMatch(p, module) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchFrame reports whether a "module!function" frame belongs to the
+// filtered components.
+func (f *ComponentFilter) MatchFrame(frame string) bool {
+	return f.MatchModule(Module(frame))
+}
+
+// TopSignature returns the topmost signature related to the chosen
+// components on the callstack of the event: the first (innermost-first)
+// frame whose module matches the filter (§4.1, Definition 2 preamble). The
+// boolean reports whether such a frame exists.
+func (f *ComponentFilter) TopSignature(s *Stream, stack StackID) (string, bool) {
+	for _, fid := range s.Stack(stack) {
+		frame := s.Frame(fid)
+		if f.MatchFrame(frame) {
+			return frame, true
+		}
+	}
+	return "", false
+}
+
+// MatchStack reports whether any frame of the stack belongs to the
+// filtered components.
+func (f *ComponentFilter) MatchStack(s *Stream, stack StackID) bool {
+	_, ok := f.TopSignature(s, stack)
+	return ok
+}
+
+// wildcardMatch matches s against pattern p where '*' matches any (possibly
+// empty) substring. Both inputs must already be lower-cased.
+func wildcardMatch(p, s string) bool {
+	// Fast paths.
+	if p == "*" {
+		return true
+	}
+	if !strings.ContainsRune(p, '*') {
+		return p == s
+	}
+	parts := strings.Split(p, "*")
+	// Anchor the first and last literal chunks.
+	if first := parts[0]; first != "" {
+		if !strings.HasPrefix(s, first) {
+			return false
+		}
+		s = s[len(first):]
+	}
+	last := parts[len(parts)-1]
+	if last != "" {
+		if !strings.HasSuffix(s, last) {
+			return false
+		}
+		s = s[:len(s)-len(last)]
+	}
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		i := strings.Index(s, mid)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(mid):]
+	}
+	return true
+}
+
+// FilterCache memoises a ComponentFilter's per-stack results. Analyses
+// call TopSignature for the same (stream, stack) pair once per instance
+// graph; over thousands of instances the cache removes the repeated
+// frame-by-frame wildcard matching. Not safe for concurrent use.
+type FilterCache struct {
+	f *ComponentFilter
+	m map[filterCacheKey]filterCacheVal
+}
+
+type filterCacheKey struct {
+	s  *Stream
+	id StackID
+}
+
+type filterCacheVal struct {
+	sig string
+	ok  bool
+}
+
+// NewFilterCache wraps a filter with memoisation.
+func NewFilterCache(f *ComponentFilter) *FilterCache {
+	return &FilterCache{f: f, m: make(map[filterCacheKey]filterCacheVal)}
+}
+
+// Filter returns the underlying filter.
+func (c *FilterCache) Filter() *ComponentFilter { return c.f }
+
+// TopSignature is a memoised ComponentFilter.TopSignature.
+func (c *FilterCache) TopSignature(s *Stream, stack StackID) (string, bool) {
+	key := filterCacheKey{s: s, id: stack}
+	if v, ok := c.m[key]; ok {
+		return v.sig, v.ok
+	}
+	sig, ok := c.f.TopSignature(s, stack)
+	c.m[key] = filterCacheVal{sig: sig, ok: ok}
+	return sig, ok
+}
+
+// MatchStack is a memoised ComponentFilter.MatchStack.
+func (c *FilterCache) MatchStack(s *Stream, stack StackID) bool {
+	_, ok := c.TopSignature(s, stack)
+	return ok
+}

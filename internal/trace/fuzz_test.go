@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary feeds arbitrary bytes to the binary decoder: it must
+// never panic, and anything it accepts must validate.
+func FuzzReadBinary(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		var buf bytes.Buffer
+		if err := randomStream(seed).WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("TSCP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			if verr := s.Validate(); verr != nil {
+				t.Fatalf("accepted invalid stream: %v", verr)
+			}
+		}
+	})
+}
+
+// FuzzWildcardMatch checks the matcher never panics and honours the
+// universal pattern.
+func FuzzWildcardMatch(f *testing.F) {
+	f.Add("*.sys", "fs.sys")
+	f.Add("a*b*c", "abc")
+	f.Add("", "")
+	f.Add("**", "x")
+	f.Fuzz(func(t *testing.T, pattern, module string) {
+		filter := NewComponentFilter(pattern)
+		filter.MatchModule(module) // must not panic
+		if !NewComponentFilter("*").MatchModule(module) {
+			t.Fatal("universal pattern rejected a module")
+		}
+	})
+}
+
+// FuzzSlice checks window slicing on random windows of a fixed stream.
+func FuzzSlice(f *testing.F) {
+	f.Add(int64(0), int64(1000))
+	f.Add(int64(500), int64(200000))
+	f.Fuzz(func(t *testing.T, from, to int64) {
+		s := randomStream(7)
+		out, err := s.Slice(Time(from), Time(to))
+		if err != nil {
+			return
+		}
+		if verr := out.Validate(); verr != nil {
+			t.Fatalf("slice produced invalid stream: %v", verr)
+		}
+		for _, e := range out.Events {
+			if e.Time < 0 || e.End() > Time(to-from) {
+				t.Fatalf("event [%d,%d) outside rebased window [0,%d)", e.Time, e.End(), to-from)
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package trace
+
+import "fmt"
+
+// Slice returns a new stream containing the events overlapping
+// [from, to), with times rebased to `from` and costs clipped to the
+// window. Scenario instances overlapping the window are carried over
+// (clipped); frame and stack tables are rebuilt to only what the slice
+// references. Analysts use this to cut an incident window out of a long
+// stream before sharing or re-analysing it.
+func (s *Stream) Slice(from, to Time) (*Stream, error) {
+	if to <= from {
+		return nil, fmt.Errorf("trace: slice window [%d, %d) is empty", from, to)
+	}
+	out := NewStream(fmt.Sprintf("%s[%v,%v)", s.ID, Duration(from), Duration(to)))
+	usedThreads := make(map[ThreadID]bool)
+	for _, e := range s.Events {
+		if e.Time >= to || e.End() <= from {
+			continue
+		}
+		ne := e
+		// Rebase and clip.
+		start := e.Time
+		if start < from {
+			start = from
+		}
+		end := e.End()
+		if end > to {
+			end = to
+		}
+		ne.Time = start - from
+		if e.Type == Unwait {
+			ne.Cost = 0
+		} else {
+			ne.Cost = Duration(end - start)
+		}
+		ne.Stack = out.InternStack(reinternStack(s, out, e.Stack))
+		out.AppendEvent(ne)
+		usedThreads[e.TID] = true
+		if e.Type == Unwait {
+			usedThreads[e.WTID] = true
+		}
+	}
+	for tid := range usedThreads {
+		if ti, ok := s.Threads[tid]; ok {
+			out.SetThread(tid, ti.Process, ti.Name)
+		}
+	}
+	for _, in := range s.Instances {
+		if in.Start >= to || in.End <= from {
+			continue
+		}
+		ni := in
+		if ni.Start < from {
+			ni.Start = from
+		}
+		if ni.End > to {
+			ni.End = to
+		}
+		ni.Start -= from
+		ni.End -= from
+		out.Instances = append(out.Instances, ni)
+	}
+	return out, nil
+}
+
+// reinternStack maps a stack of src into dst's tables.
+func reinternStack(src, dst *Stream, id StackID) []FrameID {
+	frames := src.Stack(id)
+	if len(frames) == 0 {
+		return nil
+	}
+	out := make([]FrameID, len(frames))
+	for i, f := range frames {
+		out[i] = dst.InternFrame(src.Frame(f))
+	}
+	return out
+}
+
+// Merge combines multiple streams from the same machine (for example two
+// collection sessions) into one, offsetting each subsequent stream to
+// start after the previous one ends plus gap, and remapping thread IDs to
+// avoid collisions. The result carries all instances, similarly adjusted.
+func Merge(id string, gap Duration, streams ...*Stream) (*Stream, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	out := NewStream(id)
+	var offset Time
+	var tidBase ThreadID
+	for _, s := range streams {
+		var maxTID ThreadID
+		for _, e := range s.Events {
+			ne := e
+			ne.Time += offset
+			ne.TID += tidBase
+			if ne.WTID != NoThread {
+				ne.WTID += tidBase
+			}
+			ne.Stack = out.InternStack(reinternStack(s, out, e.Stack))
+			out.AppendEvent(ne)
+			if e.TID > maxTID {
+				maxTID = e.TID
+			}
+			if e.WTID > maxTID {
+				maxTID = e.WTID
+			}
+		}
+		for tid, ti := range s.Threads {
+			out.SetThread(tid+tidBase, ti.Process, ti.Name)
+			if tid > maxTID {
+				maxTID = tid
+			}
+		}
+		for _, in := range s.Instances {
+			out.Instances = append(out.Instances, Instance{
+				Scenario: in.Scenario,
+				TID:      in.TID + tidBase,
+				Start:    in.Start + offset,
+				End:      in.End + offset,
+			})
+		}
+		offset += Time(s.Duration() + gap)
+		tidBase += maxTID + 1
+	}
+	out.SortEvents()
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sliceFixture() *Stream {
+	s := NewStream("src")
+	st := s.InternStackStrings("fs.sys!Read", "App!Main")
+	s.SetThread(1, "App", "UI")
+	s.SetThread(2, "App", "W0")
+	s.AppendEvent(Event{Type: Running, Time: 0, Cost: 1000, TID: 1, WTID: NoThread, Stack: st})
+	s.AppendEvent(Event{Type: Wait, Time: 1000, Cost: 4000, TID: 1, WTID: NoThread, Stack: st})
+	s.AppendEvent(Event{Type: Unwait, Time: 5000, TID: 2, WTID: 1, Stack: st})
+	s.AppendEvent(Event{Type: Running, Time: 9000, Cost: 1000, TID: 1, WTID: NoThread, Stack: st})
+	s.Instances = append(s.Instances, Instance{Scenario: "S", TID: 1, Start: 0, End: 10000})
+	return s
+}
+
+func TestSliceWindow(t *testing.T) {
+	s := sliceFixture()
+	out, err := s.Slice(2000, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The leading running event (ends 1000) and trailing one (starts
+	// 9000) are excluded; the wait is clipped to [2000,5000) -> rebased
+	// [0,3000); the unwait at 5000 -> 3000.
+	if len(out.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(out.Events))
+	}
+	w := out.Events[0]
+	if w.Type != Wait || w.Time != 0 || w.Cost != 3000 {
+		t.Errorf("clipped wait = %+v", w)
+	}
+	u := out.Events[1]
+	if u.Type != Unwait || u.Time != 3000 || u.WTID != 1 {
+		t.Errorf("rebased unwait = %+v", u)
+	}
+	// Instance clipped and rebased.
+	if len(out.Instances) != 1 || out.Instances[0].Start != 0 || out.Instances[0].End != 4000 {
+		t.Errorf("instances = %+v", out.Instances)
+	}
+	// Thread metadata carried for used threads.
+	if out.ThreadName(1) != "App!UI" || out.ThreadName(2) != "App!W0" {
+		t.Error("thread metadata lost")
+	}
+	// Frames re-interned.
+	if out.NumFrames() == 0 || out.Frame(0) == "" {
+		t.Error("frame table empty")
+	}
+}
+
+func TestSliceEmptyWindow(t *testing.T) {
+	s := sliceFixture()
+	if _, err := s.Slice(5, 5); err == nil {
+		t.Error("empty window accepted")
+	}
+	out, err := s.Slice(20000, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != 0 {
+		t.Error("out-of-range window has events")
+	}
+}
+
+func TestMergeOffsetsAndRemaps(t *testing.T) {
+	a := sliceFixture()
+	b := sliceFixture()
+	m, err := Merge("merged", 1000, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events) != len(a.Events)+len(b.Events) {
+		t.Fatalf("events = %d", len(m.Events))
+	}
+	if len(m.Instances) != 2 {
+		t.Fatalf("instances = %d", len(m.Instances))
+	}
+	// The second stream's instance starts after the first stream's span
+	// plus the gap and uses remapped TIDs.
+	first, second := m.Instances[0], m.Instances[1]
+	if second.Start <= first.End {
+		t.Error("second stream not offset")
+	}
+	if second.TID == first.TID {
+		t.Error("thread IDs collide after merge")
+	}
+	// Events sorted by time.
+	for i := 1; i < len(m.Events); i++ {
+		if m.Events[i].Time < m.Events[i-1].Time {
+			t.Fatal("merged events unsorted")
+		}
+	}
+}
+
+func TestMergeNothing(t *testing.T) {
+	if _, err := Merge("x", 0); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestEventsCSV(t *testing.T) {
+	s := sliceFixture()
+	var buf bytes.Buffer
+	if err := s.WriteEventsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Events)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(s.Events)+1)
+	}
+	if rows[0][1] != "type" || rows[1][1] != "running" {
+		t.Errorf("unexpected rows: %v %v", rows[0], rows[1])
+	}
+	if !strings.Contains(rows[1][7], "fs.sys!Read") {
+		t.Errorf("stack column = %q", rows[1][7])
+	}
+}
+
+func TestInstancesCSV(t *testing.T) {
+	c := NewCorpus(sliceFixture(), sliceFixture())
+	var buf bytes.Buffer
+	if err := c.WriteInstancesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 instances
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[1][2] != "S" || rows[2][0] != "1" {
+		t.Errorf("instance rows wrong: %v %v", rows[1], rows[2])
+	}
+}

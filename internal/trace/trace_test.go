@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternFrameDedup(t *testing.T) {
+	s := NewStream("t")
+	a := s.InternFrame("fs.sys!Read")
+	b := s.InternFrame("fv.sys!Query")
+	c := s.InternFrame("fs.sys!Read")
+	if a == b {
+		t.Error("distinct frames share an ID")
+	}
+	if a != c {
+		t.Error("same frame got two IDs")
+	}
+	if s.NumFrames() != 2 {
+		t.Errorf("frame table has %d entries, want 2", s.NumFrames())
+	}
+	if got := s.Frame(a); got != "fs.sys!Read" {
+		t.Errorf("Frame(%d) = %q", a, got)
+	}
+	if got := s.Frame(FrameID(99)); got != "" {
+		t.Errorf("out-of-range frame = %q, want empty", got)
+	}
+}
+
+func TestInternStackDedupAndCopy(t *testing.T) {
+	s := NewStream("t")
+	f1, f2 := s.InternFrame("a!x"), s.InternFrame("b!y")
+	in := []FrameID{f1, f2}
+	id1 := s.InternStack(in)
+	in[0] = f2 // mutate caller slice; the stream must hold a copy
+	id2 := s.InternStack([]FrameID{f1, f2})
+	if id1 != id2 {
+		t.Error("same stack interned twice")
+	}
+	got := s.Stack(id1)
+	if len(got) != 2 || got[0] != f1 || got[1] != f2 {
+		t.Errorf("stack = %v, want [%d %d]", got, f1, f2)
+	}
+	if s.InternStack(nil) != NoStack {
+		t.Error("empty stack must intern to NoStack")
+	}
+}
+
+func TestStackStrings(t *testing.T) {
+	s := NewStream("t")
+	id := s.InternStackStrings("kernel!Wait", "fs.sys!Read", "App!Main")
+	got := s.StackStrings(id)
+	want := []string{"kernel!Wait", "fs.sys!Read", "App!Main"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StackStrings = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	base := func() *Stream {
+		s := NewStream("t")
+		st := s.InternStackStrings("a!b")
+		s.AppendEvent(Event{Type: Running, Time: 0, Cost: 1000, TID: 1, WTID: NoThread, Stack: st})
+		return s
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Stream)
+	}{
+		{"bad type", func(s *Stream) { s.Events[0].Type = EventType(9) }},
+		{"negative cost", func(s *Stream) { s.Events[0].Cost = -1 }},
+		{"negative time", func(s *Stream) { s.Events[0].Time = -5 }},
+		{"stack out of range", func(s *Stream) { s.Events[0].Stack = 42 }},
+		{"unwait without target", func(s *Stream) {
+			s.Events[0].Type = Unwait
+			s.Events[0].WTID = NoThread
+		}},
+		{"instance reversed", func(s *Stream) {
+			s.Instances = append(s.Instances, Instance{Scenario: "S", TID: 1, Start: 10, End: 5})
+		}},
+		{"instance unnamed", func(s *Stream) {
+			s.Instances = append(s.Instances, Instance{TID: 1, Start: 0, End: 5})
+		}},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	s := NewStream("t")
+	st := s.InternStackStrings("a!b")
+	s.AppendEvent(Event{Type: Running, Time: 50, Cost: 1, TID: 2, Stack: st, WTID: NoThread})
+	s.AppendEvent(Event{Type: Running, Time: 10, Cost: 1, TID: 1, Stack: st, WTID: NoThread})
+	s.AppendEvent(Event{Type: Running, Time: 50, Cost: 1, TID: 1, Stack: st, WTID: NoThread})
+	s.SortEvents()
+	if s.Events[0].Time != 10 {
+		t.Error("not sorted by time")
+	}
+	if s.Events[1].TID != 1 || s.Events[2].TID != 2 {
+		t.Error("ties not broken by TID")
+	}
+}
+
+func TestModuleFunction(t *testing.T) {
+	if Module("fs.sys!Read") != "fs.sys" || Function("fs.sys!Read") != "Read" {
+		t.Error("frame parsing broken")
+	}
+	if Module("plain") != "plain" || Function("plain") != "" {
+		t.Error("separator-free frame parsing broken")
+	}
+	if FrameString("a", "b") != "a!b" {
+		t.Error("FrameString broken")
+	}
+}
+
+func TestThreadName(t *testing.T) {
+	s := NewStream("t")
+	s.SetThread(3, "Browser", "UI")
+	if got := s.ThreadName(3); got != "Browser!UI" {
+		t.Errorf("ThreadName = %q", got)
+	}
+	if got := s.ThreadName(9); got != "T9" {
+		t.Errorf("unknown ThreadName = %q", got)
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500us"},
+		{1500, "1.50ms"},
+		{2_500_000, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d -> %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestEventEnd(t *testing.T) {
+	e := Event{Time: 100, Cost: 50}
+	if e.End() != 150 {
+		t.Errorf("End = %d", e.End())
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	f := NewComponentFilter("*.sys")
+	cases := []struct {
+		frame string
+		want  bool
+	}{
+		{"fs.sys!Read", true},
+		{"FS.SYS!Read", true}, // case-insensitive
+		{"kernel!Wait", false},
+		{"Browser!Main", false},
+		{"sys!X", false},
+		{".sys!X", true},
+	}
+	for _, c := range cases {
+		if got := f.MatchFrame(c.frame); got != c.want {
+			t.Errorf("MatchFrame(%q) = %v, want %v", c.frame, got, c.want)
+		}
+	}
+}
+
+func TestWildcardPatterns(t *testing.T) {
+	cases := []struct {
+		pattern, module string
+		want            bool
+	}{
+		{"*", "anything", true},
+		{"fs.sys", "fs.sys", true},
+		{"fs.sys", "fv.sys", false},
+		{"f*.sys", "fs.sys", true},
+		{"f*.sys", "net.sys", false},
+		{"*s*", "fs.sys", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "aXcYb", false},
+	}
+	for _, c := range cases {
+		f := NewComponentFilter(c.pattern)
+		if got := f.MatchModule(c.module); got != c.want {
+			t.Errorf("%q ~ %q = %v, want %v", c.pattern, c.module, got, c.want)
+		}
+	}
+}
+
+// TestWildcardStarSubsetProperty: any module matched by a literal pattern
+// is matched by the same pattern with '*' appended or prepended.
+func TestWildcardStarSubsetProperty(t *testing.T) {
+	prop := func(mod string) bool {
+		if len(mod) > 40 {
+			mod = mod[:40]
+		}
+		lit := NewComponentFilter(mod)
+		star1 := NewComponentFilter(mod + "*")
+		star2 := NewComponentFilter("*" + mod)
+		if !lit.MatchModule(mod) && mod != "" {
+			return false
+		}
+		if mod == "" {
+			return true
+		}
+		return star1.MatchModule(mod) && star2.MatchModule(mod)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopSignature(t *testing.T) {
+	s := NewStream("t")
+	id := s.InternStackStrings("kernel!AcquireLock", "fv.sys!Query", "fs.sys!Read", "App!Main")
+	f := AllDrivers()
+	sig, ok := f.TopSignature(s, id)
+	if !ok || sig != "fv.sys!Query" {
+		t.Errorf("TopSignature = %q, %v; want fv.sys!Query", sig, ok)
+	}
+	appOnly := s.InternStackStrings("kernel!Wait", "App!Main")
+	if _, ok := f.TopSignature(s, appOnly); ok {
+		t.Error("app-only stack matched driver filter")
+	}
+	if f.MatchStack(s, NoStack) {
+		t.Error("NoStack matched")
+	}
+}
+
+func TestNilFilterMatchesNothing(t *testing.T) {
+	var f *ComponentFilter
+	if f.MatchModule("fs.sys") {
+		t.Error("nil filter matched")
+	}
+}

@@ -1,0 +1,28 @@
+package waitgraph_test
+
+import (
+	"fmt"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/waitgraph"
+)
+
+// Example builds the Wait Graph of the §2.2 BrowserTabCreate instance and
+// extracts its critical path: the chain of waits that explains why the
+// tab took over 800 ms.
+func Example() {
+	stream := scenario.MotivatingCase()
+	b := waitgraph.NewBuilder(stream, 0, waitgraph.Options{})
+	for _, in := range stream.Instances {
+		if in.Scenario != scenario.BrowserTabCreate {
+			continue
+		}
+		g := b.Instance(in)
+		path := g.CriticalPath()
+		fmt.Println("first hop:", path[0].Signature)
+		fmt.Println("last hop is hardware:", path[len(path)-1].Node.Type.String() == "hwservice")
+	}
+	// Output:
+	// first hop: fv.sys!QueryFileTable
+	// last hop is hardware: true
+}

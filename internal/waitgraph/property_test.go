@@ -1,0 +1,153 @@
+package waitgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tracescope/internal/drivers"
+	"tracescope/internal/sim"
+	"tracescope/internal/stats"
+	"tracescope/internal/trace"
+)
+
+// randomWorkloadStream builds a small random workload: several threads
+// running random driver operations over shared buckets, with recorded
+// instances.
+func randomWorkloadStream(seed int64) *trace.Stream {
+	rng := stats.NewRand(seed)
+	cfg := drivers.Config{
+		Encrypted:      rng.Bool(0.5),
+		AVFilter:       rng.Bool(0.5),
+		DiskProtection: rng.Bool(0.2),
+		MDULocks:       1 + rng.Intn(3),
+		FileTableLocks: 1 + rng.Intn(3),
+	}
+	st := drivers.NewStack(cfg, drivers.DefaultLatency(), rng)
+	k := sim.NewKernel(sim.Config{StreamID: "prop", PoolSizes: map[string]int{"SvcHost": 1}})
+
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		bucket := rng.Intn(3)
+		sev := 1 + rng.Float64()*2
+		var ops []sim.Op
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			switch rng.Intn(6) {
+			case 0:
+				ops = append(ops, st.FileOpen(bucket, 1, sev, sev)...)
+			case 1:
+				ops = append(ops, st.NetworkFetch(sev))
+			case 2:
+				ops = append(ops, st.CacheLookup(bucket, 0.5, sev, sev))
+			case 3:
+				ops = append(ops, st.GPUAcquire(2000, rng.Bool(0.2)))
+			case 4:
+				ops = append(ops, st.ServiceQuery(bucket, sev, sev))
+			default:
+				ops = append(ops, sim.Burn(trace.Duration(rng.Intn(5000))))
+			}
+		}
+		start := trace.Time(rng.Intn(int(20 * trace.Millisecond)))
+		var th *sim.Thread
+		th = k.Spawn("P", "T", []string{"P!Main"}, ops, start, func(end trace.Time) {
+			k.RecordInstance(trace.Instance{Scenario: "R", TID: th.TID(), Start: start, End: end})
+		})
+	}
+	k.Run(0)
+	return k.Finish()
+}
+
+// TestGraphInvariantsOnRandomWorkloads quick-checks structural invariants
+// of Wait Graphs over random simulated workloads:
+//
+//  1. every wait node in a complete simulation has a matched unwait;
+//  2. children overlap their parent's wait window;
+//  3. a node's children belong to the unwaiting thread;
+//  4. graphs are acyclic (Walk terminates; depth is bounded);
+//  5. root events belong to the initiating thread.
+func TestGraphInvariantsOnRandomWorkloads(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := randomWorkloadStream(seed)
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: invalid stream: %v", seed, err)
+			return false
+		}
+		b := NewBuilder(s, 0, Options{})
+		for _, in := range s.Instances {
+			g := b.Instance(in)
+			ok := true
+			g.Walk(func(n *Node, depth int) bool {
+				if depth > 48 {
+					t.Logf("seed %d: depth %d exceeds bound", seed, depth)
+					ok = false
+					return false
+				}
+				if n.Type == trace.Wait {
+					if !n.HasUnwait {
+						t.Logf("seed %d: orphan wait at t=%v", seed, n.Time)
+						ok = false
+						return false
+					}
+					for _, c := range n.Children {
+						if c.TID != n.UnwaitTID {
+							t.Logf("seed %d: child thread %d != unwaiter %d", seed, c.TID, n.UnwaitTID)
+							ok = false
+							return false
+						}
+						if c.Time >= n.End() || c.End() <= n.Time {
+							// Running samples may straddle boundaries by
+							// up to one sampling interval.
+							if c.Type != trace.Running {
+								t.Logf("seed %d: child [%v,%v) outside wait [%v,%v)",
+									seed, c.Time, c.End(), n.Time, n.End())
+								ok = false
+								return false
+							}
+						}
+					}
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+			for _, r := range g.Roots {
+				if r.TID != in.TID {
+					t.Logf("seed %d: root on thread %d, instance on %d", seed, r.TID, in.TID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsConservation: per instance, the top-level wait time counted by
+// the impact-style traversal can never exceed the instance span times the
+// number of concurrently waiting threads (here: the roots are one
+// thread, so top-level root waits fit in the span).
+func TestStatsConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := randomWorkloadStream(seed)
+		b := NewBuilder(s, 0, Options{})
+		for _, in := range s.Instances {
+			g := b.Instance(in)
+			var rootWait trace.Duration
+			for _, r := range g.Roots {
+				if r.Type == trace.Wait {
+					rootWait += r.Cost
+				}
+			}
+			if rootWait > in.Duration() {
+				t.Logf("seed %d: root waits %v exceed instance span %v", seed, rootWait, in.Duration())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

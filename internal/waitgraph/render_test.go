@@ -1,0 +1,146 @@
+package waitgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+func motivatingGraph(t *testing.T) *Graph {
+	t.Helper()
+	s := scenario.MotivatingCase()
+	b := NewBuilder(s, 0, Options{})
+	for _, in := range s.Instances {
+		if in.Scenario == scenario.BrowserTabCreate {
+			return b.Instance(in)
+		}
+	}
+	t.Fatal("no BrowserTabCreate instance")
+	return nil
+}
+
+func TestComputeStats(t *testing.T) {
+	g := motivatingGraph(t)
+	st := g.ComputeStats()
+	if st.Nodes == 0 || st.Waits == 0 || st.Runnings == 0 || st.Hardware == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.MaxDepth < 4 {
+		t.Errorf("max depth = %d; the propagation chain is deeper", st.MaxDepth)
+	}
+	if st.Orphans != 0 {
+		t.Errorf("orphans = %d in a complete simulation", st.Orphans)
+	}
+	if st.TotalWait < 2*trace.Second {
+		t.Errorf("TotalWait = %v; the chain carries multiple 780ms waits", st.TotalWait)
+	}
+	if st.Nodes != g.NumNodes() {
+		t.Errorf("stats nodes %d != NumNodes %d", st.Nodes, g.NumNodes())
+	}
+}
+
+func TestGraphWriteText(t *testing.T) {
+	g := motivatingGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BrowserTabCreate", "Browser!UI",
+		"fv.sys!QueryFileTable", "hwservice",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+	// Depth limiting shrinks output.
+	var shallow bytes.Buffer
+	if err := g.WriteText(&shallow, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Len() >= buf.Len() {
+		t.Error("depth limit did not reduce output")
+	}
+}
+
+func TestGraphWriteDOT(t *testing.T) {
+	g := motivatingGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "m"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "->") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(out, "fv.sys!QueryFileTable") {
+		t.Error("DOT output misses signatures")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT output not closed")
+	}
+}
+
+func TestCriticalPathOnMotivatingCase(t *testing.T) {
+	g := motivatingGraph(t)
+	path := g.CriticalPath()
+	if len(path) < 4 {
+		t.Fatalf("critical path has %d hops; the §2.2 chain is deeper", len(path))
+	}
+	// The chain must start at the UI thread's FileTable wait and bottom
+	// out at the disk hardware service.
+	if path[0].Signature != "fv.sys!QueryFileTable" {
+		t.Errorf("path starts at %s, want fv.sys!QueryFileTable", path[0].Signature)
+	}
+	leaf := path[len(path)-1]
+	if leaf.Node.Type != trace.HardwareService {
+		t.Errorf("path leaf is %v, want the disk hardware service", leaf.Node.Type)
+	}
+	// Intermediate hops pass through fs.sys (MDU) and se.sys (worker).
+	var sawMDU, sawSE bool
+	for _, s := range path {
+		if s.Signature == "fs.sys!AcquireMDU" {
+			sawMDU = true
+		}
+		if s.Signature == "se.sys!ReadDecrypt" {
+			sawSE = true
+		}
+	}
+	if !sawMDU || !sawSE {
+		t.Errorf("path misses the middle drivers: MDU=%v SE=%v", sawMDU, sawSE)
+	}
+	// The disk service explains the bulk of the 791ms root wait.
+	if e := Explained(path); e < 0.5 {
+		t.Errorf("leaf explains only %.0f%% of the root wait", e*100)
+	}
+	var buf bytes.Buffer
+	if err := WriteCriticalPath(&buf, g, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "critical path") {
+		t.Error("render missing header")
+	}
+}
+
+func TestCriticalPathEmptyForCPUBound(t *testing.T) {
+	s := trace.NewStream("cpu")
+	st := s.InternStackStrings("App!Busy")
+	s.AppendEvent(trace.Event{Type: trace.Running, Time: 0, Cost: 1000, TID: 1, WTID: trace.NoThread, Stack: st})
+	s.Instances = append(s.Instances, trace.Instance{Scenario: "S", TID: 1, Start: 0, End: 1000})
+	b := NewBuilder(s, 0, Options{})
+	g := b.Instance(s.Instances[0])
+	if got := g.CriticalPath(); got != nil {
+		t.Errorf("CPU-bound instance has a blocking critical path: %v", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteCriticalPath(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no blocking critical path") {
+		t.Error("empty-path message missing")
+	}
+}

@@ -1,0 +1,213 @@
+package waitgraph
+
+import (
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/sim"
+	"tracescope/internal/trace"
+)
+
+const ms = trace.Millisecond
+
+// buildChainStream makes a stream where thread 10 waits on a lock held by
+// thread 20, which itself waits on a disk read served by pseudo-thread 30.
+func buildChainStream(t *testing.T) *trace.Stream {
+	t.Helper()
+	k := sim.NewKernel(sim.Config{StreamID: "chain"})
+	holder := k.Spawn("P", "Holder", []string{"P!Main"}, sim.Seq(
+		sim.Invoke("fs.sys!AcquireMDU",
+			sim.WithLock("L",
+				sim.Invoke("fs.sys!Read", sim.DeviceOp{Device: "disk", D: 20 * ms}),
+			)...,
+		),
+	), 0, nil)
+	var end trace.Time
+	waiter := k.Spawn("Q", "Waiter", []string{"Q!Main"}, sim.Seq(
+		sim.Invoke("fs.sys!AcquireMDU",
+			sim.WithLock("L", sim.Burn(2*ms))...,
+		),
+	), trace.Time(1*ms), func(e trace.Time) { end = e })
+	k.Run(0)
+	s := k.Finish()
+	s.Instances = append(s.Instances, trace.Instance{
+		Scenario: "Chain", TID: waiter.TID(), Start: trace.Time(1 * ms), End: end,
+	})
+	_ = holder
+	return s
+}
+
+func TestInstanceGraphChain(t *testing.T) {
+	s := buildChainStream(t)
+	b := NewBuilder(s, 0, Options{})
+	g := b.Instance(s.Instances[0])
+
+	if len(g.Roots) == 0 {
+		t.Fatal("no roots")
+	}
+	// Find the waiter's wait node among the roots.
+	var waitRoot *Node
+	for _, r := range g.Roots {
+		if r.Type == trace.Wait {
+			waitRoot = r
+		}
+	}
+	if waitRoot == nil {
+		t.Fatal("no wait root; the waiter must block on the lock")
+	}
+	if !waitRoot.HasUnwait {
+		t.Fatal("wait root has no paired unwait")
+	}
+	if waitRoot.Cost != 19*ms {
+		t.Errorf("wait cost = %v, want 19ms", waitRoot.Cost)
+	}
+	// The unwait signature is the holder's release-point stack.
+	sawAcquireMDU := false
+	for _, f := range s.StackStrings(waitRoot.UnwaitStack) {
+		if f == "fs.sys!AcquireMDU" {
+			sawAcquireMDU = true
+		}
+	}
+	if !sawAcquireMDU {
+		t.Errorf("unwait stack %v missing fs.sys!AcquireMDU", s.StackStrings(waitRoot.UnwaitStack))
+	}
+	// Children include the holder's disk wait, which recursively includes
+	// the hardware-service event.
+	var holderWait *Node
+	for _, c := range waitRoot.Children {
+		if c.Type == trace.Wait {
+			holderWait = c
+		}
+	}
+	if holderWait == nil {
+		t.Fatal("waiter's children do not include the holder's disk wait")
+	}
+	foundHW := false
+	for _, c := range holderWait.Children {
+		if c.Type == trace.HardwareService {
+			foundHW = true
+			if c.Cost != 20*ms {
+				t.Errorf("hardware cost = %v, want 20ms", c.Cost)
+			}
+		}
+	}
+	if !foundHW {
+		t.Error("holder's wait has no hardware-service child")
+	}
+}
+
+func TestChildWindowsNestInParentWait(t *testing.T) {
+	s := scenario.MotivatingCase()
+	b := NewBuilder(s, 0, Options{})
+	for _, in := range s.Instances {
+		g := b.Instance(in)
+		g.Walk(func(n *Node, depth int) bool {
+			if n.Type != trace.Wait || !n.HasUnwait {
+				return true
+			}
+			for _, c := range n.Children {
+				if c.Time >= n.End() && c.Type != trace.Running {
+					t.Errorf("child %v@%v starts after parent wait [%v,%v)",
+						c.Type, c.Time, n.Time, n.End())
+				}
+				if c.End() <= n.Time && c.Type != trace.Running {
+					t.Errorf("child %v ends before parent wait starts", c.Type)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestMotivatingCaseGraphReachesSE(t *testing.T) {
+	s := scenario.MotivatingCase()
+	b := NewBuilder(s, 0, Options{})
+	var tab trace.Instance
+	for _, in := range s.Instances {
+		if in.Scenario == scenario.BrowserTabCreate {
+			tab = in
+		}
+	}
+	g := b.Instance(tab)
+	// The UI thread's graph must transitively reach the se.sys decrypt
+	// running samples and the disk hardware service: the full propagation
+	// chain of Figure 1.
+	var sawSE, sawDisk bool
+	g.Walk(func(n *Node, depth int) bool {
+		for _, f := range g.Stream.StackStrings(n.Stack) {
+			if f == "se.sys!ReadDecrypt" && n.Type == trace.Running {
+				sawSE = true
+			}
+		}
+		if n.Type == trace.HardwareService {
+			sawDisk = true
+		}
+		return true
+	})
+	if !sawSE {
+		t.Error("UI instance graph never reaches se.sys!ReadDecrypt running events")
+	}
+	if !sawDisk {
+		t.Error("UI instance graph never reaches the disk hardware service")
+	}
+}
+
+func TestSharedEventsAcrossInstances(t *testing.T) {
+	s := scenario.MotivatingCase()
+	b := NewBuilder(s, 0, Options{})
+	// The CM instance's own wait events should also appear inside the
+	// BrowserTabCreate instance's graph (cost propagation across
+	// instances) — this is what Dwaitdist measures.
+	events := make(map[trace.EventID]int)
+	for _, in := range s.Instances {
+		g := b.Instance(in)
+		g.Walk(func(n *Node, depth int) bool {
+			if n.Type == trace.Wait {
+				events[n.Event]++
+			}
+			return true
+		})
+	}
+	shared := 0
+	for _, n := range events {
+		if n > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no wait event is shared across instances; cost propagation is not captured")
+	}
+}
+
+func TestOrphanWaitHasNoChildren(t *testing.T) {
+	s := trace.NewStream("orphan")
+	st := s.InternStackStrings("kernel!WaitForObject", "x.sys!Op", "App!Main")
+	s.AppendEvent(trace.Event{Type: trace.Wait, Time: 0, Cost: 5 * ms, TID: 1, WTID: trace.NoThread, Stack: st})
+	s.Instances = append(s.Instances, trace.Instance{Scenario: "S", TID: 1, Start: 0, End: trace.Time(5 * ms)})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(s, 0, Options{})
+	g := b.Instance(s.Instances[0])
+	if len(g.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(g.Roots))
+	}
+	if g.Roots[0].HasUnwait || len(g.Roots[0].Children) != 0 {
+		t.Error("orphan wait must have no pair and no children")
+	}
+}
+
+func TestBuilderCachesNodes(t *testing.T) {
+	s := scenario.MotivatingCase()
+	b := NewBuilder(s, 0, Options{})
+	g1 := b.Instance(s.Instances[0])
+	g2 := b.Instance(s.Instances[0])
+	if len(g1.Roots) != len(g2.Roots) {
+		t.Fatal("rebuild differs")
+	}
+	for i := range g1.Roots {
+		if g1.Roots[i] != g2.Roots[i] {
+			t.Error("nodes are not shared between builds of the same instance")
+		}
+	}
+}

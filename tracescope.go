@@ -1,0 +1,235 @@
+// Package tracescope is a trace-based performance-analysis library
+// reproducing "Comprehending Performance from Real-World Execution
+// Traces: A Device-Driver Case" (Yu, Han, Zhang, Xie — ASPLOS 2014).
+//
+// The library has two halves:
+//
+//   - A workload substrate: a discrete-event kernel/driver-stack
+//     simulator that emits ETW-shaped trace streams (four event types:
+//     running samples, wait, unwait, hardware service) for configurable
+//     fleets of machines running the paper's application scenarios.
+//
+//   - The paper's contribution: impact analysis (Wait Graphs; IArun,
+//     IAwait, IAopt) and causality analysis (fast/slow contrast classes,
+//     Aggregated Wait Graphs, Signature Set Tuple contrast mining,
+//     ranking, and the evaluation's coverage metrics).
+//
+// Quick start:
+//
+//	corpus := tracescope.Generate(tracescope.GenerateConfig{Seed: 1, Streams: 20})
+//	an := tracescope.NewAnalyzer(corpus)
+//	m := an.Impact(tracescope.AllDrivers(), "")
+//	fmt.Println(m) // IAwait / IArun / IAopt over the whole corpus
+//
+//	tf, ts, _ := tracescope.Thresholds(tracescope.BrowserTabCreate)
+//	res, _ := an.Causality(tracescope.CausalityConfig{
+//		Scenario: tracescope.BrowserTabCreate, Tfast: tf, Tslow: ts,
+//	})
+//	for _, p := range res.Patterns[:3] {
+//		fmt.Println(p.AvgC(), p.Tuple)
+//	}
+package tracescope
+
+import (
+	"tracescope/internal/awg"
+	"tracescope/internal/baseline"
+	"tracescope/internal/core"
+	"tracescope/internal/detect"
+	"tracescope/internal/impact"
+	"tracescope/internal/mining"
+	"tracescope/internal/scenario"
+	"tracescope/internal/sigset"
+	"tracescope/internal/trace"
+)
+
+// Trace-schema types (§2.1 of the paper).
+type (
+	// Corpus is a collection of trace streams.
+	Corpus = trace.Corpus
+	// Stream is one trace stream: events, interned callstacks, and
+	// scenario-instance records.
+	Stream = trace.Stream
+	// Event is a single tracing event.
+	Event = trace.Event
+	// Instance is a scenario-instance record ⟨TS, S, TID, t0, t1⟩.
+	Instance = trace.Instance
+	// InstanceRef locates an instance within a corpus.
+	InstanceRef = trace.InstanceRef
+	// Duration is a time span in microseconds.
+	Duration = trace.Duration
+	// Time is a timestamp in microseconds from stream start.
+	Time = trace.Time
+	// ComponentFilter selects components by module-name patterns.
+	ComponentFilter = trace.ComponentFilter
+)
+
+// Analysis types (§3–§4).
+type (
+	// Analyzer runs impact and causality analyses over a corpus.
+	Analyzer = core.Analyzer
+	// ImpactMetrics carries Dscn/Dwait/Drun/Dwaitdist and the derived
+	// IArun, IAwait, IAopt.
+	ImpactMetrics = impact.Metrics
+	// CausalityConfig parameterises a causality analysis.
+	CausalityConfig = core.CausalityConfig
+	// CausalityResult carries ranked contrast patterns and the
+	// evaluation's aggregates.
+	CausalityResult = core.CausalityResult
+	// Pattern is a ranked contrast pattern.
+	Pattern = mining.Pattern
+	// Tuple is a Signature Set Tuple.
+	Tuple = sigset.Tuple
+	// AWG is an Aggregated Wait Graph.
+	AWG = awg.Graph
+)
+
+// Workload-generation types.
+type (
+	// GenerateConfig parameterises corpus generation.
+	GenerateConfig = scenario.Config
+)
+
+// Analyst-workflow extensions.
+type (
+	// KnownPattern is a by-design behaviour to separate from actionable
+	// findings (the paper's §5.2.5 future-work direction).
+	KnownPattern = core.KnownPattern
+	// PatternOccurrence is a concrete instance exhibiting a pattern.
+	PatternOccurrence = core.PatternOccurrence
+	// ComponentImpact is one module's share in a per-driver breakdown.
+	ComponentImpact = core.ComponentImpact
+)
+
+// PatternDiff classifies pattern movement between two analyses
+// (before/after a fix); PatternChange pairs one pattern's observations.
+type (
+	PatternDiff   = core.PatternDiff
+	PatternChange = core.PatternChange
+)
+
+// DiffPatterns compares the discovered patterns of two causality analyses
+// — typically before and after a change — and classifies them as
+// introduced, resolved, regressed, improved, or stable.
+func DiffPatterns(before, after *CausalityResult) PatternDiff {
+	return core.DiffPatterns(before, after)
+}
+
+// FilterKnown splits ranked patterns into actionable and known by-design
+// ones, preserving rank order.
+func FilterKnown(patterns []Pattern, known []KnownPattern) (actionable, byDesign []Pattern) {
+	return core.FilterKnown(patterns, known)
+}
+
+// DiskProtectionByDesign returns the paper's §5.2.5 example of a known
+// exceptional behaviour: dp.sys halting I/O while the machine is in
+// motion.
+func DiskProtectionByDesign() KnownPattern { return core.DiskProtectionByDesign() }
+
+// Baseline types (§6 comparisons).
+type (
+	// Profile is a gprof-style call-graph CPU profile.
+	Profile = baseline.Profile
+	// ContentionReport is a per-lock contention summary.
+	ContentionReport = baseline.ContentionReport
+	// StackMineResult carries costly callstack patterns (the StackMine
+	// baseline of §6).
+	StackMineResult = baseline.StackMineResult
+)
+
+// The eight selected scenarios of the paper's evaluation (Table 1).
+const (
+	AppAccessControl   = scenario.AppAccessControl
+	AppNonResponsive   = scenario.AppNonResponsive
+	BrowserFrameCreate = scenario.BrowserFrameCreate
+	BrowserTabClose    = scenario.BrowserTabClose
+	BrowserTabCreate   = scenario.BrowserTabCreate
+	BrowserTabSwitch   = scenario.BrowserTabSwitch
+	MenuDisplay        = scenario.MenuDisplay
+	WebPageNavigation  = scenario.WebPageNavigation
+)
+
+// Millisecond and Second are Duration units.
+const (
+	Millisecond = trace.Millisecond
+	Second      = trace.Second
+)
+
+// Generate produces a corpus of simulated ETW-shaped trace streams for
+// the configured fleet. Equal seeds yield identical corpora.
+func Generate(cfg GenerateConfig) *Corpus { return scenario.Generate(cfg) }
+
+// MotivatingCase deterministically replays the three-driver
+// cost-propagation case of the paper's §2.2 (Figure 1) as a single
+// stream.
+func MotivatingCase() *Stream { return scenario.MotivatingCase() }
+
+// NewAnalyzer indexes a corpus for impact and causality analyses.
+func NewAnalyzer(c *Corpus) *Analyzer { return core.NewAnalyzer(c) }
+
+// AllDrivers returns the component filter the paper's evaluation uses:
+// every module matching "*.sys".
+func AllDrivers() *ComponentFilter { return trace.AllDrivers() }
+
+// NewComponentFilter builds a filter from module-name patterns
+// (wildcards allowed, e.g. "net.sys", "*.sys").
+func NewComponentFilter(patterns ...string) *ComponentFilter {
+	return trace.NewComponentFilter(patterns...)
+}
+
+// SelectedScenarios lists the eight evaluation scenarios in Table 1
+// order.
+func SelectedScenarios() []string { return scenario.Selected() }
+
+// AllScenarios lists every scenario the generator can produce, sorted.
+func AllScenarios() []string { return scenario.All() }
+
+// Thresholds returns the developer thresholds (Tfast, Tslow) of a named
+// scenario.
+func Thresholds(name string) (tfast, tslow Duration, ok bool) {
+	return scenario.Thresholds(name)
+}
+
+// WriteCorpusDir persists a corpus as binary stream files plus an index.
+func WriteCorpusDir(c *Corpus, dir string) error { return c.WriteDir(dir) }
+
+// ReadCorpusDir loads a corpus written with WriteCorpusDir.
+func ReadCorpusDir(dir string) (*Corpus, error) { return trace.ReadDir(dir) }
+
+// CallGraphProfile computes a gprof-style CPU profile of the corpus: the
+// call-dependency baseline of §6 (sees CPU only, never waiting).
+func CallGraphProfile(c *Corpus) *Profile { return baseline.CallGraphProfile(c) }
+
+// LockContention computes a per-lock contention report: the
+// single-lock baseline of §6 (sees each lock in isolation, never chains).
+func LockContention(c *Corpus, filter *ComponentFilter) *ContentionReport {
+	return baseline.LockContention(c, filter)
+}
+
+// MineStacks runs the StackMine-style costly-callstack baseline (§6):
+// within-thread wait patterns by shared callstack prefix.
+func MineStacks(c *Corpus, filter *ComponentFilter, minSupport int64) *StackMineResult {
+	return baseline.MineStacks(c, filter, minSupport)
+}
+
+// Detection types: deriving scenario instances from raw streams.
+type (
+	// DetectionRule maps a scenario entry-point frame to its scenario.
+	DetectionRule = detect.Rule
+	// Detector reconstructs scenario instances from raw streams.
+	Detector = detect.Detector
+)
+
+// NewDetector builds an instance detector from rules.
+func NewDetector(rules []DetectionRule) *Detector { return detect.NewDetector(rules) }
+
+// CatalogDetectionRules returns detection rules for every scenario the
+// generator can produce, keyed by their entry-point frames.
+func CatalogDetectionRules() []DetectionRule {
+	var rules []DetectionRule
+	for _, name := range scenario.All() {
+		if frame, ok := scenario.EntryFrame(name); ok && frame != "" {
+			rules = append(rules, DetectionRule{EntryFrame: frame, Scenario: name})
+		}
+	}
+	return rules
+}

@@ -1,0 +1,165 @@
+// Package devstack models Windows-style layered device stacks: ordered
+// driver objects with per-major-function dispatch routines, where a
+// request enters at the top filter and travels down via IoCallDriver-like
+// nesting (the hierarchical architecture §2.2 of the paper builds its
+// motivating case on). Dispatch produces sim op trees, so stacks plug
+// straight into the workload kernel.
+//
+// A file-system stack with a filter and encryption lower driver:
+//
+//	stack := devstack.New(
+//		devstack.Driver{Name: "flt.sys", Dispatch: devstack.DispatchMap{
+//			devstack.Read: func(req *devstack.Request) devstack.Action {
+//				return devstack.Action{
+//					Frame:  "flt.sys!PreRead",
+//					Before: workload.WithLock("flt:DB", workload.Burn(200)),
+//					Down:   true, // forward to the next driver
+//				}
+//			},
+//		}},
+//		devstack.Driver{Name: "fsys.sys", Dispatch: devstack.DispatchMap{
+//			devstack.Read: func(req *devstack.Request) devstack.Action {
+//				return devstack.Action{
+//					Frame: "fsys.sys!Read",
+//					After: []workload.Op{workload.DeviceOp{Device: "disk", D: req.Size}},
+//				}
+//			},
+//		}},
+//	)
+//	ops := stack.Call(devstack.Read, &devstack.Request{Size: 2 * workload.Millisecond})
+package devstack
+
+import (
+	"fmt"
+
+	"tracescope/internal/sim"
+	"tracescope/internal/trace"
+)
+
+// Major identifies a request's major function, like an IRP major code.
+type Major int
+
+// The request kinds a stack can dispatch.
+const (
+	Create Major = iota
+	Read
+	Write
+	Cleanup
+	DeviceControl
+)
+
+// String implements fmt.Stringer.
+func (m Major) String() string {
+	switch m {
+	case Create:
+		return "Create"
+	case Read:
+		return "Read"
+	case Write:
+		return "Write"
+	case Cleanup:
+		return "Cleanup"
+	case DeviceControl:
+		return "DeviceControl"
+	default:
+		return fmt.Sprintf("Major(%d)", int(m))
+	}
+}
+
+// Request carries the parameters of one dispatched operation.
+type Request struct {
+	// Size parameterises the operation's magnitude (a transfer's
+	// service duration, say); drivers interpret it as they see fit.
+	Size trace.Duration
+	// Flags carries free-form per-request options for custom drivers.
+	Flags map[string]bool
+}
+
+// Action is one driver's handling of a request:
+//
+//   - Frame is pushed onto the callstack for everything the driver does
+//     (defaults to "<driver>!<Major>").
+//   - Before ops run before the request is forwarded down the stack.
+//   - Down forwards the request to the next lower driver (IoCallDriver);
+//     lower-driver work nests under this driver's Frame, exactly like a
+//     call dependency.
+//   - After ops run once the lower drivers have completed (the
+//     completion-routine side).
+type Action struct {
+	Frame  string
+	Before []sim.Op
+	Down   bool
+	After  []sim.Op
+}
+
+// Routine handles one major function for one driver.
+type Routine func(req *Request) Action
+
+// DispatchMap maps major functions to routines.
+type DispatchMap map[Major]Routine
+
+// Driver is one layer of a device stack.
+type Driver struct {
+	// Name is the driver's module name ("flt.sys").
+	Name string
+	// Dispatch holds the driver's routines; missing majors pass the
+	// request straight down.
+	Dispatch DispatchMap
+}
+
+// Stack is an ordered device stack, topmost driver first.
+type Stack struct {
+	drivers []Driver
+}
+
+// New builds a stack from drivers, topmost (first-attached filter) first.
+func New(drivers ...Driver) *Stack {
+	return &Stack{drivers: drivers}
+}
+
+// Call dispatches a request at the top of the stack and returns the op
+// tree realising it: each driver's work nests under its frame, and
+// forwarding nests the lower drivers' work inside — the hierarchical
+// dependency structure of §2.2.
+func (s *Stack) Call(major Major, req *Request) []sim.Op {
+	if req == nil {
+		req = &Request{}
+	}
+	return s.dispatch(0, major, req)
+}
+
+func (s *Stack) dispatch(level int, major Major, req *Request) []sim.Op {
+	if level >= len(s.drivers) {
+		return nil
+	}
+	d := s.drivers[level]
+	routine, ok := d.Dispatch[major]
+	if !ok {
+		// No routine: pass through transparently.
+		return s.dispatch(level+1, major, req)
+	}
+	act := routine(req)
+	frame := act.Frame
+	if frame == "" {
+		frame = trace.FrameString(d.Name, major.String())
+	}
+	var body []sim.Op
+	body = append(body, act.Before...)
+	if act.Down {
+		body = append(body, s.dispatch(level+1, major, req)...)
+	}
+	body = append(body, act.After...)
+	if len(body) == 0 {
+		return nil
+	}
+	return sim.Seq(sim.Invoke(frame, body...))
+}
+
+// Drivers returns the stack's driver names, topmost first.
+func (s *Stack) Drivers() []string {
+	out := make([]string, len(s.drivers))
+	for i, d := range s.drivers {
+		out[i] = d.Name
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package devstack_test
+
+import (
+	"testing"
+
+	"tracescope"
+	"tracescope/workload"
+	"tracescope/workload/devstack"
+)
+
+const ms = workload.Millisecond
+
+// storageStack builds a three-layer stack mirroring the paper's §2.2
+// hierarchy: filter over file system over encryption.
+func storageStack() *devstack.Stack {
+	return devstack.New(
+		devstack.Driver{Name: "flt.sys", Dispatch: devstack.DispatchMap{
+			devstack.Read: func(req *devstack.Request) devstack.Action {
+				return devstack.Action{
+					Frame:  "flt.sys!PreRead",
+					Before: workload.WithLock("flt:Table", workload.Burn(2*ms)),
+					Down:   true,
+				}
+			},
+		}},
+		devstack.Driver{Name: "fsys.sys", Dispatch: devstack.DispatchMap{
+			devstack.Read: func(req *devstack.Request) devstack.Action {
+				return devstack.Action{
+					Frame: "fsys.sys!Read",
+					Down:  true,
+				}
+			},
+		}},
+		devstack.Driver{Name: "enc.sys", Dispatch: devstack.DispatchMap{
+			devstack.Read: func(req *devstack.Request) devstack.Action {
+				return devstack.Action{
+					Frame: "enc.sys!Decrypt",
+					Before: []workload.Op{
+						workload.Burn(500),
+						workload.DeviceOp{Device: "disk", D: req.Size},
+					},
+				}
+			},
+		}},
+	)
+}
+
+func TestDispatchNestsFrames(t *testing.T) {
+	stack := storageStack()
+	k := workload.NewKernel(workload.KernelConfig{StreamID: "ds"})
+	k.Spawn("App", "T", []string{"App!Main"},
+		stack.Call(devstack.Read, &devstack.Request{Size: 5 * ms}), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The disk wait's callstack must show the full layered nesting:
+	// enc.sys under fsys.sys under flt.sys under App!Main.
+	var found bool
+	for _, e := range s.Events {
+		frames := s.StackStrings(e.Stack)
+		var order []int
+		for want, sig := range map[int]string{0: "enc.sys!Decrypt", 1: "fsys.sys!Read", 2: "flt.sys!PreRead", 3: "App!Main"} {
+			for i, f := range frames {
+				if f == sig {
+					order = append(order, want*1000+i)
+				}
+			}
+		}
+		if len(order) == 4 {
+			found = true
+			// Innermost (enc.sys) must sit above fsys.sys above flt.sys.
+			pos := map[string]int{}
+			for i, f := range frames {
+				pos[f] = i
+			}
+			if !(pos["enc.sys!Decrypt"] < pos["fsys.sys!Read"] && pos["fsys.sys!Read"] < pos["flt.sys!PreRead"]) {
+				t.Errorf("frames not nested top-down: %v", frames)
+			}
+		}
+	}
+	if !found {
+		t.Error("no event carries the full three-layer stack")
+	}
+}
+
+func TestMissingRoutinePassesThrough(t *testing.T) {
+	stack := storageStack()
+	// No driver handles Write except none: passes through to nothing.
+	ops := stack.Call(devstack.Write, nil)
+	if len(ops) != 0 {
+		t.Errorf("unhandled major produced %d ops", len(ops))
+	}
+}
+
+func TestActionWithoutDownSkipsLowerDrivers(t *testing.T) {
+	calls := 0
+	stack := devstack.New(
+		devstack.Driver{Name: "top.sys", Dispatch: devstack.DispatchMap{
+			devstack.Create: func(req *devstack.Request) devstack.Action {
+				return devstack.Action{Before: []workload.Op{workload.Burn(100)}} // Down: false
+			},
+		}},
+		devstack.Driver{Name: "bottom.sys", Dispatch: devstack.DispatchMap{
+			devstack.Create: func(req *devstack.Request) devstack.Action {
+				calls++
+				return devstack.Action{Before: []workload.Op{workload.Burn(100)}}
+			},
+		}},
+	)
+	stack.Call(devstack.Create, nil)
+	if calls != 0 {
+		t.Error("lower driver dispatched although Down was false")
+	}
+}
+
+func TestStackEndToEndAnalysis(t *testing.T) {
+	stack := storageStack()
+	corpus := &tracescope.Corpus{}
+	k := workload.NewKernel(workload.KernelConfig{StreamID: "ds"})
+	for i := 0; i < 4; i++ {
+		start := workload.Time(0) // all at once: they contend the filter lock
+		var th *workload.Thread
+		th = k.Spawn("App", "T", []string{"App!Main"},
+			stack.Call(devstack.Read, &devstack.Request{Size: 8 * ms}), start,
+			func(end workload.Time) {
+				k.RecordInstance(tracescope.Instance{Scenario: "LayeredRead", TID: th.TID(), Start: start, End: end})
+			})
+	}
+	k.Run(0)
+	corpus.Add(k.Finish())
+
+	m := tracescope.NewAnalyzer(corpus).Impact(tracescope.NewComponentFilter("*.sys"), "")
+	if m.Dwait <= 0 {
+		t.Error("layered stack produced no measurable driver waits")
+	}
+	// The filter lock creates contention across the four requests.
+	r := tracescope.LockContention(corpus, tracescope.NewComponentFilter("*.sys"))
+	if r.TotalWait <= 0 {
+		t.Error("no contention on the filter's table lock")
+	}
+}
+
+func TestDriversAccessor(t *testing.T) {
+	stack := storageStack()
+	names := stack.Drivers()
+	if len(names) != 3 || names[0] != "flt.sys" || names[2] != "enc.sys" {
+		t.Errorf("Drivers() = %v", names)
+	}
+}
+
+func TestDefaultFrame(t *testing.T) {
+	stack := devstack.New(devstack.Driver{Name: "x.sys", Dispatch: devstack.DispatchMap{
+		devstack.DeviceControl: func(req *devstack.Request) devstack.Action {
+			return devstack.Action{Before: []workload.Op{workload.Burn(2 * ms)}}
+		},
+	}})
+	k := workload.NewKernel(workload.KernelConfig{StreamID: "df"})
+	k.Spawn("A", "T", nil, stack.Call(devstack.DeviceControl, nil), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	var saw bool
+	for _, e := range s.Events {
+		for _, f := range s.StackStrings(e.Stack) {
+			if f == "x.sys!DeviceControl" {
+				saw = true
+			}
+		}
+	}
+	if !saw {
+		t.Error("default frame x.sys!DeviceControl not emitted")
+	}
+}

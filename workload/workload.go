@@ -1,0 +1,109 @@
+// Package workload exposes the trace-generation toolkit: the
+// discrete-event kernel, the thread-program ops, and the synthetic driver
+// stack. Use it to model your own drivers and scenarios and emit
+// ETW-shaped trace streams that the tracescope analyses consume.
+//
+// A minimal custom workload:
+//
+//	k := workload.NewKernel(workload.KernelConfig{StreamID: "demo"})
+//	k.Spawn("App", "UI", []string{"App!Main"}, workload.Seq(
+//		workload.Invoke("my.sys!DoWork",
+//			workload.WithLock("my:Lock", workload.Burn(2*workload.Millisecond))...,
+//		),
+//	), 0, nil)
+//	k.Run(0)
+//	stream := k.Finish()
+package workload
+
+import (
+	"tracescope/internal/drivers"
+	"tracescope/internal/sim"
+	"tracescope/internal/stats"
+	"tracescope/internal/trace"
+)
+
+// Simulation types.
+type (
+	// Kernel is a single-machine discrete-event simulation emitting one
+	// trace stream.
+	Kernel = sim.Kernel
+	// KernelConfig parameterises a kernel (cores, worker pools, device
+	// channels, sampling interval).
+	KernelConfig = sim.Config
+	// Thread is a simulated thread handle.
+	Thread = sim.Thread
+
+	// Op is one step of a thread program.
+	Op = sim.Op
+	// Compute consumes CPU; Acquire/Release operate FIFO locks;
+	// DeviceOp blocks on a hardware service; AsyncCall posts work to a
+	// worker pool and blocks for completion; Call nests a program under
+	// a pushed stack frame; Fork spawns an independent thread.
+	Compute   = sim.Compute
+	Call      = sim.Call
+	Acquire   = sim.Acquire
+	Release   = sim.Release
+	DeviceOp  = sim.DeviceOp
+	AsyncCall = sim.AsyncCall
+	Fork      = sim.Fork
+	Delay     = sim.Delay
+)
+
+// Driver-substrate types.
+type (
+	// DriverStack is the configured synthetic driver stack of a machine.
+	DriverStack = drivers.Stack
+	// DriverConfig selects which drivers a machine runs.
+	DriverConfig = drivers.Config
+	// Latency parameterises device and computation latencies.
+	Latency = drivers.Latency
+	// DriverType is a Table 4 driver category.
+	DriverType = drivers.Type
+)
+
+// Rand is the deterministic random source used across generation.
+type Rand = stats.Rand
+
+// Duration and Time re-export the trace units.
+type (
+	Duration = trace.Duration
+	Time     = trace.Time
+)
+
+// Millisecond and Second are Duration units.
+const (
+	Millisecond = trace.Millisecond
+	Second      = trace.Second
+)
+
+// NewKernel builds a simulation kernel.
+func NewKernel(cfg KernelConfig) *Kernel { return sim.NewKernel(cfg) }
+
+// NewRand returns a deterministic random source.
+func NewRand(seed int64) *Rand { return stats.NewRand(seed) }
+
+// NewDriverStack builds a synthetic driver stack.
+func NewDriverStack(cfg DriverConfig, lat Latency, rng *Rand) *DriverStack {
+	return drivers.NewStack(cfg, lat, rng)
+}
+
+// DefaultLatency returns the default latency profile.
+func DefaultLatency() Latency { return drivers.DefaultLatency() }
+
+// Program-building helpers.
+var (
+	// Seq builds an op sequence.
+	Seq = sim.Seq
+	// Invoke nests a program under a "module!function" frame.
+	Invoke = sim.Invoke
+	// WithLock brackets a program with an exclusive Acquire/Release;
+	// WithSharedLock takes the reader side of an ERESOURCE-style lock.
+	WithLock       = sim.WithLock
+	WithSharedLock = sim.WithSharedLock
+	// Burn is shorthand for a Compute op.
+	Burn = sim.Burn
+)
+
+// TypeOfFrame classifies a "module!function" signature into a Table 4
+// driver category.
+func TypeOfFrame(frame string) (DriverType, bool) { return drivers.TypeOfFrame(frame) }

@@ -1,0 +1,109 @@
+package workload_test
+
+import (
+	"testing"
+
+	"tracescope"
+	"tracescope/workload"
+)
+
+const ms = workload.Millisecond
+
+// TestCustomDriverEndToEnd builds a bespoke driver workload with every op
+// kind and runs the full analysis pipeline over it.
+func TestCustomDriverEndToEnd(t *testing.T) {
+	rng := workload.NewRand(9)
+	corpus := &tracescope.Corpus{}
+
+	for machine := 0; machine < 4; machine++ {
+		k := workload.NewKernel(workload.KernelConfig{
+			StreamID:       "m",
+			DeviceChannels: map[string]int{"bus": 2},
+			PoolSizes:      map[string]int{"Svc": 1},
+		})
+		for i := 0; i < 6; i++ {
+			start := workload.Time(rng.Intn(int(10 * ms)))
+			var th *workload.Thread
+			th = k.Spawn("App", "T", []string{"App!Main"}, workload.Seq(
+				workload.Burn(workload.Duration(rng.Uniform(2, 8))*ms),
+				workload.Invoke("bus.sys!Submit",
+					append(workload.WithLock("bus:Q",
+						workload.Burn(200),
+						workload.DeviceOp{Device: "bus", D: workload.Duration(rng.Uniform(1, 5)) * ms},
+					), workload.AsyncCall{
+						Pool: "Svc",
+						Body: workload.Seq(workload.Invoke("bus.sys!Complete", workload.Burn(500))),
+					})...,
+				),
+				workload.Delay{D: 1 * ms},
+				workload.Fork{Process: "App", Name: "BG", Body: workload.Seq(workload.Burn(2 * ms))},
+			), start, func(end workload.Time) {
+				k.RecordInstance(tracescope.Instance{
+					Scenario: "BusOp", TID: th.TID(), Start: start, End: end,
+				})
+			})
+		}
+		k.Run(0)
+		s := k.Finish()
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		corpus.Add(s)
+	}
+
+	an := tracescope.NewAnalyzer(corpus)
+	m := an.Impact(tracescope.NewComponentFilter("bus.sys"), "")
+	if m.Dwait <= 0 {
+		t.Fatal("custom driver produced no measurable waits")
+	}
+	res, err := an.Causality(tracescope.CausalityConfig{
+		Scenario: "BusOp",
+		Tfast:    m.Dscn / tracescope.Duration(m.Instances) / 2,
+		Tslow:    m.Dscn / tracescope.Duration(m.Instances),
+		Filter:   tracescope.NewComponentFilter("bus.sys"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowCount > 0 && len(res.Patterns) == 0 {
+		t.Error("slow class without patterns")
+	}
+	for _, p := range res.Patterns {
+		for _, sig := range p.Tuple.Signatures() {
+			mod := sig[:7]
+			if mod != "bus.sys" && sig != "HardwareService" && mod[:3] != "bus" {
+				t.Errorf("foreign signature %q under a bus.sys filter", sig)
+			}
+		}
+	}
+}
+
+func TestSharedLockExportedHelpers(t *testing.T) {
+	k := workload.NewKernel(workload.KernelConfig{StreamID: "rw"})
+	ends := make([]workload.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("A", "T", nil, workload.WithSharedLock("l", workload.Burn(5*ms)), 0,
+			func(e workload.Time) { ends[i] = e })
+	}
+	k.Run(0)
+	k.Finish()
+	if ends[0] != workload.Time(5*ms) || ends[1] != workload.Time(5*ms) {
+		t.Errorf("readers serialized: %v", ends)
+	}
+}
+
+func TestDriverStackExported(t *testing.T) {
+	st := workload.NewDriverStack(workload.DriverConfig{Encrypted: true},
+		workload.DefaultLatency(), workload.NewRand(3))
+	k := workload.NewKernel(workload.KernelConfig{StreamID: "d"})
+	k.Spawn("App", "T", []string{"App!Main"}, st.FileOpen(1, 1, 1, 1), 0, nil)
+	k.Run(0)
+	s := k.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no events from the exported driver stack")
+	}
+}
