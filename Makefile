@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments experiments-md report fuzz clean
+.PHONY: all build vet test test-short test-race bench bench-json \
+	experiments experiments-md report fuzz clean
 
 all: build vet test
 
@@ -18,8 +19,18 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-enabled run: the analysis engine parallelises by default, so this
+# is the gate CI enforces.
+test-race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable engine benchmark (worker-count sweep) for the perf
+# trajectory across changes.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_engine.json
 
 # Regenerate the paper's evaluation on a fresh corpus.
 experiments:
@@ -40,4 +51,4 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzSlice -fuzztime 15s
 
 clean:
-	rm -f report.html test_output.txt bench_output.txt
+	rm -f report.html test_output.txt bench_output.txt BENCH_*.json *.dot

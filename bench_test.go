@@ -51,16 +51,73 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 }
 
 // BenchmarkHeadlineImpact regenerates the §5.1 headline metrics
-// (IAwait/IArun/IAopt, Dwait/Dwaitdist) over the full corpus.
+// (IAwait/IArun/IAopt, Dwait/Dwaitdist) over the full corpus, on the
+// explicit sequential path and on the default shard-and-merge engine
+// (GOMAXPROCS workers). Results are identical; only the schedule
+// differs.
 func BenchmarkHeadlineImpact(b *testing.B) {
 	s := benchSetup(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		an := core.NewAnalyzer(s.Corpus)
-		m := an.Impact(trace.AllDrivers(), "")
-		if m.IAwait() <= 0 {
-			b.Fatal("degenerate impact")
-		}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"engine", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an := core.NewAnalyzerOptions(s.Corpus, core.Options{Workers: bc.workers})
+				m := an.Impact(trace.AllDrivers(), "")
+				if m.IAwait() <= 0 {
+					b.Fatal("degenerate impact")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelHeadlineImpact sweeps the engine's worker count on
+// the headline impact analysis. cmd/benchjson runs the same sweep and
+// emits BENCH_engine.json for the perf trajectory.
+func BenchmarkParallelHeadlineImpact(b *testing.B) {
+	s := benchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			an := core.NewAnalyzerOptions(s.Corpus, core.Options{Workers: workers})
+			an.SetGraphCacheLimit(0) // cold graphs every iteration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := an.Impact(trace.AllDrivers(), "")
+				if m.IAwait() <= 0 {
+					b.Fatal("degenerate impact")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCausality sweeps the engine's worker count on the
+// full §4 pipeline for the paper's exemplar scenario.
+func BenchmarkParallelCausality(b *testing.B) {
+	s := benchSetup(b)
+	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabCreate)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			an := core.NewAnalyzerOptions(s.Corpus, core.Options{Workers: workers})
+			an.SetGraphCacheLimit(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := an.Causality(core.CausalityConfig{
+					Scenario: scenario.BrowserTabCreate, Tfast: tf, Tslow: ts,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Patterns) == 0 {
+					b.Fatal("no patterns")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,157 @@
+// Command benchjson measures the shard-and-merge analysis engine across
+// worker counts and writes the results as machine-readable JSON
+// (BENCH_engine.json by default), so successive changes have a recorded
+// perf trajectory. It benchmarks the two engine-backed pipelines —
+// headline impact analysis and one full causality analysis — with the
+// Wait-Graph cache disabled, so every iteration measures real graph
+// assembly and measurement work.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_engine.json] [-seed N] [-streams N]
+//	          [-episodes N] [-workers 1,2,4,8]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tracescope/internal/core"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// Report is the BENCH_engine.json schema.
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Corpus      struct {
+		Seed      int64 `json:"seed"`
+		Streams   int   `json:"streams"`
+		Episodes  int   `json:"episodes"`
+		Instances int   `json:"instances"`
+		Events    int   `json:"events"`
+	} `json:"corpus"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_engine.json", "output file")
+		seed     = flag.Int64("seed", 1, "corpus generation seed")
+		streams  = flag.Int("streams", 24, "number of trace streams")
+		episodes = flag.Int("episodes", 10, "episodes per stream")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+	)
+	flag.Parse()
+
+	sweep, err := parseWorkers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	corpus := scenario.Generate(scenario.Config{Seed: *seed, Streams: *streams, Episodes: *episodes})
+	rep := &Report{GeneratedBy: "cmd/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep.Corpus.Seed = *seed
+	rep.Corpus.Streams = *streams
+	rep.Corpus.Episodes = *episodes
+	rep.Corpus.Instances = corpus.NumInstances()
+	rep.Corpus.Events = corpus.NumEvents()
+
+	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabCreate)
+	pipelines := []struct {
+		name string
+		run  func(an *core.Analyzer)
+	}{
+		{"headline-impact", func(an *core.Analyzer) {
+			if m := an.Impact(trace.AllDrivers(), ""); m.IAwait() <= 0 {
+				fatal(fmt.Errorf("degenerate impact"))
+			}
+		}},
+		{"causality-" + scenario.BrowserTabCreate, func(an *core.Analyzer) {
+			if _, err := an.Causality(core.CausalityConfig{
+				Scenario: scenario.BrowserTabCreate, Tfast: tf, Tslow: ts,
+			}); err != nil {
+				fatal(err)
+			}
+		}},
+	}
+
+	for _, p := range pipelines {
+		base := int64(0)
+		for _, w := range sweep {
+			an := core.NewAnalyzerOptions(corpus, core.Options{Workers: w})
+			an.SetGraphCacheLimit(0) // measure real work every iteration
+			p.run(an)                // warm the per-stream builders once
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.run(an)
+				}
+			})
+			r := Result{
+				Name:       p.name,
+				Workers:    w,
+				Iterations: res.N,
+				NsPerOp:    res.NsPerOp(),
+			}
+			if base == 0 {
+				base = r.NsPerOp
+			}
+			if r.NsPerOp > 0 {
+				r.SpeedupVs1 = float64(base) / float64(r.NsPerOp)
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-32s workers=%-2d %12d ns/op  speedup %.2fx\n",
+				p.name, w, r.NsPerOp, r.SpeedupVs1)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("benchjson: bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: no worker counts")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"tracescope/internal/core"
 	"tracescope/internal/experiments"
 	"tracescope/internal/report"
 	"tracescope/internal/scenario"
@@ -28,12 +29,13 @@ func main() {
 		episodes = flag.Int("episodes", 14, "episodes per stream")
 		md       = flag.Bool("md", false, "emit the full evaluation as Markdown (EXPERIMENTS.md) to stdout")
 		html     = flag.String("html", "", "write the full evaluation as a self-contained HTML report to this file")
+		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
-	suite := experiments.NewSuite(scenario.Config{
+	suite := experiments.NewSuiteOptions(scenario.Config{
 		Seed: *seed, Streams: *streams, Episodes: *episodes,
-	})
+	}, core.Options{Workers: *workers})
 	if *md {
 		if err := suite.WriteMarkdown(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

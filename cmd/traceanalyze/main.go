@@ -30,6 +30,7 @@ func main() {
 		locate       = flag.Bool("locate", false, "locate concrete slow instances for the top pattern")
 		baselines    = flag.Bool("baselines", false, "also run the §6 baselines (profile, contention, StackMine)")
 		perComponent = flag.Bool("percomponent", false, "print the per-driver impact breakdown")
+		workers      = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -46,7 +47,7 @@ func main() {
 		corpus.NumStreams(), corpus.NumInstances(), corpus.NumEvents())
 
 	filter := tracescope.NewComponentFilter(*components)
-	an := tracescope.NewAnalyzer(corpus)
+	an := tracescope.NewAnalyzerOptions(corpus, tracescope.AnalyzerOptions{Workers: *workers})
 
 	m := an.Impact(filter, *scen)
 	scope := "all scenarios"

@@ -1,0 +1,108 @@
+package awg
+
+import (
+	"bytes"
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// caseGraphs builds the motivating case's Wait Graphs.
+func caseGraphs(t *testing.T) []*waitgraph.Graph {
+	t.Helper()
+	s := scenario.MotivatingCase()
+	b := waitgraph.NewBuilder(s, 0, waitgraph.Options{})
+	var graphs []*waitgraph.Graph
+	for _, in := range s.Instances {
+		graphs = append(graphs, b.Instance(in))
+	}
+	if len(graphs) < 2 {
+		t.Fatalf("motivating case yielded %d graphs", len(graphs))
+	}
+	return graphs
+}
+
+func renderAWG(t *testing.T, g *Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestAggregatorAddMatchesAggregate: streaming graphs one at a time
+// through an Aggregator equals the all-at-once Aggregate.
+func TestAggregatorAddMatchesAggregate(t *testing.T) {
+	graphs := caseGraphs(t)
+	want := Aggregate(graphs, trace.AllDrivers(), DefaultOptions())
+
+	ag := NewAggregator(trace.AllDrivers(), DefaultOptions())
+	for _, wg := range graphs {
+		ag.Add(wg)
+	}
+	got := ag.Finish()
+
+	if a, b := renderAWG(t, got), renderAWG(t, want); a != b {
+		t.Fatalf("incremental aggregation differs:\n%s\n--- want ---\n%s", a, b)
+	}
+	if got.ReducedCost != want.ReducedCost || got.KeptCost != want.KeptCost {
+		t.Fatalf("reduction accounting differs: %v/%v vs %v/%v",
+			got.ReducedCost, got.KeptCost, want.ReducedCost, want.KeptCost)
+	}
+}
+
+// TestAggregatorMergeMatchesAggregate: aggregating shards separately and
+// merging their unreduced forests — reduction running only on the merged
+// result — equals the sequential aggregation, for every split point.
+func TestAggregatorMergeMatchesAggregate(t *testing.T) {
+	graphs := caseGraphs(t)
+	want := Aggregate(graphs, trace.AllDrivers(), DefaultOptions())
+
+	for split := 1; split < len(graphs); split++ {
+		noReduce := Options{Reduce: false}
+		left := NewAggregator(trace.AllDrivers(), noReduce)
+		for _, wg := range graphs[:split] {
+			left.Add(wg)
+		}
+		right := NewAggregator(trace.AllDrivers(), noReduce)
+		for _, wg := range graphs[split:] {
+			right.Add(wg)
+		}
+
+		final := NewAggregator(trace.AllDrivers(), DefaultOptions())
+		final.Merge(left.Partial())
+		final.Merge(right.Partial())
+		got := final.Finish()
+
+		if a, b := renderAWG(t, got), renderAWG(t, want); a != b {
+			t.Fatalf("split at %d differs:\n%s\n--- want ---\n%s", split, a, b)
+		}
+		if got.ReducedCost != want.ReducedCost || got.KeptCost != want.KeptCost {
+			t.Fatalf("split at %d: reduction accounting %v/%v, want %v/%v",
+				split, got.ReducedCost, got.KeptCost, want.ReducedCost, want.KeptCost)
+		}
+	}
+}
+
+// TestAggregatorFinishIdempotent: Finish must not re-run the reduction
+// (double-counting ReducedCost/KeptCost) on repeated calls.
+func TestAggregatorFinishIdempotent(t *testing.T) {
+	graphs := caseGraphs(t)
+	ag := NewAggregator(trace.AllDrivers(), DefaultOptions())
+	for _, wg := range graphs {
+		ag.Add(wg)
+	}
+	first := ag.Finish()
+	kept, reduced := first.KeptCost, first.ReducedCost
+	second := ag.Finish()
+	if second != first {
+		t.Fatal("Finish returned a different graph")
+	}
+	if second.KeptCost != kept || second.ReducedCost != reduced {
+		t.Fatalf("repeated Finish changed accounting: %v/%v -> %v/%v",
+			kept, reduced, second.KeptCost, second.ReducedCost)
+	}
+}

@@ -148,27 +148,14 @@ func DefaultOptions() Options { return Options{Reduce: true} }
 // Aggregate runs Algorithm 1 over the Wait Graphs of one contrast class:
 // eliminate component-irrelevant nodes, merge wait/unwait pairs (already
 // paired during Wait-Graph construction), aggregate paths by common
-// signature prefix, and reduce non-optimizable portions.
+// signature prefix, and reduce non-optimizable portions. It is the
+// all-at-once form of Aggregator.
 func Aggregate(graphs []*waitgraph.Graph, filter *trace.ComponentFilter, opts Options) *Graph {
-	opts.applyDefaults()
-	g := &Graph{roots: make(map[string]*Node)}
-	cache := trace.NewFilterCache(filter)
+	ag := NewAggregator(filter, opts)
 	for _, wg := range graphs {
-		agg := &aggregator{
-			g:      g,
-			stream: wg.Stream,
-			filter: cache,
-			seen:   make(map[nodeEvent]bool),
-			depth:  opts.MaxDepth,
-		}
-		for _, root := range wg.Roots {
-			agg.walk(root, nil, 0)
-		}
+		ag.Add(wg)
 	}
-	if opts.Reduce {
-		g.reduce()
-	}
-	return g
+	return ag.Finish()
 }
 
 // nodeEvent dedups accumulation of one trace event into one AWG node

@@ -12,35 +12,85 @@ import (
 	"fmt"
 
 	"tracescope/internal/awg"
+	"tracescope/internal/engine"
 	"tracescope/internal/impact"
 	"tracescope/internal/mining"
 	"tracescope/internal/trace"
 	"tracescope/internal/waitgraph"
 )
 
+// Options tunes how the analyzer schedules its work.
+type Options struct {
+	// Workers bounds the shard-and-merge worker pool used by Impact and
+	// Causality. Zero means GOMAXPROCS; one forces the sequential path.
+	// Results are bit-for-bit identical at any setting: shards never
+	// split a stream, per-shard partials are deterministic, and merges
+	// happen in shard-index order.
+	Workers int
+}
+
 // Analyzer runs impact and causality analyses over one corpus, sharing
 // Wait-Graph construction between them.
 type Analyzer struct {
 	corpus *trace.Corpus
 	imp    *impact.Analyzer
+	opts   Options
 }
 
-// NewAnalyzer indexes a corpus for analysis.
+// NewAnalyzer indexes a corpus for analysis with default options.
 func NewAnalyzer(c *trace.Corpus) *Analyzer {
-	return &Analyzer{corpus: c, imp: impact.NewAnalyzer(c, waitgraph.Options{})}
+	return NewAnalyzerOptions(c, Options{})
+}
+
+// NewAnalyzerOptions indexes a corpus for analysis.
+func NewAnalyzerOptions(c *trace.Corpus, opts Options) *Analyzer {
+	return &Analyzer{
+		corpus: c,
+		imp:    impact.NewAnalyzer(c, waitgraph.Options{}),
+		opts:   opts,
+	}
 }
 
 // Corpus returns the corpus under analysis.
 func (a *Analyzer) Corpus() *trace.Corpus { return a.corpus }
 
+// GraphCacheStats reports the shared Wait-Graph cache's counters.
+func (a *Analyzer) GraphCacheStats() impact.CacheStats { return a.imp.GraphCacheStats() }
+
+// SetGraphCacheLimit rebounds the shared Wait-Graph cache (0 disables
+// caching) — for corpora whose graph set must not stay RAM-resident, and
+// for benchmarks that need cold-cache measurements.
+func (a *Analyzer) SetGraphCacheLimit(n int) { a.imp.SetGraphCacheLimit(n) }
+
+// engineOptions maps the analyzer options onto the engine's.
+func (a *Analyzer) engineOptions() engine.Options {
+	return engine.Options{Workers: a.opts.Workers}
+}
+
 // Impact measures the chosen components over all instances of the named
-// scenario ("" means every instance): step one of the approach.
+// scenario ("" means every instance): step one of the approach, run as a
+// shard-and-merge over the engine's worker pool.
 func (a *Analyzer) Impact(filter *trace.ComponentFilter, scenario string) impact.Metrics {
-	var refs []trace.InstanceRef
-	if scenario != "" {
-		refs = a.corpus.InstancesOf(scenario)
+	return a.impactOver(filter, a.corpus.InstancesOf(scenario))
+}
+
+// impactOver shards refs by stream, measures each shard on the pool, and
+// merges the partials in shard order.
+func (a *Analyzer) impactOver(filter *trace.ComponentFilter, refs []trace.InstanceRef) impact.Metrics {
+	eng := a.engineOptions()
+	shards := engine.ShardByStream(refs, eng.TargetShards())
+	merged := engine.MapMerge(len(shards), eng,
+		func(i int) *impact.Partial {
+			return a.imp.AnalyzeShard(filter, shards[i].Refs)
+		},
+		func(acc, next *impact.Partial) *impact.Partial {
+			acc.Merge(next)
+			return acc
+		})
+	if merged == nil {
+		return impact.Metrics{}
 	}
-	return a.imp.Analyze(filter, refs)
+	return merged.Metrics
 }
 
 // CausalityConfig parameterises one causality analysis.
@@ -166,19 +216,15 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 		return res, nil
 	}
 
-	slowGraphs := a.graphs(slowRefs)
-	fastGraphs := a.graphs(fastRefs)
-
 	awgOpts := awg.Options{MaxDepth: cfg.MaxAWGDepth, Reduce: !cfg.DisableReduce}
-	slowAWG := awg.Aggregate(slowGraphs, cfg.Filter, awgOpts)
-	fastAWG := awg.Aggregate(fastGraphs, cfg.Filter, awgOpts)
+	slowAWG, slowImpact := a.aggregateClass(slowRefs, cfg.Filter, awgOpts, true)
+	fastAWG, _ := a.aggregateClass(fastRefs, cfg.Filter, awgOpts, false)
 
 	slowMetas, segSlow := mining.EnumerateMetas(slowAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
 	fastMetas, segFast := mining.EnumerateMetas(fastAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
 	contrasts := mining.DiscoverContrasts(slowMetas, fastMetas, cfg.Tfast, cfg.Tslow)
 	patterns := mining.DiscoverPatterns(slowAWG, contrasts)
 
-	slowImpact := a.imp.Analyze(cfg.Filter, slowRefs)
 	res.SlowImpact = slowImpact
 	// The coverage denominator is the slow class's total driver time
 	// under the same full-path accounting as pattern costs, plus the
@@ -215,13 +261,53 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 	return res, nil
 }
 
-// graphs builds Wait Graphs for the given instances.
-func (a *Analyzer) graphs(refs []trace.InstanceRef) []*waitgraph.Graph {
-	out := make([]*waitgraph.Graph, len(refs))
-	for i, ref := range refs {
-		out[i] = a.imp.Graph(ref)
+// classPartial is one shard's contribution to a contrast class: an
+// unreduced AWG forest plus (for the slow class) the impact partial
+// measured off the same Wait Graphs.
+type classPartial struct {
+	awg *awg.Graph
+	imp *impact.Partial
+}
+
+// aggregateClass builds one contrast class's Aggregated Wait Graph — and,
+// when withImpact is set, its impact metrics — as a shard-and-merge over
+// the engine. Each shard streams its instances' Wait Graphs through an
+// incremental aggregator (graphs are never collected into a slice), each
+// graph is fetched once and feeds both the aggregation and the impact
+// measurement, and the per-shard forests are merged in shard-index order
+// before the non-optimizable reduction runs on the merged result.
+func (a *Analyzer) aggregateClass(refs []trace.InstanceRef, filter *trace.ComponentFilter,
+	awgOpts awg.Options, withImpact bool) (*awg.Graph, impact.Metrics) {
+
+	eng := a.engineOptions()
+	shards := engine.ShardByStream(refs, eng.TargetShards())
+	parts := engine.Map(len(shards), eng, func(i int) classPartial {
+		shardOpts := awgOpts
+		shardOpts.Reduce = false // reduction must see the merged forest
+		ag := awg.NewAggregator(filter, shardOpts)
+		var p *impact.Partial
+		var fc *trace.FilterCache
+		if withImpact {
+			p = impact.NewPartial()
+			fc = trace.NewFilterCache(filter)
+		}
+		for _, ref := range shards[i].Refs {
+			g := a.imp.Graph(ref)
+			ag.Add(g)
+			if withImpact {
+				p.AddGraph(g, fc)
+			}
+		}
+		return classPartial{awg: ag.Partial(), imp: p}
+	})
+
+	final := awg.NewAggregator(filter, awgOpts)
+	imp := impact.NewPartial()
+	for _, pt := range parts {
+		final.Merge(pt.awg)
+		imp.Merge(pt.imp)
 	}
-	return out
+	return final.Finish(), imp.Metrics
 }
 
 // TopCoverage reports the ranking coverage of the top fraction of

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+// equivalenceCorpus is shared by the parallel-vs-sequential tests.
+func equivalenceCorpus(t *testing.T) *trace.Corpus {
+	t.Helper()
+	return scenario.Generate(scenario.Config{Seed: 5, Streams: 12, Episodes: 6})
+}
+
+func renderAWG(t *testing.T, g *awg.Graph) string {
+	t.Helper()
+	if g == nil {
+		return "<nil>"
+	}
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelImpactEquivalence: impact metrics at workers ∈ {2, 4, 8}
+// are bit-for-bit identical to the sequential Workers: 1 run, for the
+// whole corpus and per scenario.
+func TestParallelImpactEquivalence(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	seq := NewAnalyzerOptions(corpus, Options{Workers: 1})
+	scopes := append([]string{""}, scenario.Selected()...)
+	for _, workers := range []int{2, 4, 8} {
+		par := NewAnalyzerOptions(corpus, Options{Workers: workers})
+		for _, scope := range scopes {
+			want := seq.Impact(trace.AllDrivers(), scope)
+			got := par.Impact(trace.AllDrivers(), scope)
+			if got != want {
+				t.Errorf("workers=%d scope=%q:\n  got  %v\n  want %v", workers, scope, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelCausalityEquivalence: the full causality result — class
+// sizes, ranked pattern list, coverages, reduction accounting, impact
+// metrics, and the slow-class AWG — is identical at every worker count.
+func TestParallelCausalityEquivalence(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	runCausality := func(workers int, name string) *CausalityResult {
+		t.Helper()
+		an := NewAnalyzerOptions(corpus, Options{Workers: workers})
+		tf, ts, ok := scenario.Thresholds(name)
+		if !ok {
+			t.Fatalf("no thresholds for %q", name)
+		}
+		res, err := an.Causality(CausalityConfig{Scenario: name, Tfast: tf, Tslow: ts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, name := range []string{scenario.BrowserTabCreate, scenario.WebPageNavigation} {
+		want := runCausality(1, name)
+		wantAWG := renderAWG(t, want.SlowAWG)
+		for _, workers := range []int{2, 4, 8} {
+			got := runCausality(workers, name)
+
+			if !reflect.DeepEqual(got.Patterns, want.Patterns) {
+				t.Errorf("%s workers=%d: ranked patterns differ (%d vs %d)",
+					name, workers, len(got.Patterns), len(want.Patterns))
+				continue
+			}
+			gotAWG := renderAWG(t, got.SlowAWG)
+			if gotAWG != wantAWG {
+				t.Errorf("%s workers=%d: slow-class AWG differs:\n%s\n--- want ---\n%s",
+					name, workers, gotAWG, wantAWG)
+				continue
+			}
+			// Everything else is scalar: compare the structs with the
+			// graph and pattern fields (already checked) stripped.
+			g, w := *got, *want
+			g.SlowAWG, w.SlowAWG = nil, nil
+			g.Patterns, w.Patterns = nil, nil
+			if !reflect.DeepEqual(g, w) {
+				t.Errorf("%s workers=%d: result fields differ:\n  got  %+v\n  want %+v",
+					name, workers, g, w)
+			}
+		}
+	}
+}
+
+// TestDefaultAnalyzerUsesEngine: the default Workers: 0 (GOMAXPROCS)
+// configuration equals the explicit sequential run — the engine is on by
+// default and must make no observable difference.
+func TestDefaultAnalyzerUsesEngine(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	def := NewAnalyzer(corpus)
+	seq := NewAnalyzerOptions(corpus, Options{Workers: 1})
+	if got, want := def.Impact(trace.AllDrivers(), ""), seq.Impact(trace.AllDrivers(), ""); got != want {
+		t.Fatalf("default analyzer differs from sequential:\n  got  %v\n  want %v", got, want)
+	}
+}
+
+// TestCausalityGraphCacheReuse: within one causality run every graph is
+// fetched once per class pass, and a following impact analysis over the
+// same scenario is served from the cache — the regression the bounded
+// graph cache fixes (impact + aggregation used to rebuild every graph).
+func TestCausalityGraphCacheReuse(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	an := NewAnalyzerOptions(corpus, Options{Workers: 2})
+	name := scenario.BrowserTabCreate
+	tf, ts, _ := scenario.Thresholds(name)
+	res, err := an.Causality(CausalityConfig{Scenario: name, Tfast: tf, Tslow: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := an.GraphCacheStats()
+	an.Impact(trace.AllDrivers(), name)
+	after := an.GraphCacheStats()
+	// Causality built the fast- and slow-class graphs; only the middle
+	// class (neither fast nor slow) may miss now.
+	middle := int64(res.Instances - res.FastCount - res.SlowCount)
+	if got := after.Misses - before.Misses; got != middle {
+		t.Errorf("impact after causality rebuilt %d graphs, want %d (middle class only)",
+			got, middle)
+	}
+	if want := int64(res.FastCount + res.SlowCount); after.Hits-before.Hits != want {
+		t.Errorf("impact after causality hit %d cached graphs, want %d",
+			after.Hits-before.Hits, want)
+	}
+}

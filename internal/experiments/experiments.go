@@ -35,13 +35,21 @@ type Suite struct {
 	causality map[string]*core.CausalityResult
 }
 
-// NewSuite generates the corpus and indexes it.
+// NewSuite generates the corpus and indexes it with default analysis
+// options.
 func NewSuite(cfg scenario.Config) *Suite {
+	return NewSuiteOptions(cfg, core.Options{})
+}
+
+// NewSuiteOptions generates the corpus and indexes it with the given
+// analysis options (e.g. a fixed worker count for the shard-and-merge
+// engine).
+func NewSuiteOptions(cfg scenario.Config, opts core.Options) *Suite {
 	corpus := scenario.Generate(cfg)
 	return &Suite{
 		Cfg:       cfg,
 		Corpus:    corpus,
-		An:        core.NewAnalyzer(corpus),
+		An:        core.NewAnalyzerOptions(corpus, opts),
 		causality: make(map[string]*core.CausalityResult),
 	}
 }

@@ -1,0 +1,89 @@
+package impact
+
+import (
+	"sync"
+
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// DefaultGraphCacheLimit bounds the per-analyzer Wait-Graph cache. A
+// cached graph is a slice of pointers into its stream's shared node
+// store, so entries are small relative to the streams themselves; the
+// bound exists to keep corpora larger than RAM-resident graph sets
+// analysable.
+const DefaultGraphCacheLimit = 8192
+
+// CacheStats reports Wait-Graph cache effectiveness.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Size      int
+}
+
+// graphCache is a bounded FIFO InstanceRef → Wait-Graph cache. The map
+// is guarded by a mutex so concurrent shards may share it; graph
+// construction itself stays race-free because the engine never assigns
+// one stream to two shards.
+type graphCache struct {
+	mu    sync.Mutex
+	limit int
+	m     map[trace.InstanceRef]*waitgraph.Graph
+	fifo  []trace.InstanceRef
+	stats CacheStats
+}
+
+func newGraphCache(limit int) *graphCache {
+	return &graphCache{limit: limit, m: make(map[trace.InstanceRef]*waitgraph.Graph)}
+}
+
+func (c *graphCache) get(ref trace.InstanceRef) *waitgraph.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.m[ref]; ok {
+		c.stats.Hits++
+		return g
+	}
+	c.stats.Misses++
+	return nil
+}
+
+func (c *graphCache) put(ref trace.InstanceRef, g *waitgraph.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limit <= 0 {
+		return
+	}
+	if _, ok := c.m[ref]; ok {
+		return
+	}
+	for len(c.m) >= c.limit && len(c.fifo) > 0 {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.m, old)
+		c.stats.Evictions++
+	}
+	c.m[ref] = g
+	c.fifo = append(c.fifo, ref)
+}
+
+func (c *graphCache) setLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	for len(c.m) > n && len(c.fifo) > 0 {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.m, old)
+		c.stats.Evictions++
+	}
+}
+
+func (c *graphCache) statsSnapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = len(c.m)
+	return s
+}

@@ -1,0 +1,98 @@
+package impact
+
+import (
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// TestGraphCacheHits is the regression test for the rebuild-per-call
+// behaviour of Analyzer.Graph: a second analysis over the same instances
+// must be served entirely from the Wait-Graph cache. Before the cache,
+// core's causality path paid the rebuild twice (impact + aggregation).
+func TestGraphCacheHits(t *testing.T) {
+	c := trace.NewCorpus(scenario.MotivatingCase())
+	a := NewAnalyzer(c, waitgraph.Options{})
+
+	m1 := a.Analyze(trace.AllDrivers(), nil)
+	s1 := a.GraphCacheStats()
+	if s1.Hits != 0 {
+		t.Fatalf("first pass hit the cache %d times", s1.Hits)
+	}
+	if s1.Misses != int64(m1.Instances) {
+		t.Fatalf("first pass: %d misses, want one per instance (%d)", s1.Misses, m1.Instances)
+	}
+
+	m2 := a.Analyze(trace.AllDrivers(), nil)
+	s2 := a.GraphCacheStats()
+	if m1 != m2 {
+		t.Fatalf("cached analysis differs:\n  %v\n  %v", m1, m2)
+	}
+	if s2.Misses != s1.Misses {
+		t.Errorf("second pass rebuilt graphs: misses %d -> %d", s1.Misses, s2.Misses)
+	}
+	if want := int64(m1.Instances); s2.Hits != want {
+		t.Errorf("second pass: %d hits, want %d", s2.Hits, want)
+	}
+}
+
+// TestGraphCacheBound: the cache evicts oldest-first and never exceeds
+// its limit, and analyses remain correct with a tiny (or disabled)
+// cache.
+func TestGraphCacheBound(t *testing.T) {
+	c := trace.NewCorpus(scenario.MotivatingCase())
+	a := NewAnalyzer(c, waitgraph.Options{})
+	refs := c.InstancesOf("")
+	if len(refs) < 3 {
+		t.Fatalf("motivating case has %d instances, want >= 3", len(refs))
+	}
+	full := a.Analyze(trace.AllDrivers(), refs)
+
+	a.SetGraphCacheLimit(1)
+	if s := a.GraphCacheStats(); s.Size > 1 {
+		t.Fatalf("cache holds %d entries after rebound to 1", s.Size)
+	}
+	bounded := a.Analyze(trace.AllDrivers(), refs)
+	if full != bounded {
+		t.Fatalf("bounded cache changed metrics:\n  %v\n  %v", full, bounded)
+	}
+	if s := a.GraphCacheStats(); s.Size > 1 {
+		t.Errorf("cache grew past its limit: size %d", s.Size)
+	}
+	if s := a.GraphCacheStats(); s.Evictions == 0 {
+		t.Error("no evictions despite limit 1 and multiple instances")
+	}
+
+	a.SetGraphCacheLimit(0)
+	disabled := a.Analyze(trace.AllDrivers(), refs)
+	if full != disabled {
+		t.Fatalf("disabled cache changed metrics:\n  %v\n  %v", full, disabled)
+	}
+}
+
+// TestPartialMergeMatchesSequential: merging per-shard partials in any
+// grouping reproduces the one-pass metrics, including the distinct-wait
+// deduplication across shard boundaries.
+func TestPartialMergeMatchesSequential(t *testing.T) {
+	corpus := scenario.Generate(scenario.Config{Seed: 11, Streams: 6, Episodes: 4})
+	a := NewAnalyzer(corpus, waitgraph.Options{})
+	refs := corpus.InstancesOf("")
+	want := a.Analyze(trace.AllDrivers(), refs)
+
+	for _, parts := range []int{2, 3, 5} {
+		merged := NewPartial()
+		per := (len(refs) + parts - 1) / parts
+		for lo := 0; lo < len(refs); lo += per {
+			hi := lo + per
+			if hi > len(refs) {
+				hi = len(refs)
+			}
+			merged.Merge(a.AnalyzeShard(trace.AllDrivers(), refs[lo:hi]))
+		}
+		if merged.Metrics != want {
+			t.Errorf("%d-way merge differs:\n  %v\n  %v", parts, merged.Metrics, want)
+		}
+	}
+}

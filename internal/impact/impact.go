@@ -69,15 +69,21 @@ func (m Metrics) String() string {
 }
 
 // Analyzer runs impact analyses over one corpus, reusing per-stream
-// Wait-Graph builders across calls.
+// Wait-Graph builders across calls and caching assembled instance graphs
+// in a bounded cache shared with the causality analysis.
 type Analyzer struct {
 	corpus   *trace.Corpus
 	builders []*waitgraph.Builder
+	cache    *graphCache
 }
 
 // NewAnalyzer indexes the corpus for impact analysis.
 func NewAnalyzer(c *trace.Corpus, opts waitgraph.Options) *Analyzer {
-	return &Analyzer{corpus: c, builders: waitgraph.BuildAll(c, opts)}
+	return &Analyzer{
+		corpus:   c,
+		builders: waitgraph.BuildAll(c, opts),
+		cache:    newGraphCache(DefaultGraphCacheLimit),
+	}
 }
 
 // Corpus returns the corpus under analysis.
@@ -87,11 +93,27 @@ func (a *Analyzer) Corpus() *trace.Corpus { return a.corpus }
 // causality analysis so graphs are built once).
 func (a *Analyzer) Builders() []*waitgraph.Builder { return a.builders }
 
-// Graph builds (or retrieves) the Wait Graph of an instance.
+// Graph builds (or retrieves) the Wait Graph of an instance. Cache
+// lookups are thread-safe; concurrent first builds of the same stream
+// must be partitioned by the caller (the engine's stream sharding does
+// this).
 func (a *Analyzer) Graph(ref trace.InstanceRef) *waitgraph.Graph {
+	if g := a.cache.get(ref); g != nil {
+		return g
+	}
 	s := a.corpus.Streams[ref.Stream]
-	return a.builders[ref.Stream].Instance(s.Instances[ref.Instance])
+	g := a.builders[ref.Stream].Instance(s.Instances[ref.Instance])
+	a.cache.put(ref, g)
+	return g
 }
+
+// GraphCacheStats reports the Wait-Graph cache's hit/miss/eviction
+// counters and current size.
+func (a *Analyzer) GraphCacheStats() CacheStats { return a.cache.statsSnapshot() }
+
+// SetGraphCacheLimit rebounds the Wait-Graph cache (0 disables caching),
+// evicting oldest entries if the cache already exceeds the new limit.
+func (a *Analyzer) SetGraphCacheLimit(n int) { a.cache.setLimit(n) }
 
 // Analyze measures the chosen components over the given instances (nil
 // means every instance in the corpus).
@@ -99,53 +121,17 @@ func (a *Analyzer) Analyze(filter *trace.ComponentFilter, refs []trace.InstanceR
 	if refs == nil {
 		refs = a.corpus.InstancesOf("")
 	}
-	var m Metrics
-	distinct := make(map[trace.EventID]bool)
-	cache := trace.NewFilterCache(filter)
-	for _, ref := range refs {
-		g := a.Graph(ref)
-		m.Instances++
-		m.Dscn += g.Instance.Duration()
-		a.measureGraph(g, cache, distinct, &m)
-	}
-	return m
+	return a.AnalyzeShard(filter, refs).Metrics
 }
 
-// measureGraph walks one instance graph accumulating Dwait, Drun, and
-// Dwaitdist. Driver waits are counted only at the top level: a driver
-// wait below a counted driver wait is already included in its parent's
-// cost (§3.2, "total wait duration").
-func (a *Analyzer) measureGraph(g *waitgraph.Graph, filter *trace.FilterCache,
-	distinct map[trace.EventID]bool, m *Metrics) {
-
-	seen := make(map[trace.EventID]bool)
-	var walk func(n *waitgraph.Node, covered bool)
-	walk = func(n *waitgraph.Node, covered bool) {
-		if seen[n.Event] {
-			return
-		}
-		seen[n.Event] = true
-		switch n.Type {
-		case trace.Running:
-			if filter.MatchStack(g.Stream, n.Stack) {
-				m.Drun += n.Cost
-			}
-		case trace.Wait:
-			isDriver := filter.MatchStack(g.Stream, n.Stack)
-			if isDriver && !covered {
-				m.Dwait += n.Cost
-				if !distinct[n.Event] {
-					distinct[n.Event] = true
-					m.Dwaitdist += n.Cost
-				}
-				covered = true
-			}
-			for _, c := range n.Children {
-				walk(c, covered)
-			}
-		}
+// AnalyzeShard measures the chosen components over one shard of
+// instances, returning the mergeable partial. The sequential Analyze is
+// the one-shard special case.
+func (a *Analyzer) AnalyzeShard(filter *trace.ComponentFilter, refs []trace.InstanceRef) *Partial {
+	p := NewPartial()
+	cache := trace.NewFilterCache(filter)
+	for _, ref := range refs {
+		p.AddGraph(a.Graph(ref), cache)
 	}
-	for _, r := range g.Roots {
-		walk(r, false)
-	}
+	return p
 }

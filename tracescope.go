@@ -67,6 +67,9 @@ type (
 type (
 	// Analyzer runs impact and causality analyses over a corpus.
 	Analyzer = core.Analyzer
+	// AnalyzerOptions tunes analysis scheduling (worker-pool size for
+	// the deterministic shard-and-merge engine).
+	AnalyzerOptions = core.Options
 	// ImpactMetrics carries Dscn/Dwait/Drun/Dwaitdist and the derived
 	// IArun, IAwait, IAopt.
 	ImpactMetrics = impact.Metrics
@@ -165,6 +168,14 @@ func MotivatingCase() *Stream { return scenario.MotivatingCase() }
 
 // NewAnalyzer indexes a corpus for impact and causality analyses.
 func NewAnalyzer(c *Corpus) *Analyzer { return core.NewAnalyzer(c) }
+
+// NewAnalyzerOptions indexes a corpus for analysis with explicit
+// scheduling options. Workers bounds the shard-and-merge pool (0 means
+// GOMAXPROCS, 1 forces the sequential path); results are bit-for-bit
+// identical at any worker count.
+func NewAnalyzerOptions(c *Corpus, opts AnalyzerOptions) *Analyzer {
+	return core.NewAnalyzerOptions(c, opts)
+}
 
 // AllDrivers returns the component filter the paper's evaluation uses:
 // every module matching "*.sys".
