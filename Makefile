@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test test-short test-race bench bench-json \
-	experiments experiments-md report fuzz clean
+	bench-corpus experiments experiments-md report fuzz clean
 
 all: build vet test
 
@@ -32,6 +32,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_engine.json
 
+# Machine-readable out-of-core benchmark: load latency (eager vs lazy)
+# plus the stream-cache-limit sweep with decoded-stream high-water marks.
+bench-corpus:
+	$(GO) run ./cmd/benchjson -mode corpus -out BENCH_corpus.json
+
 # Regenerate the paper's evaluation on a fresh corpus.
 experiments:
 	$(GO) run ./cmd/experiments
@@ -44,9 +49,11 @@ experiments-md:
 report:
 	$(GO) run ./cmd/experiments -html report.html
 
-# Short fuzzing pass over the decoder and matcher.
+# Short fuzzing pass over the decoders, index parser, and matcher.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzParseIndex -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzCorpusReadFrom -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzWildcardMatch -fuzztime 15s
 	$(GO) test ./internal/trace/ -fuzz FuzzSlice -fuzztime 15s
 

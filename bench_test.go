@@ -315,6 +315,56 @@ func BenchmarkAblationStackInterning(b *testing.B) {
 	})
 }
 
+// BenchmarkDirSourceAnalysis measures the headline impact analysis over
+// a directory-backed corpus source at several decoded-stream cache
+// limits, against the fully in-memory path. Small limits trade decode
+// work for bounded memory; "cmd/benchjson -mode corpus" runs the same
+// sweep and emits BENCH_corpus.json for the perf trajectory.
+func BenchmarkDirSourceAnalysis(b *testing.B) {
+	s := benchSetup(b)
+	dir := b.TempDir()
+	if err := s.Corpus.WriteDir(dir); err != nil {
+		b.Fatal(err)
+	}
+	want := core.NewAnalyzer(s.Corpus).Impact(trace.AllDrivers(), "")
+
+	b.Run("inmemory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			an := core.NewAnalyzer(s.Corpus)
+			an.SetGraphCacheLimit(0)
+			if m := an.Impact(trace.AllDrivers(), ""); m != want {
+				b.Fatal("in-memory impact diverged")
+			}
+		}
+	})
+	for _, limit := range []int{1, 4, 0} {
+		name := fmt.Sprintf("cache=%d", limit)
+		if limit == 0 {
+			name = "cache=unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			src, err := trace.OpenDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cached := trace.NewCachedSource(src, limit)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				an := core.NewAnalyzer(cached)
+				an.SetGraphCacheLimit(0)
+				if m := an.Impact(trace.AllDrivers(), ""); m != want {
+					b.Fatal("out-of-core impact diverged")
+				}
+				if err := an.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := cached.Stats()
+			b.ReportMetric(float64(st.HighWater), "streams-high-water")
+		})
+	}
+}
+
 // BenchmarkCorpusCodec measures the binary round-trip of a stream.
 func BenchmarkCorpusCodec(b *testing.B) {
 	s := benchSetup(b)

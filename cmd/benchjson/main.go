@@ -1,15 +1,23 @@
-// Command benchjson measures the shard-and-merge analysis engine across
-// worker counts and writes the results as machine-readable JSON
-// (BENCH_engine.json by default), so successive changes have a recorded
-// perf trajectory. It benchmarks the two engine-backed pipelines —
-// headline impact analysis and one full causality analysis — with the
-// Wait-Graph cache disabled, so every iteration measures real graph
-// assembly and measurement work.
+// Command benchjson measures the analysis pipelines and writes the
+// results as machine-readable JSON, so successive changes have a
+// recorded perf trajectory. Two modes:
+//
+//   - engine (default, BENCH_engine.json): sweeps the shard-and-merge
+//     worker pool over the two engine-backed pipelines — headline impact
+//     analysis and one full causality analysis — with the Wait-Graph
+//     cache disabled, so every iteration measures real graph assembly
+//     and measurement work.
+//
+//   - corpus (BENCH_corpus.json): measures out-of-core corpus access —
+//     eager vs lazy load latency, then the headline impact analysis over
+//     a directory-backed source across decoded-stream cache limits,
+//     recording ns/op alongside the cache counters and the
+//     decoded-stream high-water mark (the peak-memory proxy).
 //
 // Usage:
 //
-//	benchjson [-out BENCH_engine.json] [-seed N] [-streams N]
-//	          [-episodes N] [-workers 1,2,4,8]
+//	benchjson [-mode engine|corpus] [-out FILE] [-seed N] [-streams N]
+//	          [-episodes N] [-workers 1,2,4,8] [-cachelimits 2,8,32,0]
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"tracescope/internal/core"
 	"tracescope/internal/scenario"
@@ -36,42 +45,92 @@ type Result struct {
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
 }
 
+// CorpusInfo describes the generated corpus under measurement.
+type CorpusInfo struct {
+	Seed      int64 `json:"seed"`
+	Streams   int   `json:"streams"`
+	Episodes  int   `json:"episodes"`
+	Instances int   `json:"instances"`
+	Events    int   `json:"events"`
+}
+
 // Report is the BENCH_engine.json schema.
 type Report struct {
-	GeneratedBy string `json:"generated_by"`
-	GoMaxProcs  int    `json:"go_max_procs"`
-	Corpus      struct {
-		Seed      int64 `json:"seed"`
-		Streams   int   `json:"streams"`
-		Episodes  int   `json:"episodes"`
-		Instances int   `json:"instances"`
-		Events    int   `json:"events"`
-	} `json:"corpus"`
-	Results []Result `json:"results"`
+	GeneratedBy string     `json:"generated_by"`
+	GoMaxProcs  int        `json:"go_max_procs"`
+	Corpus      CorpusInfo `json:"corpus"`
+	Results     []Result   `json:"results"`
+}
+
+// CorpusResult is one out-of-core analysis measurement: timing plus the
+// stream cache's counters accumulated over the benchmark run.
+type CorpusResult struct {
+	Name       string `json:"name"`
+	CacheLimit int    `json:"cache_limit"`
+	Workers    int    `json:"workers"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	Evictions  int64  `json:"evictions"`
+	// HighWater is the maximum number of decoded streams held at once —
+	// the peak-memory proxy, bounded by cache_limit + workers.
+	HighWater int `json:"high_water"`
+}
+
+// CorpusReport is the BENCH_corpus.json schema.
+type CorpusReport struct {
+	GeneratedBy string     `json:"generated_by"`
+	GoMaxProcs  int        `json:"go_max_procs"`
+	Corpus      CorpusInfo `json:"corpus"`
+	// LoadEagerNs is ReadDir (decode everything up front); LoadLazyNs is
+	// OpenDir (metadata only, from the corpus.index).
+	LoadEagerNs int64          `json:"load_eager_ns"`
+	LoadLazyNs  int64          `json:"load_lazy_ns"`
+	Results     []CorpusResult `json:"results"`
 }
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_engine.json", "output file")
+		mode     = flag.String("mode", "engine", "benchmark family: engine or corpus")
+		out      = flag.String("out", "", "output file (default BENCH_<mode>.json)")
 		seed     = flag.Int64("seed", 1, "corpus generation seed")
 		streams  = flag.Int("streams", 24, "number of trace streams")
 		episodes = flag.Int("episodes", 10, "episodes per stream")
-		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (engine mode)")
+		limits   = flag.String("cachelimits", "2,8,32,0", "comma-separated stream-cache limits to sweep, 0 = unbounded (corpus mode)")
 	)
 	flag.Parse()
-
-	sweep, err := parseWorkers(*workers)
-	if err != nil {
-		fatal(err)
+	if *out == "" {
+		*out = "BENCH_" + *mode + ".json"
 	}
 
 	corpus := scenario.Generate(scenario.Config{Seed: *seed, Streams: *streams, Episodes: *episodes})
-	rep := &Report{GeneratedBy: "cmd/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0)}
-	rep.Corpus.Seed = *seed
-	rep.Corpus.Streams = *streams
-	rep.Corpus.Episodes = *episodes
-	rep.Corpus.Instances = corpus.NumInstances()
-	rep.Corpus.Events = corpus.NumEvents()
+	info := CorpusInfo{
+		Seed: *seed, Streams: *streams, Episodes: *episodes,
+		Instances: corpus.NumInstances(), Events: corpus.NumEvents(),
+	}
+
+	switch *mode {
+	case "engine":
+		sweep, err := parseInts(*workers, 1)
+		if err != nil {
+			fatal(err)
+		}
+		runEngine(corpus, info, sweep, *out)
+	case "corpus":
+		sweep, err := parseInts(*limits, 0)
+		if err != nil {
+			fatal(err)
+		}
+		runCorpus(corpus, info, sweep, *out)
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want engine or corpus)", *mode))
+	}
+}
+
+func runEngine(corpus *trace.Corpus, info CorpusInfo, sweep []int, out string) {
+	rep := &Report{GeneratedBy: "cmd/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0), Corpus: info}
 
 	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabCreate)
 	pipelines := []struct {
@@ -121,18 +180,101 @@ func main() {
 		}
 	}
 
+	writeJSON(out, rep)
+}
+
+func runCorpus(corpus *trace.Corpus, info CorpusInfo, limits []int, out string) {
+	dir, err := os.MkdirTemp("", "benchjson-corpus-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := corpus.WriteDir(dir); err != nil {
+		fatal(err)
+	}
+
+	rep := &CorpusReport{GeneratedBy: "cmd/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0), Corpus: info}
+
+	start := time.Now()
+	if _, err := trace.ReadDir(dir); err != nil {
+		fatal(err)
+	}
+	rep.LoadEagerNs = time.Since(start).Nanoseconds()
+	start = time.Now()
+	if _, err := trace.OpenDir(dir); err != nil {
+		fatal(err)
+	}
+	rep.LoadLazyNs = time.Since(start).Nanoseconds()
+	fmt.Printf("load: eager %d ns, lazy (metadata only) %d ns\n", rep.LoadEagerNs, rep.LoadLazyNs)
+
+	// The in-memory reference point, cache concerns absent.
+	wantImpact := core.NewAnalyzer(corpus).Impact(trace.AllDrivers(), "")
+	memRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			an := core.NewAnalyzer(corpus)
+			an.SetGraphCacheLimit(0)
+			if m := an.Impact(trace.AllDrivers(), ""); m != wantImpact {
+				fatal(fmt.Errorf("in-memory impact diverged"))
+			}
+		}
+	})
+	rep.Results = append(rep.Results, CorpusResult{
+		Name: "impact-inmemory", CacheLimit: -1, Workers: runtime.GOMAXPROCS(0),
+		Iterations: memRes.N, NsPerOp: memRes.NsPerOp(),
+	})
+	fmt.Printf("%-20s %12d ns/op\n", "impact-inmemory", memRes.NsPerOp())
+
+	for _, limit := range limits {
+		src, err := trace.OpenDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		cached := trace.NewCachedSource(src, limit)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an := core.NewAnalyzer(cached)
+				an.SetGraphCacheLimit(0)
+				if m := an.Impact(trace.AllDrivers(), ""); m != wantImpact {
+					fatal(fmt.Errorf("out-of-core impact diverged at cache limit %d", limit))
+				}
+				if err := an.Err(); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		st := cached.Stats()
+		r := CorpusResult{
+			Name:       "impact-dirsource",
+			CacheLimit: limit,
+			Workers:    runtime.GOMAXPROCS(0),
+			Iterations: res.N,
+			NsPerOp:    res.NsPerOp(),
+			Hits:       st.Hits,
+			Misses:     st.Misses,
+			Evictions:  st.Evictions,
+			HighWater:  st.HighWater,
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-20s cache=%-4d %12d ns/op  hits=%d misses=%d evictions=%d high-water=%d\n",
+			r.Name, limit, r.NsPerOp, r.Hits, r.Misses, r.Evictions, r.HighWater)
+	}
+
+	writeJSON(out, rep)
+}
+
+func writeJSON(out string, rep any) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
 }
 
-func parseWorkers(s string) ([]int, error) {
+func parseInts(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -140,13 +282,13 @@ func parseWorkers(s string) ([]int, error) {
 			continue
 		}
 		n, err := strconv.Atoi(part)
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("benchjson: bad worker count %q", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("benchjson: bad count %q", part)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("benchjson: no worker counts")
+		return nil, fmt.Errorf("benchjson: empty sweep")
 	}
 	return out, nil
 }

@@ -5,8 +5,14 @@
 //
 // Usage:
 //
-//	traceanalyze -corpus DIR [-components "*.sys"]
+//	traceanalyze -corpus DIR [-components "*.sys"] [-cache N]
 //	             [-scenario NAME [-tfast MS -tslow MS] [-top N] [-k N]]
+//
+// By default the corpus is opened lazily: only stream metadata is read
+// up front, and streams are decoded on demand through an LRU bounded by
+// -cache, so corpora much larger than RAM analyse in bounded memory.
+// -cache 0 keeps every decoded stream resident (the fully in-memory
+// behaviour).
 package main
 
 import (
@@ -31,6 +37,8 @@ func main() {
 		baselines    = flag.Bool("baselines", false, "also run the §6 baselines (profile, contention, StackMine)")
 		perComponent = flag.Bool("percomponent", false, "print the per-driver impact breakdown")
 		workers      = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		cacheLimit   = flag.Int("cache", 64, "decoded-stream LRU limit for out-of-core analysis (0 = keep all streams resident)")
+		cacheStats   = flag.Bool("cachestats", false, "print decoded-stream cache counters after the run")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -39,15 +47,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	corpus, err := tracescope.ReadCorpusDir(*dir)
+	dirSrc, err := tracescope.OpenCorpusDir(*dir)
 	if err != nil {
 		fatal(err)
 	}
+	cached := tracescope.NewCachedSource(dirSrc, *cacheLimit)
+	var src tracescope.Source = cached
 	fmt.Printf("corpus: %d streams, %d instances, %d events\n\n",
-		corpus.NumStreams(), corpus.NumInstances(), corpus.NumEvents())
+		src.NumStreams(), src.NumInstances(), src.NumEvents())
 
 	filter := tracescope.NewComponentFilter(*components)
-	an := tracescope.NewAnalyzerOptions(corpus, tracescope.AnalyzerOptions{Workers: *workers})
+	an := tracescope.NewAnalyzerOptions(src, tracescope.AnalyzerOptions{Workers: *workers})
 
 	m := an.Impact(filter, *scen)
 	scope := "all scenarios"
@@ -64,6 +74,12 @@ func main() {
 		fmt.Println()
 	}
 	if *baselines {
+		// The §6 baselines scan raw streams, so they need the corpus
+		// resident; materialise it once through the cache.
+		corpus, err := dirSrc.Materialize()
+		if err != nil {
+			fatal(err)
+		}
 		prof := tracescope.CallGraphProfile(corpus)
 		fmt.Printf("call-graph profile: %v CPU total; top 5 by cumulative:\n", prof.TotalCPU)
 		for _, e := range prof.Top(5) {
@@ -83,6 +99,7 @@ func main() {
 	}
 
 	if *scen == "" {
+		finish(an, cached, *cacheStats)
 		return
 	}
 
@@ -129,11 +146,26 @@ func main() {
 	if *locate && len(res.Patterns) > 0 {
 		fmt.Printf("\nconcrete slow instances exhibiting pattern #1:\n")
 		for _, occ := range an.LocatePattern(res, res.Patterns[0], filter, 5) {
-			stream, _ := corpus.Instance(occ.Ref)
+			id := src.StreamMeta(occ.Ref.Stream).ID
 			fmt.Printf("  %s stream=%d instance=%d duration=%v (inspect: tracedump -corpus ... -stream %d -instance %d)\n",
-				stream.ID, occ.Ref.Stream, occ.Ref.Instance, occ.Instance.Duration(),
+				id, occ.Ref.Stream, occ.Ref.Instance, occ.Instance.Duration(),
 				occ.Ref.Stream, occ.Ref.Instance)
 		}
+	}
+	finish(an, cached, *cacheStats)
+}
+
+// finish surfaces deferred stream-fetch failures (lazy sources treat
+// failed instances as empty rather than aborting mid-shard) and,
+// optionally, the cache counters.
+func finish(an *tracescope.Analyzer, cached *tracescope.CachedSource, stats bool) {
+	if stats {
+		s := cached.Stats()
+		fmt.Printf("\nstream cache: limit=%d hits=%d misses=%d evictions=%d high-water=%d\n",
+			cached.Limit(), s.Hits, s.Misses, s.Evictions, s.HighWater)
+	}
+	if err := an.Err(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -2,6 +2,11 @@
 // summaries, scenario-instance listings, latency histograms, thread-level
 // snapshots, and rendered Wait Graphs for individual instances.
 //
+// The corpus is opened lazily: summaries, listings, and histograms come
+// straight from the corpus.index metadata, and at most one stream is
+// decoded — the one being inspected — so corpora much larger than RAM
+// dump fine.
+//
 // Usage:
 //
 //	tracedump -corpus DIR                              # corpus summary
@@ -19,6 +24,7 @@ import (
 	"tracescope/internal/report"
 	"tracescope/internal/scenario"
 	"tracescope/internal/stats"
+	"tracescope/internal/trace"
 	"tracescope/internal/waitgraph"
 )
 
@@ -42,32 +48,41 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	corpus, err := tracescope.ReadCorpusDir(*dir)
+	src, err := tracescope.OpenCorpusDir(*dir)
 	if err != nil {
 		fatal(err)
 	}
 
 	switch {
 	case *csvOut == "instances":
-		if err := corpus.WriteInstancesCSV(os.Stdout); err != nil {
+		if err := trace.WriteSourceInstancesCSV(os.Stdout, src); err != nil {
 			fatal(err)
 		}
 	case *csvOut == "events" && *stream >= 0:
-		if *stream >= corpus.NumStreams() {
-			fatal(fmt.Errorf("stream %d out of range", *stream))
-		}
-		if err := corpus.Streams[*stream].WriteEventsCSV(os.Stdout); err != nil {
+		s := fetchStream(src, *stream)
+		if err := s.WriteEventsCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
 	case *stream >= 0 && *instance >= 0:
-		dumpInstance(corpus, *stream, *instance, *depth)
+		dumpInstance(src, *stream, *instance, *depth)
 	case *stream >= 0:
-		dumpStream(corpus, *stream)
+		dumpStream(src, *stream)
 	case *scen != "":
-		dumpHistogram(corpus, *scen)
+		dumpHistogram(src, *scen)
 	default:
-		dumpCorpus(corpus)
+		dumpCorpus(src)
 	}
+}
+
+func fetchStream(src tracescope.Source, idx int) *tracescope.Stream {
+	if idx >= src.NumStreams() {
+		fatal(fmt.Errorf("stream %d out of range (%d streams)", idx, src.NumStreams()))
+	}
+	s, err := src.Stream(idx)
+	if err != nil {
+		fatal(err)
+	}
+	return s
 }
 
 func dumpCatalog() {
@@ -78,25 +93,23 @@ func dumpCatalog() {
 	}
 }
 
-func dumpCorpus(c *tracescope.Corpus) {
+func dumpCorpus(src tracescope.Source) {
 	fmt.Printf("corpus: %d streams, %d instances, %d events, %v recorded\n\n",
-		c.NumStreams(), c.NumInstances(), c.NumEvents(), c.TotalDuration())
+		src.NumStreams(), src.NumInstances(), src.NumEvents(), src.TotalDuration())
 	fmt.Println("scenarios:")
-	for _, sc := range c.Scenarios() {
+	for _, sc := range src.Scenarios() {
 		fmt.Printf("  %-22s %6d instances\n", sc.Name, sc.Instances)
 	}
 	fmt.Println("\nstreams:")
-	for i, s := range c.Streams {
+	for i := 0; i < src.NumStreams(); i++ {
+		m := src.StreamMeta(i)
 		fmt.Printf("  %3d  %-16s %8d events  %4d instances  %v\n",
-			i, s.ID, len(s.Events), len(s.Instances), s.Duration())
+			i, m.ID, m.Events, len(m.Instances), m.Duration)
 	}
 }
 
-func dumpStream(c *tracescope.Corpus, idx int) {
-	if idx >= c.NumStreams() {
-		fatal(fmt.Errorf("stream %d out of range (%d streams)", idx, c.NumStreams()))
-	}
-	s := c.Streams[idx]
+func dumpStream(src tracescope.Source, idx int) {
+	s := fetchStream(src, idx)
 	fmt.Printf("stream %d (%s): %d events, %v, %d frames, %d stacks\n\n",
 		idx, s.ID, len(s.Events), s.Duration(), s.NumFrames(), s.NumStacks())
 	fmt.Println("instances:")
@@ -107,11 +120,10 @@ func dumpStream(c *tracescope.Corpus, idx int) {
 	}
 }
 
-func dumpHistogram(c *tracescope.Corpus, scen string) {
+func dumpHistogram(src tracescope.Source, scen string) {
 	var vals []float64
-	for _, ref := range c.InstancesOf(scen) {
-		_, in := c.Instance(ref)
-		vals = append(vals, in.Duration().Milliseconds())
+	for _, ref := range src.InstancesOf(scen) {
+		vals = append(vals, src.InstanceMeta(ref).Duration().Milliseconds())
 	}
 	if len(vals) == 0 {
 		fatal(fmt.Errorf("no instances of %q", scen))
@@ -128,11 +140,8 @@ func dumpHistogram(c *tracescope.Corpus, scen string) {
 	fmt.Println(h)
 }
 
-func dumpInstance(c *tracescope.Corpus, si, ii, depth int) {
-	if si >= c.NumStreams() {
-		fatal(fmt.Errorf("stream %d out of range", si))
-	}
-	s := c.Streams[si]
+func dumpInstance(src tracescope.Source, si, ii, depth int) {
+	s := fetchStream(src, si)
 	if ii >= len(s.Instances) {
 		fatal(fmt.Errorf("instance %d out of range (%d instances)", ii, len(s.Instances)))
 	}

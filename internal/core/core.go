@@ -29,30 +29,47 @@ type Options struct {
 	Workers int
 }
 
-// Analyzer runs impact and causality analyses over one corpus, sharing
-// Wait-Graph construction between them.
+// Analyzer runs impact and causality analyses over one corpus source,
+// sharing Wait-Graph construction between them. The source may be an
+// in-memory *trace.Corpus or a lazy out-of-core source (*trace.DirSource,
+// usually wrapped in a *trace.CachedSource); results are identical either
+// way. Per-stream metadata is snapshotted at construction so instance
+// enumeration, contrast-class splitting, and shard packing never decode
+// event payloads.
 type Analyzer struct {
-	corpus *trace.Corpus
-	imp    *impact.Analyzer
-	opts   Options
+	src   trace.Source
+	metas []trace.StreamMeta
+	imp   *impact.Analyzer
+	opts  Options
 }
 
-// NewAnalyzer indexes a corpus for analysis with default options.
-func NewAnalyzer(c *trace.Corpus) *Analyzer {
-	return NewAnalyzerOptions(c, Options{})
+// NewAnalyzer indexes a corpus source for analysis with default options.
+func NewAnalyzer(src trace.Source) *Analyzer {
+	return NewAnalyzerOptions(src, Options{})
 }
 
-// NewAnalyzerOptions indexes a corpus for analysis.
-func NewAnalyzerOptions(c *trace.Corpus, opts Options) *Analyzer {
+// NewAnalyzerOptions indexes a corpus source for analysis.
+func NewAnalyzerOptions(src trace.Source, opts Options) *Analyzer {
+	metas := make([]trace.StreamMeta, src.NumStreams())
+	for i := range metas {
+		metas[i] = src.StreamMeta(i)
+	}
 	return &Analyzer{
-		corpus: c,
-		imp:    impact.NewAnalyzer(c, waitgraph.Options{}),
-		opts:   opts,
+		src:   src,
+		metas: metas,
+		imp:   impact.NewAnalyzer(src, waitgraph.Options{}),
+		opts:  opts,
 	}
 }
 
-// Corpus returns the corpus under analysis.
-func (a *Analyzer) Corpus() *trace.Corpus { return a.corpus }
+// Source returns the corpus source under analysis.
+func (a *Analyzer) Source() trace.Source { return a.src }
+
+// Err returns the first stream-fetch failure encountered by any
+// analysis, if one occurred. In-memory sources never fail; callers over
+// lazy sources should check Err after an analysis (failed instances are
+// treated as empty rather than aborting a shard run midway).
+func (a *Analyzer) Err() error { return a.imp.Err() }
 
 // GraphCacheStats reports the shared Wait-Graph cache's counters.
 func (a *Analyzer) GraphCacheStats() impact.CacheStats { return a.imp.GraphCacheStats() }
@@ -67,18 +84,29 @@ func (a *Analyzer) engineOptions() engine.Options {
 	return engine.Options{Workers: a.opts.Workers}
 }
 
+// shards packs refs into stream-whole shards weighted by per-stream
+// event counts (known from metadata, so lazy sources shard without
+// decoding anything). Shard composition affects only load balance:
+// merges are partition-invariant, so results are identical to the
+// sequential path.
+func (a *Analyzer) shards(refs []trace.InstanceRef) []engine.Shard {
+	return engine.ShardByStreamWeighted(refs, func(stream int) int64 {
+		return int64(a.metas[stream].Events)
+	}, a.engineOptions().TargetShards())
+}
+
 // Impact measures the chosen components over all instances of the named
 // scenario ("" means every instance): step one of the approach, run as a
 // shard-and-merge over the engine's worker pool.
 func (a *Analyzer) Impact(filter *trace.ComponentFilter, scenario string) impact.Metrics {
-	return a.impactOver(filter, a.corpus.InstancesOf(scenario))
+	return a.impactOver(filter, a.src.InstancesOf(scenario))
 }
 
 // impactOver shards refs by stream, measures each shard on the pool, and
 // merges the partials in shard order.
 func (a *Analyzer) impactOver(filter *trace.ComponentFilter, refs []trace.InstanceRef) impact.Metrics {
 	eng := a.engineOptions()
-	shards := engine.ShardByStream(refs, eng.TargetShards())
+	shards := a.shards(refs)
 	merged := engine.MapMerge(len(shards), eng,
 		func(i int) *impact.Partial {
 			return a.imp.AnalyzeShard(filter, shards[i].Refs)
@@ -189,14 +217,16 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 		return nil, err
 	}
 
-	refs := a.corpus.InstancesOf(cfg.Scenario)
+	refs := a.src.InstancesOf(cfg.Scenario)
 	if len(refs) == 0 {
 		return nil, fmt.Errorf("core: no instances of scenario %q", cfg.Scenario)
 	}
 
+	// Classification needs only instance metadata: lazy sources split the
+	// contrast classes without decoding a single stream.
 	var fastRefs, slowRefs []trace.InstanceRef
 	for _, ref := range refs {
-		_, in := a.corpus.Instance(ref)
+		in := a.src.InstanceMeta(ref)
 		switch d := in.Duration(); {
 		case d < cfg.Tfast:
 			fastRefs = append(fastRefs, ref)
@@ -280,7 +310,7 @@ func (a *Analyzer) aggregateClass(refs []trace.InstanceRef, filter *trace.Compon
 	awgOpts awg.Options, withImpact bool) (*awg.Graph, impact.Metrics) {
 
 	eng := a.engineOptions()
-	shards := engine.ShardByStream(refs, eng.TargetShards())
+	shards := a.shards(refs)
 	parts := engine.Map(len(shards), eng, func(i int) classPartial {
 		shardOpts := awgOpts
 		shardOpts.Reduce = false // reduction must see the merged forest

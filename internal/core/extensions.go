@@ -76,9 +76,8 @@ func (a *Analyzer) LocatePattern(res *CausalityResult, p mining.Pattern, filter 
 		filter = trace.AllDrivers()
 	}
 	var out []PatternOccurrence
-	for _, ref := range a.corpus.InstancesOf(res.Scenario) {
-		stream, in := a.corpus.Instance(ref)
-		_ = stream
+	for _, ref := range a.src.InstancesOf(res.Scenario) {
+		in := a.src.InstanceMeta(ref)
 		if in.Duration() <= res.Tslow {
 			continue
 		}
@@ -161,7 +160,7 @@ func (a *Analyzer) ImpactByComponent(filter *trace.ComponentFilter, refs []trace
 		filter = trace.AllDrivers()
 	}
 	if refs == nil {
-		refs = a.corpus.InstancesOf("")
+		refs = a.src.InstancesOf("")
 	}
 	byModule := make(map[string]*ComponentImpact)
 	get := func(module string) *ComponentImpact {

@@ -65,6 +65,18 @@ type Shard struct {
 // per-stream Wait-Graph builders memoise nodes on first use, so only one
 // worker may touch a stream during a map phase.
 func ShardByStream(refs []trace.InstanceRef, maxShards int) []Shard {
+	return ShardByStreamWeighted(refs, nil, maxShards)
+}
+
+// ShardByStreamWeighted is ShardByStream with an explicit per-stream
+// cost: shards are packed to roughly equal total weight instead of equal
+// instance counts. Lazy sources know each stream's event count from the
+// index without decoding, so sharding by it balances Wait-Graph
+// construction work even when streams vary widely in size. A nil weight
+// (or non-positive values) falls back to the stream's reference count.
+// Shard composition affects only load balance, never results: merges are
+// partition-invariant.
+func ShardByStreamWeighted(refs []trace.InstanceRef, weight func(stream int) int64, maxShards int) []Shard {
 	if len(refs) == 0 {
 		return nil
 	}
@@ -84,25 +96,40 @@ func ShardByStream(refs []trace.InstanceRef, maxShards int) []Shard {
 	if maxShards > len(order) {
 		maxShards = len(order)
 	}
-	// Pack consecutive stream groups into shards of roughly equal
-	// instance counts.
-	target := (len(refs) + maxShards - 1) / maxShards
+	var total int64
+	weights := make([]int64, len(order))
+	for k, si := range order {
+		w := int64(len(groups[si]))
+		if weight != nil {
+			if ww := weight(si); ww > 0 {
+				w = ww
+			}
+		}
+		weights[k] = w
+		total += w
+	}
+	// Pack consecutive stream groups into shards of roughly equal total
+	// weight.
+	target := (total + int64(maxShards) - 1) / int64(maxShards)
 	shards := make([]Shard, 0, maxShards)
 	var cur []trace.InstanceRef
+	var curWeight int64
 	flush := func() {
 		if len(cur) > 0 {
 			shards = append(shards, Shard{Index: len(shards), Refs: cur})
 			cur = nil
+			curWeight = 0
 		}
 	}
-	for _, si := range order {
+	for k, si := range order {
 		g := groups[si]
 		// Overflowing the target starts a new shard — unless this is
 		// already the last allowed shard, which absorbs the remainder.
-		if len(cur) > 0 && len(cur)+len(g) > target && len(shards) < maxShards-1 {
+		if len(cur) > 0 && curWeight+weights[k] > target && len(shards) < maxShards-1 {
 			flush()
 		}
 		cur = append(cur, g...)
+		curWeight += weights[k]
 	}
 	flush()
 	return shards

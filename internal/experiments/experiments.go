@@ -26,10 +26,13 @@ import (
 
 // Suite holds a corpus and the analyses already run on it. Causality
 // results are cached per scenario, so rendering several tables shares
-// the mining work.
+// the mining work. The corpus may be in-memory (Corpus) or an
+// out-of-core source (Source); exactly one must be set, and in-memory
+// suites leave Source nil.
 type Suite struct {
 	Cfg    scenario.Config
 	Corpus *trace.Corpus
+	Source trace.Source
 	An     *core.Analyzer
 
 	causality map[string]*core.CausalityResult
@@ -52,6 +55,50 @@ func NewSuiteOptions(cfg scenario.Config, opts core.Options) *Suite {
 		An:        core.NewAnalyzerOptions(corpus, opts),
 		causality: make(map[string]*core.CausalityResult),
 	}
+}
+
+// NewSuiteFromSource indexes an existing corpus source (typically a
+// cached DirSource for out-of-core runs). Cfg is used only for
+// labelling; pass the config the corpus was generated with, or a zero
+// value for externally produced corpora.
+func NewSuiteFromSource(cfg scenario.Config, src trace.Source, opts core.Options) *Suite {
+	s := &Suite{
+		Cfg:       cfg,
+		Source:    src,
+		An:        core.NewAnalyzerOptions(src, opts),
+		causality: make(map[string]*core.CausalityResult),
+	}
+	if c, ok := src.(*trace.Corpus); ok {
+		s.Corpus = c
+	}
+	return s
+}
+
+// src returns the corpus source backing the suite.
+func (s *Suite) src() trace.Source {
+	if s.Source != nil {
+		return s.Source
+	}
+	return s.Corpus
+}
+
+// corpus returns the in-memory corpus, materialising it from the source
+// if the suite is out-of-core (only the §6 baselines need resident
+// streams; everything else runs off the Source seam).
+func (s *Suite) corpus() (*trace.Corpus, error) {
+	if s.Corpus != nil {
+		return s.Corpus, nil
+	}
+	src := s.src()
+	c := &trace.Corpus{}
+	for i := 0; i < src.NumStreams(); i++ {
+		st, err := src.Stream(i)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: materialising stream %d: %w", i, err)
+		}
+		c.Add(st)
+	}
+	return c, nil
 }
 
 // ResetCache drops cached causality results, so benchmarks re-measure the
@@ -315,11 +362,11 @@ func (s *Suite) HardFaultCase(w io.Writer) error {
 	if !found {
 		fmt.Fprintln(w, "no graphics+encryption pattern in this corpus (hard faults are probabilistic; try more streams)")
 	}
-	// Slowest AppNonResponsive instance.
+	// Slowest AppNonResponsive instance — metadata only, no decoding.
 	var worst trace.Duration
-	for _, ref := range s.Corpus.InstancesOf(scenario.AppNonResponsive) {
-		_, in := s.Corpus.Instance(ref)
-		if d := in.Duration(); d > worst {
+	src := s.src()
+	for _, ref := range src.InstancesOf(scenario.AppNonResponsive) {
+		if d := src.InstanceMeta(ref).Duration(); d > worst {
 			worst = d
 		}
 	}
@@ -331,7 +378,11 @@ func (s *Suite) HardFaultCase(w io.Writer) error {
 // analysis on the same corpus: the CPU profile cannot see waiting at all,
 // and the contention report sees sites in isolation.
 func (s *Suite) Baselines(w io.Writer) error {
-	prof := baseline.CallGraphProfile(s.Corpus)
+	corpus, err := s.corpus()
+	if err != nil {
+		return err
+	}
+	prof := baseline.CallGraphProfile(corpus)
 	fmt.Fprintf(w, "call-graph profile: total CPU %v across %d frames (top 8 by cumulative):\n",
 		prof.TotalCPU, len(prof.Entries))
 	for _, e := range prof.Top(8) {
@@ -341,7 +392,7 @@ func (s *Suite) Baselines(w io.Writer) error {
 	fmt.Fprintf(w, "=> the profile accounts for %v CPU while driver waiting alone is %v (%.0fx more)\n\n",
 		prof.TotalCPU, m.Dwait, float64(m.Dwait)/float64(max64(int64(prof.TotalCPU), 1)))
 
-	cont := baseline.LockContention(s.Corpus, trace.AllDrivers())
+	cont := baseline.LockContention(corpus, trace.AllDrivers())
 	fmt.Fprintf(w, "lock-contention report: total lock wait %v across %d sites (top 8):\n",
 		cont.TotalWait, len(cont.Entries))
 	for _, e := range cont.Top(8) {
@@ -350,7 +401,7 @@ func (s *Suite) Baselines(w io.Writer) error {
 	fmt.Fprintf(w, "=> each site is reported in isolation; the chains (e.g. FileTable->MDU->decrypt)\n")
 	fmt.Fprintf(w, "   only appear in the causality analysis' Signature Set Tuples\n\n")
 
-	sm := baseline.MineStacks(s.Corpus, trace.AllDrivers(), 3)
+	sm := baseline.MineStacks(corpus, trace.AllDrivers(), 3)
 	fmt.Fprintf(w, "StackMine-style costly stack patterns: %d patterns over %v wait (top 5):\n",
 		len(sm.Patterns), sm.TotalWait)
 	for _, p := range sm.Top(5) {
@@ -399,9 +450,9 @@ func max64(a, b int64) int64 {
 // milliseconds (for distribution inspection).
 func (s *Suite) ScenarioDurations(name string) []float64 {
 	var out []float64
-	for _, ref := range s.Corpus.InstancesOf(name) {
-		_, in := s.Corpus.Instance(ref)
-		out = append(out, in.Duration().Milliseconds())
+	src := s.src()
+	for _, ref := range src.InstancesOf(name) {
+		out = append(out, src.InstanceMeta(ref).Duration().Milliseconds())
 	}
 	sort.Float64s(out)
 	return out
@@ -468,11 +519,12 @@ func (s *Suite) Stability(seeds int) (*report.Table, error) {
 
 // WriteHTML renders the full evaluation as a self-contained HTML report.
 func (s *Suite) WriteHTML(w io.Writer) error {
+	src := s.src()
 	r := &report.HTMLReport{
 		Title: "tracescope evaluation report",
 		Subtitle: fmt.Sprintf("%d streams, %d scenario instances, %d events, %v recorded (seed %d)",
-			s.Corpus.NumStreams(), s.Corpus.NumInstances(), s.Corpus.NumEvents(),
-			s.Corpus.TotalDuration(), s.Cfg.Seed),
+			src.NumStreams(), src.NumInstances(), src.NumEvents(),
+			src.TotalDuration(), s.Cfg.Seed),
 	}
 
 	m, comps := s.Headline()

@@ -13,6 +13,7 @@ package impact
 
 import (
 	"fmt"
+	"sync"
 
 	"tracescope/internal/trace"
 	"tracescope/internal/waitgraph"
@@ -68,41 +69,123 @@ func (m Metrics) String() string {
 		m.Instances, m.Dscn, m.IAwait()*100, m.IArun()*100, m.IAopt()*100, m.WaitDistinctRatio())
 }
 
-// Analyzer runs impact analyses over one corpus, reusing per-stream
-// Wait-Graph builders across calls and caching assembled instance graphs
-// in a bounded cache shared with the causality analysis.
+// Analyzer runs impact analyses over one corpus source, building
+// per-stream Wait-Graph builders lazily as streams are first fetched and
+// caching assembled instance graphs in a bounded cache shared with the
+// causality analysis.
+//
+// When the source is a *trace.CachedSource, the analyzer registers an
+// eviction hook so a stream's builder (which pins the decoded stream) is
+// released the moment the cache evicts the stream — keeping decoded
+// memory proportional to the cache limit, not the corpus size.
 type Analyzer struct {
-	corpus   *trace.Corpus
-	builders []*waitgraph.Builder
-	cache    *graphCache
+	src    trace.Source
+	wgOpts waitgraph.Options
+	cache  *graphCache
+
+	bmu      sync.Mutex
+	builders map[int]*waitgraph.Builder
+
+	emu sync.Mutex
+	err error
 }
 
-// NewAnalyzer indexes the corpus for impact analysis.
-func NewAnalyzer(c *trace.Corpus, opts waitgraph.Options) *Analyzer {
-	return &Analyzer{
-		corpus:   c,
-		builders: waitgraph.BuildAll(c, opts),
+// evictionNotifier is satisfied by *trace.CachedSource; the analyzer
+// uses it to drop builders for evicted streams.
+type evictionNotifier interface {
+	AddEvictionHook(fn func(stream int))
+}
+
+// NewAnalyzer indexes the source for impact analysis. *trace.Corpus
+// satisfies trace.Source, so in-memory corpora pass through unchanged.
+func NewAnalyzer(src trace.Source, opts waitgraph.Options) *Analyzer {
+	a := &Analyzer{
+		src:      src,
+		wgOpts:   opts,
 		cache:    newGraphCache(DefaultGraphCacheLimit),
+		builders: make(map[int]*waitgraph.Builder),
 	}
+	if n, ok := src.(evictionNotifier); ok {
+		n.AddEvictionHook(a.dropBuilder)
+	}
+	return a
 }
 
-// Corpus returns the corpus under analysis.
-func (a *Analyzer) Corpus() *trace.Corpus { return a.corpus }
+// Source returns the corpus source under analysis.
+func (a *Analyzer) Source() trace.Source { return a.src }
 
-// Builders exposes the per-stream Wait-Graph builders (shared with the
-// causality analysis so graphs are built once).
-func (a *Analyzer) Builders() []*waitgraph.Builder { return a.builders }
+// Err returns the first stream-fetch failure encountered, if any.
+// In-memory sources never fail; lazy sources can (missing or corrupt
+// stream files). Analyses proceed past failures treating the failed
+// instances as empty, so callers over lazy sources should check Err
+// after an analysis.
+func (a *Analyzer) Err() error {
+	a.emu.Lock()
+	defer a.emu.Unlock()
+	return a.err
+}
+
+func (a *Analyzer) setErr(err error) {
+	a.emu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.emu.Unlock()
+}
+
+// builder returns (building if needed) the Wait-Graph builder for stream
+// i. Concurrent first builds of the same stream must be partitioned by
+// the caller (the engine's stream sharding does this); the map itself is
+// guarded so eviction hooks may fire from other workers.
+func (a *Analyzer) builder(i int) (*waitgraph.Builder, error) {
+	a.bmu.Lock()
+	b := a.builders[i]
+	a.bmu.Unlock()
+	if b != nil {
+		return b, nil
+	}
+	s, err := a.src.Stream(i)
+	if err != nil {
+		return nil, err
+	}
+	b = waitgraph.NewBuilder(s, i, a.wgOpts)
+	a.bmu.Lock()
+	if exist, ok := a.builders[i]; ok {
+		b = exist
+	} else {
+		a.builders[i] = b
+	}
+	a.bmu.Unlock()
+	return b, nil
+}
+
+// dropBuilder releases stream i's builder (and with it the decoded
+// stream it pins); a later fetch rebuilds it from the same bytes, so
+// results are unaffected.
+func (a *Analyzer) dropBuilder(i int) {
+	a.bmu.Lock()
+	delete(a.builders, i)
+	a.bmu.Unlock()
+}
 
 // Graph builds (or retrieves) the Wait Graph of an instance. Cache
 // lookups are thread-safe; concurrent first builds of the same stream
 // must be partitioned by the caller (the engine's stream sharding does
-// this).
+// this). A stream-fetch failure is latched in Err and yields an empty
+// graph.
 func (a *Analyzer) Graph(ref trace.InstanceRef) *waitgraph.Graph {
 	if g := a.cache.get(ref); g != nil {
 		return g
 	}
-	s := a.corpus.Streams[ref.Stream]
-	g := a.builders[ref.Stream].Instance(s.Instances[ref.Instance])
+	b, err := a.builder(ref.Stream)
+	if err != nil {
+		a.setErr(fmt.Errorf("impact: stream %d: %w", ref.Stream, err))
+		return &waitgraph.Graph{
+			Stream:      trace.NewStream("<fetch error>"),
+			StreamIndex: ref.Stream,
+		}
+	}
+	g := b.Instance(b.Stream().Instances[ref.Instance])
 	a.cache.put(ref, g)
 	return g
 }
@@ -119,7 +202,7 @@ func (a *Analyzer) SetGraphCacheLimit(n int) { a.cache.setLimit(n) }
 // means every instance in the corpus).
 func (a *Analyzer) Analyze(filter *trace.ComponentFilter, refs []trace.InstanceRef) Metrics {
 	if refs == nil {
-		refs = a.corpus.InstancesOf("")
+		refs = a.src.InstancesOf("")
 	}
 	return a.AnalyzeShard(filter, refs).Metrics
 }

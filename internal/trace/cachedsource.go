@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+)
+
+// SourceCacheStats reports a CachedSource's effectiveness and its
+// decoded-stream memory high-water mark.
+type SourceCacheStats struct {
+	// Hits counts fetches served without decoding — including waits on a
+	// decode already in flight on another goroutine.
+	Hits int64
+	// Misses counts fetches that decoded the stream.
+	Misses int64
+	// Evictions counts streams dropped to stay within the limit.
+	Evictions int64
+	// Size is the current number of cached decoded streams.
+	Size int
+	// HighWater is the maximum number of decoded streams the cache held
+	// at once (cached entries plus in-flight decodes) — the peak-memory
+	// proxy: it never exceeds limit + concurrent fetchers.
+	HighWater int
+}
+
+// CachedSource wraps a Source with a bounded LRU of decoded streams. It
+// is safe for concurrent use by shard workers: lookups and bookkeeping
+// are mutex-guarded, and concurrent fetches of the same stream share one
+// decode. With limit n and w concurrent fetchers, at most n + w decoded
+// streams are held at any moment (eviction hooks let dependents — e.g.
+// per-stream Wait-Graph builders — release their references in step).
+type CachedSource struct {
+	src Source
+
+	mu      sync.Mutex
+	limit   int
+	lru     *list.List // of int (stream index); front = most recent
+	entries map[int]*list.Element
+	streams map[int]*Stream
+	pending map[int]*pendingFetch
+	stats   SourceCacheStats
+	hooks   []func(stream int)
+}
+
+type pendingFetch struct {
+	done chan struct{}
+	s    *Stream
+	err  error
+}
+
+// NewCachedSource wraps src with an LRU of at most limit decoded
+// streams. limit <= 0 means unbounded.
+func NewCachedSource(src Source, limit int) *CachedSource {
+	return &CachedSource{
+		src:     src,
+		limit:   limit,
+		lru:     list.New(),
+		entries: make(map[int]*list.Element),
+		streams: make(map[int]*Stream),
+		pending: make(map[int]*pendingFetch),
+	}
+}
+
+// Unwrap returns the wrapped source.
+func (c *CachedSource) Unwrap() Source { return c.src }
+
+// NumStreams returns the number of streams.
+func (c *CachedSource) NumStreams() int { return c.src.NumStreams() }
+
+// NumInstances returns the total number of scenario instances recorded.
+func (c *CachedSource) NumInstances() int { return c.src.NumInstances() }
+
+// NumEvents returns the total number of events across all streams.
+func (c *CachedSource) NumEvents() int { return c.src.NumEvents() }
+
+// TotalDuration sums the time spans of all streams.
+func (c *CachedSource) TotalDuration() Duration { return c.src.TotalDuration() }
+
+// Scenarios returns the sorted scenario names with instance counts.
+func (c *CachedSource) Scenarios() []ScenarioCount { return c.src.Scenarios() }
+
+// InstancesOf returns references to every instance of the named
+// scenario ("" selects all).
+func (c *CachedSource) InstancesOf(scenario string) []InstanceRef {
+	return c.src.InstancesOf(scenario)
+}
+
+// InstanceMeta resolves a reference without decoding.
+func (c *CachedSource) InstanceMeta(ref InstanceRef) Instance { return c.src.InstanceMeta(ref) }
+
+// StreamMeta returns stream i's metadata without decoding.
+func (c *CachedSource) StreamMeta(i int) StreamMeta { return c.src.StreamMeta(i) }
+
+// Stream returns stream i, serving repeats from the LRU. A miss decodes
+// via the wrapped source; concurrent fetches of the same stream share
+// one decode.
+func (c *CachedSource) Stream(i int) (*Stream, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[i]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		s := c.streams[i]
+		c.mu.Unlock()
+		return s, nil
+	}
+	if p, ok := c.pending[i]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-p.done
+		return p.s, p.err
+	}
+	p := &pendingFetch{done: make(chan struct{})}
+	c.pending[i] = p
+	c.stats.Misses++
+	c.noteHeldLocked()
+	c.mu.Unlock()
+
+	p.s, p.err = c.src.Stream(i)
+
+	c.mu.Lock()
+	delete(c.pending, i)
+	var evicted []int
+	if p.err == nil {
+		c.entries[i] = c.lru.PushFront(i)
+		c.streams[i] = p.s
+		evicted = c.evictOverLimitLocked()
+		c.noteHeldLocked()
+	}
+	c.mu.Unlock()
+	close(p.done)
+	c.notifyEvicted(evicted)
+	return p.s, p.err
+}
+
+// Limit returns the current cache limit (<= 0 means unbounded).
+func (c *CachedSource) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
+}
+
+// SetLimit rebounds the cache (<= 0 means unbounded), evicting
+// least-recently-used streams if it already exceeds the new limit.
+func (c *CachedSource) SetLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	evicted := c.evictOverLimitLocked()
+	c.mu.Unlock()
+	c.notifyEvicted(evicted)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CachedSource) Stats() SourceCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = len(c.streams)
+	return s
+}
+
+// AddEvictionHook registers fn to run whenever a stream leaves the
+// cache, so dependents holding per-stream state (Wait-Graph builders)
+// can release it and keep total decoded-stream memory bounded. Hooks run
+// outside the cache lock and must be registered before concurrent use.
+func (c *CachedSource) AddEvictionHook(fn func(stream int)) {
+	c.mu.Lock()
+	c.hooks = append(c.hooks, fn)
+	c.mu.Unlock()
+}
+
+// evictOverLimitLocked drops least-recently-used entries until the cache
+// fits the limit, returning the dropped stream indexes.
+func (c *CachedSource) evictOverLimitLocked() []int {
+	if c.limit <= 0 {
+		return nil
+	}
+	var evicted []int
+	for len(c.streams) > c.limit {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		i := c.lru.Remove(el).(int)
+		delete(c.entries, i)
+		delete(c.streams, i)
+		c.stats.Evictions++
+		evicted = append(evicted, i)
+	}
+	return evicted
+}
+
+// noteHeldLocked updates the decoded-stream high-water mark.
+func (c *CachedSource) noteHeldLocked() {
+	if held := len(c.streams) + len(c.pending); held > c.stats.HighWater {
+		c.stats.HighWater = held
+	}
+}
+
+func (c *CachedSource) notifyEvicted(evicted []int) {
+	if len(evicted) == 0 {
+		return
+	}
+	c.mu.Lock()
+	hooks := c.hooks
+	c.mu.Unlock()
+	for _, i := range evicted {
+		for _, fn := range hooks {
+			fn(i)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Corpus is a collection of trace streams, the unit over which impact and
@@ -114,17 +116,15 @@ func (c *Corpus) Validate() error {
 	return nil
 }
 
-// WriteDir persists the corpus as one binary file per stream plus an index
-// file, creating dir if needed.
+// WriteDir persists the corpus as one binary file per stream plus a
+// version-2 corpus.index recording per-stream and per-instance metadata,
+// creating dir if needed. The index lets OpenDir enumerate scenarios and
+// instances without decoding any stream.
 func (c *Corpus) WriteDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	index, err := os.Create(filepath.Join(dir, "corpus.index"))
-	if err != nil {
-		return err
-	}
-	defer index.Close()
+	metas := make([]StreamMeta, 0, len(c.Streams))
 	for i, s := range c.Streams {
 		name := fmt.Sprintf("stream-%05d.tscp", i)
 		f, err := os.Create(filepath.Join(dir, name))
@@ -138,33 +138,44 @@ func (c *Corpus) WriteDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("trace: writing %s: %w", name, err)
 		}
-		if _, err := fmt.Fprintln(index, name); err != nil {
-			return err
-		}
+		m := c.StreamMeta(i)
+		m.File = name
+		metas = append(metas, m)
 	}
-	return index.Close()
+	index, err := os.Create(filepath.Join(dir, indexFile))
+	if err != nil {
+		return err
+	}
+	err = writeIndex(index, metas)
+	if cerr := index.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// ReadDir loads a corpus previously written with WriteDir.
+// ReadDir loads a corpus previously written with WriteDir eagerly into
+// memory. Both index versions are accepted; index entries are validated
+// (no duplicate or path-escaping file names) before any file is opened.
+// For lazy, out-of-core access use OpenDir instead.
 func ReadDir(dir string) (*Corpus, error) {
-	indexPath := filepath.Join(dir, "corpus.index")
-	data, err := os.ReadFile(indexPath)
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
 	if err != nil {
 		return nil, err
 	}
+	metas, _, err := parseIndex(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
+	}
 	c := &Corpus{}
-	for _, line := range splitLines(string(data)) {
-		if line == "" {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, line))
+	for _, m := range metas {
+		f, err := os.Open(filepath.Join(dir, filepath.FromSlash(m.File)))
 		if err != nil {
 			return nil, err
 		}
 		s, err := ReadBinary(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading %s: %w", line, err)
+			return nil, fmt.Errorf("trace: reading %s: %w", m.File, err)
 		}
 		c.Add(s)
 	}
@@ -193,8 +204,14 @@ func ReadFrom(r io.Reader) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: corpus header: %v", ErrBadFormat, err)
 	}
-	var n int
-	if _, err := fmt.Sscanf(header, "TSCORPUS %d", &n); err != nil {
+	// Exact-match the header: fmt.Sscanf would accept trailing garbage
+	// after the count.
+	count, ok := strings.CutPrefix(strings.TrimSuffix(header, "\n"), "TSCORPUS ")
+	if !ok {
+		return nil, fmt.Errorf("%w: corpus header %q", ErrBadFormat, header)
+	}
+	n, err := strconv.Atoi(count)
+	if err != nil {
 		return nil, fmt.Errorf("%w: corpus header %q: %v", ErrBadFormat, header, err)
 	}
 	if n < 0 || n > maxTableLen {
@@ -222,17 +239,19 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// splitLines splits on '\n', tolerating "\r\n" endings so indexes
+// written on Windows load correctly.
 func splitLines(s string) []string {
 	var out []string
 	start := 0
 	for i := 0; i < len(s); i++ {
 		if s[i] == '\n' {
-			out = append(out, s[start:i])
+			out = append(out, strings.TrimSuffix(s[start:i], "\r"))
 			start = i + 1
 		}
 	}
 	if start < len(s) {
-		out = append(out, s[start:])
+		out = append(out, strings.TrimSuffix(s[start:], "\r"))
 	}
 	return out
 }

@@ -44,13 +44,25 @@ func (s *Stream) WriteEventsCSV(w io.Writer) error {
 // WriteInstancesCSV exports a corpus's scenario instances, one row per
 // instance with stream provenance.
 func (c *Corpus) WriteInstancesCSV(w io.Writer) error {
+	return WriteSourceInstancesCSV(w, c)
+}
+
+// WriteSourceInstancesCSV exports a source's scenario instances, one row
+// per instance with stream provenance. Streams are fetched one at a time
+// (the thread-name column needs decoded thread tables), so lazy sources
+// export with a single stream resident.
+func WriteSourceInstancesCSV(w io.Writer, src Source) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"stream", "stream_id", "scenario", "tid", "thread", "start_us", "end_us", "duration_ms",
 	}); err != nil {
 		return err
 	}
-	for si, s := range c.Streams {
+	for si := 0; si < src.NumStreams(); si++ {
+		s, err := src.Stream(si)
+		if err != nil {
+			return fmt.Errorf("trace: instances CSV: stream %d: %w", si, err)
+		}
 		for _, in := range s.Instances {
 			row := []string{
 				strconv.Itoa(si),

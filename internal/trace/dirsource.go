@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// corpus.index format
+//
+// Version 1 (legacy): one stream file name per line. Loading it yields
+// no metadata, so a lazy open must decode every stream once to learn
+// instance records.
+//
+// Version 2: a header line "TSINDEX 2" followed, per stream, by
+//
+//	s <file> <id> <events> <duration_us> <ninstances>
+//	i <scenario> <tid> <start_us> <end_us>        (ninstances lines)
+//
+// where <file>, <id>, and <scenario> are Go-quoted strings. The index
+// records everything instance enumeration, scenario listing, and
+// fast/slow threshold classification need, so none of them decode event
+// payloads. Both versions are read; WriteDir writes version 2.
+
+const (
+	indexFile    = "corpus.index"
+	indexMagic   = "TSINDEX"
+	indexVersion = 2
+)
+
+// writeIndex writes a version-2 corpus index for the given stream
+// metadata.
+func writeIndex(w io.Writer, metas []StreamMeta) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d\n", indexMagic, indexVersion)
+	for _, m := range metas {
+		fmt.Fprintf(bw, "s %s %s %d %d %d\n",
+			strconv.Quote(m.File), strconv.Quote(m.ID),
+			m.Events, int64(m.Duration), len(m.Instances))
+		for _, in := range m.Instances {
+			fmt.Fprintf(bw, "i %s %d %d %d\n",
+				strconv.Quote(in.Scenario), in.TID, int64(in.Start), int64(in.End))
+		}
+	}
+	return bw.Flush()
+}
+
+// parseIndex parses corpus.index contents (either version) and returns
+// the per-stream metadata plus the format version. Version-1 metadata
+// carries only File. Entries are validated: duplicate or path-escaping
+// file names (absolute, or containing "." / ".." / empty elements) are
+// rejected before any file is opened, and malformed input fails with
+// ErrBadFormat rather than panicking or over-allocating.
+func parseIndex(data string) ([]StreamMeta, int, error) {
+	lines := splitLines(data)
+	seen := make(map[string]bool)
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], indexMagic+" ") {
+		// Version 1: plain file names.
+		var metas []StreamMeta
+		for _, line := range lines {
+			if line == "" {
+				continue
+			}
+			if err := checkIndexFile(line, seen); err != nil {
+				return nil, 0, err
+			}
+			metas = append(metas, StreamMeta{File: line})
+		}
+		return metas, 1, nil
+	}
+
+	version, err := strconv.Atoi(strings.TrimPrefix(lines[0], indexMagic+" "))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: index header %q", ErrBadFormat, lines[0])
+	}
+	if version != indexVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported index version %d", ErrBadFormat, version)
+	}
+
+	var metas []StreamMeta
+	i := 1
+	for i < len(lines) {
+		line := lines[i]
+		i++
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "s ") {
+			return nil, 0, fmt.Errorf("%w: index line %d: expected stream record, got %q", ErrBadFormat, i, line)
+		}
+		if len(metas) >= maxTableLen {
+			return nil, 0, fmt.Errorf("%w: index stream count too large", ErrBadFormat)
+		}
+		m, ninst, err := parseStreamRecord(line[2:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: index line %d: %v", ErrBadFormat, i, err)
+		}
+		if err := checkIndexFile(m.File, seen); err != nil {
+			return nil, 0, err
+		}
+		m.Instances = make([]Instance, 0, prealloc(ninst))
+		for j := 0; j < ninst; j++ {
+			if i >= len(lines) {
+				return nil, 0, fmt.Errorf("%w: index: truncated instance list for %s", ErrBadFormat, m.File)
+			}
+			line := lines[i]
+			i++
+			if !strings.HasPrefix(line, "i ") {
+				return nil, 0, fmt.Errorf("%w: index line %d: expected instance record, got %q", ErrBadFormat, i, line)
+			}
+			in, err := parseInstanceRecord(line[2:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: index line %d: %v", ErrBadFormat, i, err)
+			}
+			m.Instances = append(m.Instances, in)
+		}
+		metas = append(metas, m)
+	}
+	return metas, indexVersion, nil
+}
+
+// parseStreamRecord parses the fields of one "s" line (after the tag).
+func parseStreamRecord(s string) (StreamMeta, int, error) {
+	var m StreamMeta
+	var err error
+	if m.File, s, err = cutQuoted(s); err != nil {
+		return m, 0, fmt.Errorf("stream file: %v", err)
+	}
+	if m.ID, s, err = cutQuoted(s); err != nil {
+		return m, 0, fmt.Errorf("stream id: %v", err)
+	}
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return m, 0, fmt.Errorf("want 3 numeric fields, got %d", len(fields))
+	}
+	events, err := strconv.Atoi(fields[0])
+	if err != nil || events < 0 || events > maxTableLen {
+		return m, 0, fmt.Errorf("bad event count %q", fields[0])
+	}
+	dur, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || dur < 0 {
+		return m, 0, fmt.Errorf("bad duration %q", fields[1])
+	}
+	ninst, err := strconv.Atoi(fields[2])
+	if err != nil || ninst < 0 || ninst > maxTableLen {
+		return m, 0, fmt.Errorf("bad instance count %q", fields[2])
+	}
+	m.Events = events
+	m.Duration = Duration(dur)
+	return m, ninst, nil
+}
+
+// parseInstanceRecord parses the fields of one "i" line (after the tag).
+func parseInstanceRecord(s string) (Instance, error) {
+	var in Instance
+	var err error
+	if in.Scenario, s, err = cutQuoted(s); err != nil {
+		return in, fmt.Errorf("instance scenario: %v", err)
+	}
+	if in.Scenario == "" {
+		return in, fmt.Errorf("empty scenario name")
+	}
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return in, fmt.Errorf("want 3 numeric fields, got %d", len(fields))
+	}
+	tid, err := strconv.ParseInt(fields[0], 10, 32)
+	if err != nil {
+		return in, fmt.Errorf("bad tid %q", fields[0])
+	}
+	start, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || start < 0 {
+		return in, fmt.Errorf("bad start %q", fields[1])
+	}
+	end, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || end < start {
+		return in, fmt.Errorf("bad end %q", fields[2])
+	}
+	in.TID = ThreadID(tid)
+	in.Start = Time(start)
+	in.End = Time(end)
+	return in, nil
+}
+
+// cutQuoted splits a Go-quoted string off the front of s, returning its
+// unquoted value and the rest (with one separating space consumed).
+func cutQuoted(s string) (string, string, error) {
+	q, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", fmt.Errorf("bad quoted string in %q", s)
+	}
+	v, err := strconv.Unquote(q)
+	if err != nil {
+		return "", "", fmt.Errorf("bad quoted string %q", q)
+	}
+	return v, strings.TrimPrefix(s[len(q):], " "), nil
+}
+
+// checkIndexFile validates one index file entry: non-empty, relative,
+// confined to the corpus directory (no "." / ".." / empty path
+// elements), and not a duplicate of an earlier entry.
+func checkIndexFile(name string, seen map[string]bool) error {
+	if name == "" {
+		return fmt.Errorf("%w: index: empty file entry", ErrBadFormat)
+	}
+	norm := strings.ReplaceAll(name, `\`, "/")
+	if filepath.IsAbs(name) || strings.HasPrefix(norm, "/") ||
+		(len(name) >= 2 && name[1] == ':') {
+		return fmt.Errorf("%w: index: absolute file entry %q", ErrBadFormat, name)
+	}
+	for _, part := range strings.Split(norm, "/") {
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("%w: index: path-escaping file entry %q", ErrBadFormat, name)
+		}
+	}
+	if seen[name] {
+		return fmt.Errorf("%w: index: duplicate file entry %q", ErrBadFormat, name)
+	}
+	seen[name] = true
+	return nil
+}
+
+// DirSource is a lazy corpus over a directory written by WriteDir:
+// stream and instance metadata come from the corpus.index, and Stream
+// decodes one file on demand. It holds no decoded streams itself — wrap
+// it in a CachedSource to bound repeated decoding.
+//
+// DirSource is safe for concurrent use: its metadata is immutable after
+// OpenDir and Stream only reads files.
+type DirSource struct {
+	dir   string
+	v2    bool
+	metas []StreamMeta
+
+	numInstances int
+	numEvents    int
+	totalDur     Duration
+}
+
+// OpenDir opens a corpus directory lazily. For a version-2 index this
+// reads only the index file; for a legacy version-1 index every stream
+// is decoded once to recover the metadata (and then released).
+func OpenDir(dir string) (*DirSource, error) {
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		return nil, err
+	}
+	metas, version, err := parseIndex(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
+	}
+	d := &DirSource{dir: dir, v2: version >= indexVersion, metas: metas}
+	if !d.v2 {
+		for i := range d.metas {
+			s, err := d.Stream(i)
+			if err != nil {
+				return nil, err
+			}
+			d.metas[i].ID = s.ID
+			d.metas[i].Events = len(s.Events)
+			d.metas[i].Duration = s.Duration()
+			d.metas[i].Instances = s.Instances
+		}
+	}
+	for _, m := range d.metas {
+		d.numInstances += len(m.Instances)
+		d.numEvents += m.Events
+		d.totalDur += m.Duration
+	}
+	return d, nil
+}
+
+// Dir returns the backing corpus directory.
+func (d *DirSource) Dir() string { return d.dir }
+
+// NumStreams returns the number of streams.
+func (d *DirSource) NumStreams() int { return len(d.metas) }
+
+// NumInstances returns the total number of scenario instances recorded.
+func (d *DirSource) NumInstances() int { return d.numInstances }
+
+// NumEvents returns the total number of events across all streams.
+func (d *DirSource) NumEvents() int { return d.numEvents }
+
+// TotalDuration sums the time spans of all streams.
+func (d *DirSource) TotalDuration() Duration { return d.totalDur }
+
+// Scenarios returns the sorted scenario names with instance counts,
+// computed from index metadata alone.
+func (d *DirSource) Scenarios() []ScenarioCount { return scenarioCounts(d.metas) }
+
+// InstancesOf returns references to every instance of the named scenario
+// ("" selects all), computed from index metadata alone.
+func (d *DirSource) InstancesOf(scenario string) []InstanceRef {
+	return instanceRefs(d.metas, scenario)
+}
+
+// InstanceMeta resolves a reference from index metadata alone.
+func (d *DirSource) InstanceMeta(ref InstanceRef) Instance {
+	return d.metas[ref.Stream].Instances[ref.Instance]
+}
+
+// StreamMeta returns stream i's index metadata. The Instances slice is
+// shared; treat as read-only.
+func (d *DirSource) StreamMeta(i int) StreamMeta { return d.metas[i] }
+
+// Stream decodes stream i from its backing file. Every call decodes
+// afresh; wrap the source in a CachedSource to bound re-decoding.
+func (d *DirSource) Stream(i int) (*Stream, error) {
+	if i < 0 || i >= len(d.metas) {
+		return nil, fmt.Errorf("trace: stream %d out of range (%d streams)", i, len(d.metas))
+	}
+	name := d.metas[i].File
+	f, err := os.Open(filepath.Join(d.dir, filepath.FromSlash(name)))
+	if err != nil {
+		return nil, err
+	}
+	s, err := ReadBinary(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", name, err)
+	}
+	// A stale index whose instance table disagrees with the stream would
+	// let InstanceRefs index out of range downstream; fail loudly here.
+	if d.v2 && len(s.Instances) != len(d.metas[i].Instances) {
+		return nil, fmt.Errorf("%w: %s: stream has %d instances but index records %d",
+			ErrBadFormat, name, len(s.Instances), len(d.metas[i].Instances))
+	}
+	return s, nil
+}
+
+// Materialize decodes every stream into an in-memory Corpus (the eager
+// ReadDir behaviour), for consumers that need resident streams.
+func (d *DirSource) Materialize() (*Corpus, error) {
+	c := &Corpus{}
+	for i := range d.metas {
+		s, err := d.Stream(i)
+		if err != nil {
+			return nil, err
+		}
+		c.Add(s)
+	}
+	return c, nil
+}

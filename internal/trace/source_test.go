@@ -1,0 +1,461 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sourceTestCorpus builds a deterministic multi-stream corpus with two
+// scenarios, for exercising the Source implementations.
+func sourceTestCorpus(n int) *Corpus {
+	c := &Corpus{}
+	for i := 0; i < n; i++ {
+		s := randomStream(int64(100 + i))
+		s.ID = fmt.Sprintf("machine-%02d", i)
+		if len(s.Events) > 0 {
+			end := s.Events[len(s.Events)-1].End()
+			s.Instances = append(s.Instances, Instance{
+				Scenario: "S2", TID: 1, Start: 0, End: end/2 + 1,
+			})
+		}
+		c.Add(s)
+	}
+	return c
+}
+
+func TestCorpusSatisfiesSource(t *testing.T) {
+	c := sourceTestCorpus(3)
+	var src Source = c
+	if src.NumStreams() != 3 {
+		t.Fatalf("NumStreams = %d, want 3", src.NumStreams())
+	}
+	for i := 0; i < 3; i++ {
+		s, err := src.Stream(i)
+		if err != nil {
+			t.Fatalf("Stream(%d): %v", i, err)
+		}
+		if s != c.Streams[i] {
+			t.Fatalf("Stream(%d) is not the resident stream", i)
+		}
+		m := src.StreamMeta(i)
+		if m.ID != s.ID || m.Events != len(s.Events) || m.Duration != s.Duration() {
+			t.Fatalf("StreamMeta(%d) = %+v disagrees with stream", i, m)
+		}
+		if !reflect.DeepEqual(m.Instances, s.Instances) {
+			t.Fatalf("StreamMeta(%d).Instances disagree", i)
+		}
+	}
+	for _, ref := range src.InstancesOf("") {
+		_, in := c.Instance(ref)
+		if got := src.InstanceMeta(ref); got != in {
+			t.Fatalf("InstanceMeta(%v) = %+v, want %+v", ref, got, in)
+		}
+	}
+	if _, err := src.Stream(99); err == nil {
+		t.Fatal("Stream(99) succeeded on a 3-stream corpus")
+	}
+}
+
+func TestDirSourceMatchesCorpus(t *testing.T) {
+	c := sourceTestCorpus(4)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d.NumStreams() != c.NumStreams() ||
+		d.NumInstances() != c.NumInstances() ||
+		d.NumEvents() != c.NumEvents() ||
+		d.TotalDuration() != c.TotalDuration() {
+		t.Fatalf("totals diverge: dir (%d,%d,%d,%v) vs corpus (%d,%d,%d,%v)",
+			d.NumStreams(), d.NumInstances(), d.NumEvents(), d.TotalDuration(),
+			c.NumStreams(), c.NumInstances(), c.NumEvents(), c.TotalDuration())
+	}
+	if !reflect.DeepEqual(d.Scenarios(), c.Scenarios()) {
+		t.Fatalf("Scenarios diverge: %v vs %v", d.Scenarios(), c.Scenarios())
+	}
+	for _, scen := range []string{"", "S1", "S2", "absent"} {
+		if !reflect.DeepEqual(d.InstancesOf(scen), c.InstancesOf(scen)) {
+			t.Fatalf("InstancesOf(%q) diverge", scen)
+		}
+	}
+	for i := 0; i < c.NumStreams(); i++ {
+		dm, cm := d.StreamMeta(i), c.StreamMeta(i)
+		cm.File = dm.File // in-memory metas carry no file name
+		if !reflect.DeepEqual(dm, cm) {
+			t.Fatalf("StreamMeta(%d) diverge:\n dir    %+v\n corpus %+v", i, dm, cm)
+		}
+		s, err := d.Stream(i)
+		if err != nil {
+			t.Fatalf("Stream(%d): %v", i, err)
+		}
+		if !streamsEqual(s, c.Streams[i]) {
+			t.Fatalf("decoded stream %d differs from original", i)
+		}
+	}
+	for _, ref := range c.InstancesOf("") {
+		if d.InstanceMeta(ref) != c.InstanceMeta(ref) {
+			t.Fatalf("InstanceMeta(%v) diverges", ref)
+		}
+	}
+
+	mat, err := d.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Streams {
+		if !streamsEqual(mat.Streams[i], c.Streams[i]) {
+			t.Fatalf("materialised stream %d differs", i)
+		}
+	}
+}
+
+// TestOpenDirV1Compat writes a legacy version-1 index (plain file names,
+// no metadata) and checks both the eager and lazy loaders recover the
+// full corpus from it.
+func TestOpenDirV1Compat(t *testing.T) {
+	c := sourceTestCorpus(3)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := range c.Streams {
+		names = append(names, fmt.Sprintf("stream-%05d.tscp", i))
+	}
+	v1 := strings.Join(names, "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir on v1 index: %v", err)
+	}
+	if rc.NumStreams() != c.NumStreams() {
+		t.Fatalf("ReadDir: %d streams, want %d", rc.NumStreams(), c.NumStreams())
+	}
+
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir on v1 index: %v", err)
+	}
+	if d.NumEvents() != c.NumEvents() || d.NumInstances() != c.NumInstances() {
+		t.Fatalf("v1 backfill: (%d events, %d instances), want (%d, %d)",
+			d.NumEvents(), d.NumInstances(), c.NumEvents(), c.NumInstances())
+	}
+	if !reflect.DeepEqual(d.Scenarios(), c.Scenarios()) {
+		t.Fatal("v1 backfill: scenarios diverge")
+	}
+}
+
+// TestIndexCRLF rewrites the index with Windows line endings; both
+// loaders must still parse it.
+func TestIndexCRLF(t *testing.T) {
+	c := sourceTestCorpus(2)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, indexFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(string(data), "\n", "\r\n")
+	if err := os.WriteFile(path, []byte(crlf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err != nil {
+		t.Fatalf("ReadDir on CRLF index: %v", err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir on CRLF index: %v", err)
+	}
+	if d.NumEvents() != c.NumEvents() {
+		t.Fatalf("CRLF index: %d events, want %d", d.NumEvents(), c.NumEvents())
+	}
+}
+
+// TestIndexRejectsBadEntries checks that duplicate and path-escaping
+// file entries fail with ErrBadFormat before any stream file is opened,
+// in both index versions and through both loaders.
+func TestIndexRejectsBadEntries(t *testing.T) {
+	cases := []struct {
+		name  string
+		entry string
+	}{
+		{"dotdot", "../evil.tscp"},
+		{"nested-dotdot", "sub/../../evil.tscp"},
+		{"absolute", "/etc/passwd"},
+		{"backslash-absolute", `\\server\share`},
+		{"drive", `C:\evil.tscp`},
+		{"dot", "./stream-00000.tscp"},
+		{"empty-element", "a//b.tscp"},
+	}
+	quote := func(s string) string { return fmt.Sprintf("%q", s) }
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, index := range []string{
+				// v1: plain names.
+				"stream-00000.tscp\n" + tc.entry + "\n",
+				// v2: quoted stream records.
+				"TSINDEX 2\ns " + quote("stream-00000.tscp") + " \"m\" 0 0 0\ns " +
+					quote(tc.entry) + " \"m\" 0 0 0\n",
+			} {
+				dir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(dir, indexFile), []byte(index), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ReadDir(dir); !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("ReadDir accepted %q (err=%v)", tc.entry, err)
+				}
+				if _, err := OpenDir(dir); !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("OpenDir accepted %q (err=%v)", tc.entry, err)
+				}
+			}
+		})
+	}
+
+	// Duplicates of a legitimate entry.
+	c := sourceTestCorpus(1)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	dup := string(data) + strings.Join(lines[1:], "")
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte(dup), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("ReadDir accepted duplicate entry (err=%v)", err)
+	}
+	if _, err := OpenDir(dir); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("OpenDir accepted duplicate entry (err=%v)", err)
+	}
+}
+
+// TestDirSourceStaleIndex corrupts the index's instance records for a
+// stream; fetching that stream must fail loudly rather than letting
+// stale InstanceRefs index out of range.
+func TestDirSourceStaleIndex(t *testing.T) {
+	c := sourceTestCorpus(1)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the last instance record and decrement the trailing
+	// instance-count field of the stream record.
+	lines := splitLines(string(data))
+	lines = lines[:len(lines)-1]
+	n := len(c.Streams[0].Instances)
+	cut := strings.LastIndex(lines[1], " ")
+	lines[1] = lines[1][:cut+1] + fmt.Sprint(n-1)
+	if err := os.WriteFile(filepath.Join(dir, indexFile),
+		[]byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Stream(0); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("stale index not detected on fetch (err=%v)", err)
+	}
+}
+
+func TestCachedSourceLRU(t *testing.T) {
+	c := sourceTestCorpus(5)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCachedSource(d, 2)
+
+	fetch := func(i int) *Stream {
+		t.Helper()
+		s, err := cs.Stream(i)
+		if err != nil {
+			t.Fatalf("Stream(%d): %v", i, err)
+		}
+		if !streamsEqual(s, c.Streams[i]) {
+			t.Fatalf("cached stream %d differs from original", i)
+		}
+		return s
+	}
+
+	s0 := fetch(0)
+	fetch(1)
+	if got := cs.Stats(); got.Hits != 0 || got.Misses != 2 || got.Evictions != 0 || got.Size != 2 {
+		t.Fatalf("after two cold fetches: %+v", got)
+	}
+	if again := fetch(0); again != s0 {
+		t.Fatal("hit did not return the cached stream pointer")
+	}
+	if got := cs.Stats(); got.Hits != 1 || got.Misses != 2 {
+		t.Fatalf("after hit: %+v", got)
+	}
+	fetch(2) // evicts 1 (0 was touched more recently)
+	if got := cs.Stats(); got.Evictions != 1 || got.Size != 2 {
+		t.Fatalf("after eviction: %+v", got)
+	}
+	if again := fetch(0); again != s0 {
+		t.Fatal("LRU evicted the recently used stream")
+	}
+	fetch(1) // re-decode: a miss
+	if got := cs.Stats(); got.Misses != 4 {
+		t.Fatalf("re-fetch of evicted stream was not a miss: %+v", got)
+	}
+	if got := cs.Stats(); got.HighWater > 3 {
+		t.Fatalf("sequential high-water %d exceeds limit+1", got.HighWater)
+	}
+
+	var evicted []int
+	cs.AddEvictionHook(func(i int) { evicted = append(evicted, i) })
+	cs.SetLimit(1)
+	if len(evicted) != 1 {
+		t.Fatalf("SetLimit(1) evicted %v, want one stream", evicted)
+	}
+	if got := cs.Stats(); got.Size != 1 {
+		t.Fatalf("after SetLimit(1): %+v", got)
+	}
+	if cs.Limit() != 1 {
+		t.Fatalf("Limit() = %d, want 1", cs.Limit())
+	}
+	if cs.Unwrap() != d {
+		t.Fatal("Unwrap did not return the wrapped source")
+	}
+}
+
+func TestCachedSourceUnbounded(t *testing.T) {
+	c := sourceTestCorpus(4)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCachedSource(d, 0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			if _, err := cs.Stream(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := cs.Stats()
+	if got.Misses != 4 || got.Hits != 8 || got.Evictions != 0 || got.Size != 4 {
+		t.Fatalf("unbounded cache stats: %+v", got)
+	}
+}
+
+// TestCachedSourceConcurrent hammers one bounded cache from many
+// goroutines (run under -race in CI) and checks every fetch yields the
+// right stream and the high-water mark stays within limit + fetchers.
+func TestCachedSourceConcurrent(t *testing.T) {
+	const (
+		limit   = 2
+		workers = 8
+		rounds  = 40
+	)
+	c := sourceTestCorpus(6)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCachedSource(d, limit)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Mostly hammer a hot set that fits the cache (hits and
+				// in-flight sharing), with periodic cold fetches to keep
+				// eviction churning underneath.
+				i := r % limit
+				if r%10 == 0 {
+					i = limit + (r/10)%(c.NumStreams()-limit)
+				}
+				s, err := cs.Stream(i)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if s.ID != c.Streams[i].ID {
+					errs <- fmt.Errorf("stream %d: got ID %q", i, s.ID)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got := cs.Stats()
+	if got.HighWater > limit+workers {
+		t.Fatalf("high-water %d exceeds limit(%d) + workers(%d)", got.HighWater, limit, workers)
+	}
+	if got.Size > limit {
+		t.Fatalf("final size %d exceeds limit %d", got.Size, limit)
+	}
+	if got.Misses == 0 || got.Hits == 0 {
+		t.Fatalf("degenerate concurrency test: %+v", got)
+	}
+}
+
+func TestSourceInstancesCSV(t *testing.T) {
+	c := sourceTestCorpus(2)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem, lazy strings.Builder
+	if err := c.WriteInstancesCSV(&mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSourceInstancesCSV(&lazy, d); err != nil {
+		t.Fatal(err)
+	}
+	if mem.String() != lazy.String() {
+		t.Fatal("lazy instances CSV differs from in-memory export")
+	}
+}

@@ -63,6 +63,24 @@ type (
 	ComponentFilter = trace.ComponentFilter
 )
 
+// Corpus-source types: the out-of-core access seam. A *Corpus satisfies
+// Source, so every analysis entry point accepts either.
+type (
+	// Source is stream/instance metadata plus on-demand stream fetch —
+	// the seam the analysis layers run over.
+	Source = trace.Source
+	// StreamMeta is per-stream metadata available without decoding.
+	StreamMeta = trace.StreamMeta
+	// DirSource is a lazy directory-backed corpus: metadata from the
+	// corpus.index, streams decoded on demand.
+	DirSource = trace.DirSource
+	// CachedSource adds a bounded LRU of decoded streams over a Source.
+	CachedSource = trace.CachedSource
+	// SourceCacheStats reports a CachedSource's counters and its
+	// decoded-stream high-water mark.
+	SourceCacheStats = trace.SourceCacheStats
+)
+
 // Analysis types (§3–§4).
 type (
 	// Analyzer runs impact and causality analyses over a corpus.
@@ -166,15 +184,17 @@ func Generate(cfg GenerateConfig) *Corpus { return scenario.Generate(cfg) }
 // stream.
 func MotivatingCase() *Stream { return scenario.MotivatingCase() }
 
-// NewAnalyzer indexes a corpus for impact and causality analyses.
-func NewAnalyzer(c *Corpus) *Analyzer { return core.NewAnalyzer(c) }
+// NewAnalyzer indexes a corpus source for impact and causality analyses.
+// Pass a *Corpus for in-memory analysis or a (usually cached) *DirSource
+// for out-of-core analysis; results are identical.
+func NewAnalyzer(src Source) *Analyzer { return core.NewAnalyzer(src) }
 
-// NewAnalyzerOptions indexes a corpus for analysis with explicit
+// NewAnalyzerOptions indexes a corpus source for analysis with explicit
 // scheduling options. Workers bounds the shard-and-merge pool (0 means
 // GOMAXPROCS, 1 forces the sequential path); results are bit-for-bit
 // identical at any worker count.
-func NewAnalyzerOptions(c *Corpus, opts AnalyzerOptions) *Analyzer {
-	return core.NewAnalyzerOptions(c, opts)
+func NewAnalyzerOptions(src Source, opts AnalyzerOptions) *Analyzer {
+	return core.NewAnalyzerOptions(src, opts)
 }
 
 // AllDrivers returns the component filter the paper's evaluation uses:
@@ -203,8 +223,22 @@ func Thresholds(name string) (tfast, tslow Duration, ok bool) {
 // WriteCorpusDir persists a corpus as binary stream files plus an index.
 func WriteCorpusDir(c *Corpus, dir string) error { return c.WriteDir(dir) }
 
-// ReadCorpusDir loads a corpus written with WriteCorpusDir.
+// ReadCorpusDir loads a corpus written with WriteCorpusDir eagerly into
+// memory. For out-of-core access use OpenCorpusDir.
 func ReadCorpusDir(dir string) (*Corpus, error) { return trace.ReadDir(dir) }
+
+// OpenCorpusDir opens a corpus directory lazily: stream and instance
+// metadata come from the corpus.index, and streams are decoded only when
+// an analysis touches them. Wrap the result with NewCachedSource to
+// bound decoded-stream memory during analysis.
+func OpenCorpusDir(dir string) (*DirSource, error) { return trace.OpenDir(dir) }
+
+// NewCachedSource wraps a source with a bounded LRU of at most limit
+// decoded streams (limit <= 0 means unbounded). Safe for concurrent use
+// by the analysis worker pool.
+func NewCachedSource(src Source, limit int) *CachedSource {
+	return trace.NewCachedSource(src, limit)
+}
 
 // CallGraphProfile computes a gprof-style CPU profile of the corpus: the
 // call-dependency baseline of §6 (sees CPU only, never waiting).
