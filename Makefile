@@ -2,16 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-json \
+.PHONY: all build vet lint test test-short test-race bench bench-json \
 	bench-corpus experiments experiments-md report fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism-and-invariant static analysis (internal/lint): mapiter,
+# walltime, unstablesort. CI gates on this; findings exit non-zero.
+# Silence a deliberate site with:  //lint:ignore <analyzer> <reason>
+lint:
+	$(GO) run ./cmd/tracelint ./...
 
 test:
 	$(GO) test ./...

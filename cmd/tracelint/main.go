@@ -1,0 +1,176 @@
+// Command tracelint runs tracescope's determinism-and-invariant
+// static-analysis suite (internal/lint) over the tree.
+//
+// Usage:
+//
+//	tracelint [-json] [-tests] [path ...]
+//
+// Each path is a directory (analyzed recursively when suffixed with
+// /...), a single .go file, or defaults to ./... — dirs named testdata
+// and vendor and hidden entries are skipped. Findings go to stdout as
+// file:line:col: analyzer: message lines (or a JSON array with -json)
+// in deterministic order; the exit status is 1 when there are findings,
+// 2 on usage or parse errors, 0 on a clean tree.
+//
+// Findings are silenced per-site with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tracescope/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("tracelint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tracelint [-json] [-tests] [path ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	files, err := resolve(args, *tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var (
+		diags     []lint.Diagnostic
+		parseFail bool
+	)
+	for _, path := range files {
+		f, err := lint.ParseFile(fset, path, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+			parseFail = true
+			continue
+		}
+		diags = append(diags, lint.Run(f, analyzers)...)
+	}
+	lint.SortDiagnostics(diags)
+
+	if *jsonOut {
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "tracelint: %d finding(s)\n", len(diags))
+		}
+	}
+
+	switch {
+	case parseFail:
+		return 2
+	case len(diags) > 0:
+		return 1
+	}
+	return 0
+}
+
+// resolve expands the path arguments into the sorted file list to
+// analyze: "dir/..." walks recursively, a directory takes its immediate
+// .go files, a file is taken as-is.
+func resolve(args []string, tests bool) ([]string, error) {
+	seen := make(map[string]bool)
+	var files []string
+	add := func(f string) {
+		if !seen[f] {
+			seen[f] = true
+			files = append(files, f)
+		}
+	}
+	for _, arg := range args {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			root := rest
+			if root == "" || root == "." {
+				root = "."
+			}
+			fs, err := lint.FilesIn(root, tests)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range fs {
+				add(f)
+			}
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if info.IsDir() {
+			entries, err := os.ReadDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".go") {
+					continue
+				}
+				if !tests && strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				add(filepath.Join(arg, name))
+			}
+			continue
+		}
+		add(arg)
+	}
+	return files, nil
+}

@@ -79,7 +79,7 @@ func (n *Node) Children() []*Node {
 	for _, c := range n.children {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
 
@@ -107,7 +107,7 @@ func (g *Graph) Roots() []*Node {
 	for _, r := range g.roots {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
 

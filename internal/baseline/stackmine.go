@@ -148,6 +148,7 @@ func sortedChildren(n *stackTrieNode) []*stackTrieNode {
 	for _, c := range n.children {
 		out = append(out, c)
 	}
+	//lint:ignore unstablesort children are keyed by frame, so frames are unique and ties impossible
 	sort.Slice(out, func(i, j int) bool { return out[i].frame < out[j].frame })
 	return out
 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tracescope/internal/scenario"
+)
+
+// TestLocatePatternRepeatedEquality pins the tie-break fix in
+// LocatePattern: simulated time is quantised, so distinct slow instances
+// genuinely tie on duration, and the pre-fix single-key sort.Slice left
+// their relative order to the unstable sorter. Two analyzers built from
+// identically seeded corpora must report occurrences in the identical
+// order, including among ties.
+func TestLocatePatternRepeatedEquality(t *testing.T) {
+	type run struct {
+		refs []PatternOccurrence
+	}
+	var runs []run
+	for i := 0; i < 3; i++ {
+		a := NewAnalyzer(testCorpus(t))
+		tfast, tslow, _ := scenario.Thresholds(scenario.WebPageNavigation)
+		res, err := a.Causality(CausalityConfig{Scenario: scenario.WebPageNavigation, Tfast: tfast, Tslow: tslow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			t.Skip("no patterns in this corpus")
+		}
+		occ := a.LocatePattern(res, res.Patterns[0], nil, 64)
+		if len(occ) == 0 {
+			t.Skip("pattern has no occurrences")
+		}
+		runs = append(runs, run{refs: occ})
+	}
+	for i := 1; i < len(runs); i++ {
+		if !reflect.DeepEqual(runs[0].refs, runs[i].refs) {
+			t.Fatalf("LocatePattern run %d differs from run 0:\nrun0: %+v\nrun%d: %+v",
+				i, refsOf(runs[0].refs), i, refsOf(runs[i].refs))
+		}
+	}
+	// The documented order: duration descending, reference ascending on
+	// ties.
+	occ := runs[0].refs
+	for i := 1; i < len(occ); i++ {
+		di, dj := occ[i-1].Instance.Duration(), occ[i].Instance.Duration()
+		if di < dj {
+			t.Fatalf("occurrences not slowest-first at %d: %v then %v", i, di, dj)
+		}
+		if di == dj {
+			ri, rj := occ[i-1].Ref, occ[i].Ref
+			if ri.Stream > rj.Stream || (ri.Stream == rj.Stream && ri.Instance >= rj.Instance) {
+				t.Fatalf("tied occurrences not ref-ordered at %d: %+v then %+v", i, ri, rj)
+			}
+		}
+	}
+}
+
+func refsOf(occ []PatternOccurrence) []string {
+	var out []string
+	for _, o := range occ {
+		out = append(out, o.Instance.Scenario)
+	}
+	return out
+}

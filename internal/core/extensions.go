@@ -86,8 +86,18 @@ func (a *Analyzer) LocatePattern(res *CausalityResult, p mining.Pattern, filter 
 			out = append(out, PatternOccurrence{Ref: ref, Instance: in, MatchedWait: waits})
 		}
 	}
+	// Equal durations are real (quantised simulated time), so a plain
+	// duration sort would order tied occurrences run-dependently; the
+	// instance reference is the total-order tie-break.
 	sort.Slice(out, func(i, j int) bool {
-		return out[i].Instance.Duration() > out[j].Instance.Duration()
+		di, dj := out[i].Instance.Duration(), out[j].Instance.Duration()
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Ref.Stream != out[j].Ref.Stream {
+			return out[i].Ref.Stream < out[j].Ref.Stream
+		}
+		return out[i].Ref.Instance < out[j].Ref.Instance
 	})
 	if len(out) > limit {
 		out = out[:limit]

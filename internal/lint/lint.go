@@ -1,0 +1,220 @@
+// Package lint is tracescope's determinism-and-invariant static-analysis
+// suite. The analysis engine promises bit-for-bit identical output at any
+// worker count and cache limit; that invariant survives only while the
+// code avoids a handful of patterns Go makes easy to write — ranging over
+// a map straight into ordered output, ordering by wall-clock time, or
+// unstable sorts with ambiguous comparators. The analyzers here turn
+// those conventions into machine-checked properties.
+//
+// The framework is deliberately small and zero-dependency: analyzers work
+// on a single parsed file (stdlib go/ast, go/parser, go/token only),
+// report Diagnostics, and can be silenced per-site with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory; a suppression without one is itself a finding.
+// Analyzers are purely syntactic — no go/types, no build context — which
+// keeps them fast and usable on files that do not compile yet, at the
+// cost of a documented heuristic scope (see the analyzer docs).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file handed to analyzers.
+type File struct {
+	Fset     *token.FileSet
+	AST      *ast.File
+	Filename string
+}
+
+// Position resolves a token position within the file.
+func (f *File) Position(p token.Pos) token.Position { return f.Fset.Position(p) }
+
+// Diag constructs a diagnostic for the analyzer at the given position.
+func (f *File) Diag(name string, p token.Pos, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{Pos: f.Position(p), Analyzer: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// ImportName returns the identifier the file uses for the import of the
+// given path ("" if the path is not imported, "." and "_" passed
+// through). Analyzers use it so renamed imports are still matched and
+// unrelated packages that happen to be called "rand" are not.
+func (f *File) ImportName(path string) string {
+	for _, imp := range f.AST.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// Analyzer is one named check over a single file.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description for -help style listings.
+	Doc string
+	// Run reports the analyzer's findings for the file.
+	Run func(f *File) []Diagnostic
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, WallTime, UnstableSort}
+}
+
+// ParseFile parses one source file (src may be nil to read filename from
+// disk) with comments retained, as suppressions and the test harness
+// both need them.
+func ParseFile(fset *token.FileSet, filename string, src interface{}) (*File, error) {
+	astf, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Fset: fset, AST: astf, Filename: filename}, nil
+}
+
+// Run executes the analyzers over the file, drops suppressed findings,
+// adds findings for malformed suppression comments, and returns the
+// result in deterministic order.
+func Run(f *File, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(f)...)
+	}
+	sups, malformed := suppressions(f)
+	diags = append(diags, malformed...)
+	out := diags[:0]
+	for _, d := range diags {
+		if !sups.covers(d) {
+			out = append(out, d)
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, and
+// message — the suite's own output must be deterministic.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ignorePrefix introduces a suppression comment. The directive form (no
+// space after //) matches the convention of staticcheck and friends.
+const ignorePrefix = "lint:ignore"
+
+// suppression silences the named analyzers ("*" for all) on the comment's
+// line and on the line directly below it, covering both end-of-line and
+// stand-alone-line placement.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+type suppressionSet []suppression
+
+func (ss suppressionSet) covers(d Diagnostic) bool {
+	for _, s := range ss {
+		if s.file != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line != s.line && d.Pos.Line != s.line+1 {
+			continue
+		}
+		if s.analyzers["*"] || s.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions extracts //lint:ignore directives from the file. Malformed
+// directives (missing analyzer list or missing reason) are returned as
+// findings of the pseudo-analyzer "ignore" so they cannot silently rot.
+func suppressions(f *File) (suppressionSet, []Diagnostic) {
+	var (
+		sups      suppressionSet
+		malformed []Diagnostic
+	)
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text, ok := directiveText(c.Text)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				malformed = append(malformed, f.Diag("ignore", c.Pos(),
+					"malformed suppression: want //lint:ignore <analyzer>[,<analyzer>] <reason>"))
+				continue
+			}
+			names := make(map[string]bool)
+			for _, n := range strings.Split(fields[0], ",") {
+				if n != "" {
+					names[n] = true
+				}
+			}
+			pos := f.Position(c.Pos())
+			sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: names})
+		}
+	}
+	return sups, malformed
+}
+
+// directiveText returns the part of a //lint:ignore comment after the
+// prefix, and whether the comment is such a directive at all.
+func directiveText(comment string) (string, bool) {
+	if !strings.HasPrefix(comment, "//") {
+		return "", false // block comments are not directives
+	}
+	body := strings.TrimPrefix(comment, "//")
+	if !strings.HasPrefix(body, ignorePrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(body, ignorePrefix)), true
+}

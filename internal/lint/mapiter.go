@@ -1,0 +1,337 @@
+// mapiter flags the bug class that silently breaks the engine's
+// partition-invariant merges: ranging over a map directly into ordered
+// output. Go randomises map iteration order per run, so a loop that
+// appends to a slice, writes to an io.Writer/encoder, or accumulates a
+// float sum while ranging over a map produces run-dependent results
+// unless a deterministic sort follows.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MapIter reports nondeterministic map-iteration patterns.
+//
+// The analyzer is syntactic: an expression counts as a map when it is an
+// identifier declared as a map in the same function or file (var decl,
+// make, composite literal, parameter), or a selector whose field is
+// declared with a map type anywhere in the file. Three loop bodies are
+// flagged:
+//
+//   - appending to a slice declared outside the loop, unless a sort.*
+//     call follows the loop in the same function (the collect-then-sort
+//     idiom is the sanctioned fix and stays silent);
+//   - writing to a writer or encoder (fmt.Fprint*, Write*, Encode, ...)
+//     — sorting afterwards cannot reorder bytes already written;
+//   - accumulating into a float variable with += — float addition is not
+//     associative, so even a commutative-looking sum is order-sensitive.
+const mapiterName = "mapiter"
+
+var MapIter = &Analyzer{
+	Name: mapiterName,
+	Doc:  "flags range-over-map loops that feed ordered output without a deterministic sort",
+	Run:  runMapIter,
+}
+
+func runMapIter(f *File) []Diagnostic {
+	mapFields := collectMapFields(f.AST)
+	var diags []Diagnostic
+	for _, decl := range f.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		diags = append(diags, mapIterFunc(f, fn, mapFields)...)
+	}
+	return diags
+}
+
+// collectMapFields gathers names of struct fields declared with a map
+// type anywhere in the file, so `g.roots` resolves as a map when the
+// Graph struct lives in the same file.
+func collectMapFields(astf *ast.File) map[string]bool {
+	fields := make(map[string]bool)
+	ast.Inspect(astf, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			if _, isMap := fld.Type.(*ast.MapType); !isMap {
+				continue
+			}
+			for _, name := range fld.Names {
+				fields[name.Name] = true
+			}
+		}
+		return true
+	})
+	return fields
+}
+
+// funcScope is the per-function name environment the heuristics consult.
+type funcScope struct {
+	maps      map[string]bool // identifiers declared with a map type
+	floats    map[string]bool // identifiers declared with a float type
+	mapFields map[string]bool // file-level struct fields of map type
+}
+
+func mapIterFunc(f *File, fn *ast.FuncDecl, mapFields map[string]bool) []Diagnostic {
+	sc := &funcScope{
+		maps:      make(map[string]bool),
+		floats:    make(map[string]bool),
+		mapFields: mapFields,
+	}
+	if fn.Recv != nil {
+		sc.addFieldList(fn.Recv)
+	}
+	if fn.Type.Params != nil {
+		sc.addFieldList(fn.Type.Params)
+	}
+	if fn.Type.Results != nil {
+		sc.addFieldList(fn.Type.Results)
+	}
+	// One declaration pre-pass over the whole body: Go requires
+	// declaration before use in statement order, so collecting names
+	// up-front only widens scopes, never misses one.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if isMapType(vs.Type) {
+							sc.maps[name.Name] = true
+						}
+						if isFloatType(vs.Type) {
+							sc.floats[name.Name] = true
+						}
+					}
+					for i, v := range vs.Values {
+						if i < len(vs.Names) {
+							sc.classifyValue(vs.Names[i], v)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE && st.Tok != token.ASSIGN {
+				return true
+			}
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					sc.classifyValue(id, st.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+
+	// Positions of sort.* calls, for the collect-then-sort exemption.
+	var sortCalls []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(call) {
+			sortCalls = append(sortCalls, call.Pos())
+		}
+		return true
+	})
+	sortedAfter := func(end token.Pos) bool {
+		for _, p := range sortCalls {
+			if p > end {
+				return true
+			}
+		}
+		return false
+	}
+
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !sc.isMapExpr(rng.X) {
+			return true
+		}
+		appends, writes, floatAdds := inspectRangeBody(rng.Body, sc)
+		for _, name := range appends {
+			if sortedAfter(rng.End()) {
+				continue
+			}
+			diags = append(diags, f.Diag(mapiterName, rng.Pos(),
+				"appends to %s while ranging over a map with no subsequent sort; map iteration order is nondeterministic", name))
+		}
+		for _, name := range writes {
+			diags = append(diags, f.Diag(mapiterName, rng.Pos(),
+				"writes via %s while ranging over a map; output order is nondeterministic — collect, sort, then emit", name))
+		}
+		for _, name := range floatAdds {
+			diags = append(diags, f.Diag(mapiterName, rng.Pos(),
+				"accumulates float %s while ranging over a map; float addition is order-sensitive and map order is nondeterministic", name))
+		}
+		return true
+	})
+	return diags
+}
+
+func (sc *funcScope) addFieldList(fl *ast.FieldList) {
+	for _, fld := range fl.List {
+		for _, name := range fld.Names {
+			if isMapType(fld.Type) {
+				sc.maps[name.Name] = true
+			}
+			if isFloatType(fld.Type) {
+				sc.floats[name.Name] = true
+			}
+		}
+	}
+}
+
+// classifyValue records the name as a map or float when the bound value
+// makes that evident without type information.
+func (sc *funcScope) classifyValue(id *ast.Ident, v ast.Expr) {
+	switch rhs := v.(type) {
+	case *ast.CallExpr:
+		if fun, ok := rhs.Fun.(*ast.Ident); ok {
+			if fun.Name == "make" && len(rhs.Args) > 0 && isMapType(rhs.Args[0]) {
+				sc.maps[id.Name] = true
+			}
+			if fun.Name == "float64" || fun.Name == "float32" {
+				sc.floats[id.Name] = true
+			}
+		}
+	case *ast.CompositeLit:
+		if isMapType(rhs.Type) {
+			sc.maps[id.Name] = true
+		}
+	case *ast.BasicLit:
+		if rhs.Kind == token.FLOAT {
+			sc.floats[id.Name] = true
+		}
+	}
+}
+
+// isMapExpr reports whether the heuristics can tell the expression is a
+// map: a known local/param identifier or a map-typed struct field.
+func (sc *funcScope) isMapExpr(x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return sc.maps[e.Name]
+	case *ast.SelectorExpr:
+		return sc.mapFields[e.Sel.Name]
+	case *ast.ParenExpr:
+		return sc.isMapExpr(e.X)
+	}
+	return false
+}
+
+func isMapType(t ast.Expr) bool {
+	_, ok := t.(*ast.MapType)
+	return ok
+}
+
+func isFloatType(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+// writerMethods are selector names whose call inside a map range commits
+// bytes in iteration order: io.Writer and strings.Builder methods,
+// fmt/io writer helpers, and stream encoders.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true,
+}
+
+// inspectRangeBody scans a map-range body for the three flagged
+// accumulation shapes. Nested closures are scanned too: a write is a
+// write regardless of the function literal it hides in.
+func inspectRangeBody(body *ast.BlockStmt, sc *funcScope) (appends, writes, floatAdds []string) {
+	seenAppend := make(map[string]bool)
+	seenWrite := make(map[string]bool)
+	seenFloat := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) and friends.
+			if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+				for i, rhs := range st.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" && i < len(st.Lhs) {
+						name := exprName(st.Lhs[i])
+						if name != "" && !seenAppend[name] {
+							seenAppend[name] = true
+							appends = append(appends, name)
+						}
+					}
+				}
+			}
+			// sum += v on a known float.
+			if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 {
+				if id, ok := st.Lhs[0].(*ast.Ident); ok && sc.floats[id.Name] {
+					if !seenFloat[id.Name] {
+						seenFloat[id.Name] = true
+						floatAdds = append(floatAdds, id.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || !writerMethods[sel.Sel.Name] {
+				return true
+			}
+			name := exprName(sel)
+			if !seenWrite[name] {
+				seenWrite[name] = true
+				writes = append(writes, name)
+			}
+		}
+		return true
+	})
+	return appends, writes, floatAdds
+}
+
+// isSortCall matches sort.<Anything>(...) — the package-qualified calls
+// of the stdlib sort package. Matching loosely on the package name keeps
+// the exemption simple; a false exemption only reduces findings on code
+// that already references sort.
+func isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "sort"
+}
+
+// exprName renders a short dotted name for diagnostics ("out",
+// "fmt.Fprintf", "b.WriteString"); "" when the expression has no simple
+// name.
+func exprName(x ast.Expr) string {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprName(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	case *ast.StarExpr:
+		return exprName(e.X)
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,64 @@
+// Negative fixtures: nothing in this file may be flagged by mapiter.
+package fixtures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// collectSorted is the sanctioned idiom: collect from the map, then sort
+// before anything consumes the slice.
+func collectSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intSum is deterministic: integer addition is associative and
+// commutative, so iteration order cannot change the total.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange ranges over a slice; order is the slice's own.
+func sliceRange(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}
+
+// indexedSliceRange ranges over a slice fetched from a map by key; the
+// iteration itself is over the slice.
+func indexedSliceRange(w io.Writer, byKey map[string][]string, key string) {
+	for _, r := range byKey[key] {
+		fmt.Fprintln(w, r)
+	}
+}
+
+// counting mutates nothing ordered.
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// suppressed demonstrates //lint:ignore: the append is nondeterministic,
+// but the caller shuffles the result anyway, so order is irrelevant.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//lint:ignore mapiter result order is re-randomised by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+// Negative fixtures: nothing in this file may be flagged by unstablesort.
+package fixtures
+
+import "sort"
+
+type rec struct {
+	total int64
+	key   string
+}
+
+// tieBreak is the multi-key form: equal totals fall back to the key, so
+// the order is a total order and deterministic.
+func tieBreak(xs []rec) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].total != xs[j].total {
+			return xs[i].total > xs[j].total
+		}
+		return xs[i].key < xs[j].key
+	})
+}
+
+// stable uses sort.SliceStable: with a deterministic input order, equal
+// keys keep their relative positions.
+func stable(xs []rec) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].total < xs[j].total })
+}
+
+// chained is a one-line tie-break via boolean operators.
+func chained(xs []rec) {
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i].total < xs[j].total || (xs[i].total == xs[j].total && xs[i].key < xs[j].key)
+	})
+}
+
+// differentKeys compares different fields on each side — whatever it
+// means, it is not the single-key mirror shape.
+func differentKeys(xs []rec) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].total < int64(len(xs[j].key)) })
+}
+
+// suppressed documents a structurally unique key.
+func suppressed(names []string, m map[string]int) {
+	_ = m
+	//lint:ignore unstablesort names are unique map keys, ties impossible
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+}

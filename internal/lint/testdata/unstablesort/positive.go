@@ -1,0 +1,27 @@
+// Positive fixtures: every sort here must be flagged by unstablesort.
+package fixtures
+
+import "sort"
+
+type span struct {
+	start int64
+	cost  int64
+	name  string
+}
+
+// byStart orders by one key: spans with equal starts land in
+// nondeterministic order because sort.Slice is unstable.
+func byStart(xs []span) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].start < xs[j].start }) // want "unstablesort: .* single key xs.start"
+}
+
+// byCostDesc is single-key in the other direction.
+func byCostDesc(xs []span) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].cost > xs[j].cost }) // want "unstablesort"
+}
+
+// byDerived orders by a single computed key; ties in the computed value
+// are just as nondeterministic as ties in a field.
+func byDerived(xs []span) {
+	sort.Slice(xs, func(i, j int) bool { return len(xs[i].name) < len(xs[j].name) }) // want "unstablesort"
+}

@@ -1,0 +1,34 @@
+// Negative fixtures: nothing in this file may be flagged by walltime.
+package fixtures
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded builds an explicitly seeded generator — the constructors are
+// the sanctioned path (stats.Rand wraps exactly this).
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// draw uses the seeded generator's methods, not the global functions.
+func draw(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// fixedEpoch constructs an absolute time without reading the clock.
+func fixedEpoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// scale is pure duration arithmetic.
+func scale(d time.Duration, k int64) time.Duration {
+	return d * time.Duration(k)
+}
+
+// suppressed shows an explicitly justified escape hatch.
+func suppressed() int64 {
+	//lint:ignore walltime coarse progress logging only, never ordering
+	return time.Now().Unix()
+}

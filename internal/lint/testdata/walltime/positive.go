@@ -1,0 +1,35 @@
+// Positive fixtures: every call here must be flagged by walltime.
+package fixtures
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+// stamp reads the machine clock: two analysis runs of the same corpus
+// would disagree.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "walltime: time.Now"
+}
+
+// elapsed measures wall time inside analysis code.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "walltime: time.Since"
+}
+
+// deadline uses the clock-relative helper.
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "walltime: time.Until"
+}
+
+// pick draws from the global generator through a renamed import; the
+// analyzer resolves the import path, not the identifier spelling.
+func pick(n int) int {
+	return mrand.Intn(n) // want "walltime: mrand.Intn uses the global math/rand"
+}
+
+// shuffle perturbs global generator state shared with every other
+// caller in the process.
+func shuffle(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "walltime: mrand.Shuffle"
+}

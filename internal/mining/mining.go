@@ -174,7 +174,7 @@ func DiscoverContrasts(slow, fast map[string]*Meta, tfast, tslow trace.Duration)
 			out = append(out, Contrast{Meta: ps, Ratio: ratio})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		return out[i].Meta.Tuple.Key() < out[j].Meta.Tuple.Key()
 	})
 	return out

@@ -1,0 +1,33 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+// TestThreadSnapshotByteEquality pins the snapshot renderer: events are
+// bucketed into a per-thread map before rendering, so without the
+// deterministic thread ordering two calls could interleave sections
+// differently. Repeated renders of the same window must be bytes-equal.
+func TestThreadSnapshotByteEquality(t *testing.T) {
+	s := scenario.MotivatingCase()
+	var first bytes.Buffer
+	if err := WriteThreadSnapshot(&first, s, 0, trace.Time(s.Duration()), 4); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	for run := 1; run < 4; run++ {
+		var buf bytes.Buffer
+		if err := WriteThreadSnapshot(&buf, s, 0, trace.Time(s.Duration()), 4); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), buf.Bytes()) {
+			t.Fatalf("snapshot run %d differs from run 0", run)
+		}
+	}
+}

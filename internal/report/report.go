@@ -137,7 +137,7 @@ func WriteThreadSnapshot(w io.Writer, s *trace.Stream, from, to trace.Time, maxF
 		}
 		byThread[e.TID] = append(byThread[e.TID], e)
 	}
-	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	sort.SliceStable(tids, func(i, j int) bool { return tids[i] < tids[j] })
 
 	fmt.Fprintf(w, "thread snapshot of %s [%v, %v)\n\n", s.ID, trace.Duration(from), trace.Duration(to))
 	for _, tid := range tids {

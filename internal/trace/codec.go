@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Binary stream container format:
@@ -315,11 +316,7 @@ func sortedThreadIDs(m map[ThreadID]ThreadInfo) []ThreadID {
 	for tid := range m {
 		ids = append(ids, tid)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.SliceStable(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

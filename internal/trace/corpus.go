@@ -70,7 +70,7 @@ func (c *Corpus) Scenarios() []ScenarioCount {
 	for name, n := range counts {
 		out = append(out, ScenarioCount{Name: name, Instances: n})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

@@ -101,7 +101,7 @@ func scenarioCounts(metas []StreamMeta) []ScenarioCount {
 	for name, n := range counts {
 		out = append(out, ScenarioCount{Name: name, Instances: n})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
