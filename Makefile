@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet lint test test-short test-race bench bench-json \
-	bench-corpus experiments experiments-md report fuzz clean
+	bench-corpus bench-smoke experiments experiments-md report fuzz clean
 
 all: build vet lint test
 
@@ -42,6 +42,16 @@ bench-json:
 # plus the stream-cache-limit sweep with decoded-stream high-water marks.
 bench-corpus:
 	$(GO) run ./cmd/benchjson -mode corpus -out BENCH_corpus.json
+
+# Observability smoke test (CI gates on this): run the instrumented
+# pipeline over a tiny corpus twice, reconcile the counters in-process
+# (benchjson fails on malformed or non-reconciling snapshots), and fail
+# if the two JSON metric snapshots are not byte-identical.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -mode metrics -streams 8 -episodes 4 -out BENCH_metrics_a.json
+	$(GO) run ./cmd/benchjson -mode metrics -streams 8 -episodes 4 -out BENCH_metrics_b.json
+	cmp BENCH_metrics_a.json BENCH_metrics_b.json
+	rm -f BENCH_metrics_a.json BENCH_metrics_b.json
 
 # Regenerate the paper's evaluation on a fresh corpus.
 experiments:

@@ -66,7 +66,7 @@ func BenchmarkHeadlineImpact(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				an := core.NewAnalyzerOptions(s.Corpus, core.Options{Workers: bc.workers})
+				an := core.NewAnalyzer(s.Corpus, core.WithWorkers(bc.workers))
 				m := an.Impact(trace.AllDrivers(), "")
 				if m.IAwait() <= 0 {
 					b.Fatal("degenerate impact")
@@ -83,7 +83,7 @@ func BenchmarkParallelHeadlineImpact(b *testing.B) {
 	s := benchSetup(b)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			an := core.NewAnalyzerOptions(s.Corpus, core.Options{Workers: workers})
+			an := core.NewAnalyzer(s.Corpus, core.WithWorkers(workers))
 			an.SetGraphCacheLimit(0) // cold graphs every iteration
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -103,7 +103,7 @@ func BenchmarkParallelCausality(b *testing.B) {
 	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabCreate)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			an := core.NewAnalyzerOptions(s.Corpus, core.Options{Workers: workers})
+			an := core.NewAnalyzer(s.Corpus, core.WithWorkers(workers))
 			an.SetGraphCacheLimit(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -386,7 +386,10 @@ func BenchmarkBaselineProfile(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := baseline.CallGraphProfile(s.Corpus)
+		p, err := baseline.CallGraphProfile(s.Corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if p.TotalCPU == 0 {
 			b.Fatal("no CPU")
 		}
@@ -399,7 +402,10 @@ func BenchmarkBaselineContention(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := baseline.LockContention(s.Corpus, trace.AllDrivers())
+		r, err := baseline.LockContention(s.Corpus, trace.AllDrivers())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.TotalWait == 0 {
 			b.Fatal("no waits")
 		}
@@ -436,7 +442,10 @@ func BenchmarkBaselineStackMine(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := baseline.MineStacks(s.Corpus, trace.AllDrivers(), 3)
+		r, err := baseline.MineStacks(s.Corpus, trace.AllDrivers(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Patterns) == 0 {
 			b.Fatal("no patterns")
 		}

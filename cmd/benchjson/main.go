@@ -14,10 +14,19 @@
 //     recording ns/op alongside the cache counters and the
 //     decoded-stream high-water mark (the peak-memory proxy).
 //
+//   - metrics (BENCH_metrics.json): runs the full pipeline — headline
+//     impact plus one causality analysis — over a directory-backed
+//     source with the observability recorder attached (no clock, pinned
+//     workers, unbounded stream cache), reconciles the counters
+//     in-process (streams decoded == cache misses; shard spans == shard
+//     count), and writes the deterministic metrics snapshot: two runs at
+//     the same seed must produce byte-identical files, which CI checks.
+//
 // Usage:
 //
-//	benchjson [-mode engine|corpus] [-out FILE] [-seed N] [-streams N]
-//	          [-episodes N] [-workers 1,2,4,8] [-cachelimits 2,8,32,0]
+//	benchjson [-mode engine|corpus|metrics] [-out FILE] [-seed N]
+//	          [-streams N] [-episodes N] [-workers 1,2,4,8]
+//	          [-cachelimits 2,8,32,0]
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"tracescope/internal/core"
+	"tracescope/internal/obs"
 	"tracescope/internal/scenario"
 	"tracescope/internal/trace"
 )
@@ -124,9 +134,91 @@ func main() {
 			fatal(err)
 		}
 		runCorpus(corpus, info, sweep, *out)
+	case "metrics":
+		runMetrics(corpus, *out)
 	default:
-		fatal(fmt.Errorf("unknown -mode %q (want engine or corpus)", *mode))
+		fatal(fmt.Errorf("unknown -mode %q (want engine, corpus, or metrics)", *mode))
 	}
+}
+
+// metricsWorkers pins the metrics-mode worker count: shard counts (and
+// with them shard-span counts) depend on the worker count, so the
+// deterministic-snapshot contract holds per fixed setting.
+const metricsWorkers = 4
+
+// runMetrics drives the instrumented pipeline over a directory-backed
+// source and writes the recorder's snapshot, after reconciling its
+// counters against each other. The recorder has no clock and the stream
+// cache is unbounded (eviction order under concurrency is
+// interleaving-dependent), so the snapshot is byte-identical across
+// runs at the same seed, stream count, and worker count.
+func runMetrics(corpus *trace.Corpus, out string) {
+	dir, err := os.MkdirTemp("", "benchjson-metrics-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := corpus.WriteDir(dir); err != nil {
+		fatal(err)
+	}
+	src, err := trace.OpenDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	cached := trace.NewCachedSource(src, 0)
+
+	rec := obs.NewMemRecorder()
+	an := core.NewAnalyzer(cached, core.WithWorkers(metricsWorkers), core.WithRecorder(rec))
+	if m := an.Impact(trace.AllDrivers(), ""); m.IAwait() <= 0 {
+		fatal(fmt.Errorf("degenerate impact"))
+	}
+	tf, ts, _ := scenario.Thresholds(scenario.BrowserTabCreate)
+	if _, err := an.Causality(core.CausalityConfig{
+		Scenario: scenario.BrowserTabCreate, Tfast: tf, Tslow: ts,
+	}); err != nil {
+		fatal(err)
+	}
+	if err := an.Err(); err != nil {
+		fatal(err)
+	}
+
+	snap := rec.Snapshot()
+	decoded := snap.Counter("trace_streams_decoded_total")
+	misses := snap.Counter("source_cache_misses_total")
+	if decoded == 0 || decoded != misses {
+		fatal(fmt.Errorf("metrics reconcile: streams decoded %d != cache misses %d", decoded, misses))
+	}
+	if h, ok := snap.Span("trace_decode"); !ok || h.Count != decoded {
+		fatal(fmt.Errorf("metrics reconcile: trace_decode spans != streams decoded %d", decoded))
+	}
+	shards := snap.Counter("engine_shards_total")
+	var shardSpans int64
+	for _, h := range snap.Spans {
+		if strings.HasSuffix(h.Name, "_shard") {
+			shardSpans += h.Count
+		}
+	}
+	if shards == 0 || shardSpans != shards {
+		fatal(fmt.Errorf("metrics reconcile: shard spans %d != shards %d", shardSpans, shards))
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil || !json.Valid(data) {
+		fatal(fmt.Errorf("metrics snapshot is not valid JSON: %v", err))
+	}
+	fmt.Printf("metrics: %d streams decoded, %d shards, %d counters, %d spans\n",
+		decoded, shards, len(snap.Counters), len(snap.Spans))
+	fmt.Printf("wrote %s\n", out)
 }
 
 func runEngine(corpus *trace.Corpus, info CorpusInfo, sweep []int, out string) {
@@ -154,7 +246,7 @@ func runEngine(corpus *trace.Corpus, info CorpusInfo, sweep []int, out string) {
 	for _, p := range pipelines {
 		base := int64(0)
 		for _, w := range sweep {
-			an := core.NewAnalyzerOptions(corpus, core.Options{Workers: w})
+			an := core.NewAnalyzer(corpus, core.WithWorkers(w))
 			an.SetGraphCacheLimit(0) // measure real work every iteration
 			p.run(an)                // warm the per-stream builders once
 			res := testing.Benchmark(func(b *testing.B) {

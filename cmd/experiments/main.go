@@ -8,34 +8,82 @@
 //	experiments [-exp all|headline|table1|table2|table3|table4|
 //	             figure1|figure2|reduction|hardfault|baselines]
 //	            [-seed N] [-streams N] [-episodes N]
+//	            [-metrics] [-progress] [-pprof ADDR]
+//
+// Observability: -progress prints live per-phase progress to stderr;
+// -metrics prints a final Prometheus-text and JSON metrics snapshot to
+// stderr after the experiments (stderr so -md output stays a clean
+// document); -pprof serves net/http/pprof and expvar on the given
+// address.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"tracescope/internal/core"
 	"tracescope/internal/experiments"
+	"tracescope/internal/obs"
 	"tracescope/internal/report"
 	"tracescope/internal/scenario"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		seed     = flag.Int64("seed", 1, "corpus generation seed")
-		streams  = flag.Int("streams", 48, "number of trace streams (machines)")
-		episodes = flag.Int("episodes", 14, "episodes per stream")
-		md       = flag.Bool("md", false, "emit the full evaluation as Markdown (EXPERIMENTS.md) to stdout")
-		html     = flag.String("html", "", "write the full evaluation as a self-contained HTML report to this file")
-		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		exp       = flag.String("exp", "all", "experiment to run")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		streams   = flag.Int("streams", 48, "number of trace streams (machines)")
+		episodes  = flag.Int("episodes", 14, "episodes per stream")
+		md        = flag.Bool("md", false, "emit the full evaluation as Markdown (EXPERIMENTS.md) to stdout")
+		html      = flag.String("html", "", "write the full evaluation as a self-contained HTML report to this file")
+		workers   = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		metrics   = flag.Bool("metrics", false, "print a Prometheus-text and JSON metrics snapshot to stderr after the run")
+		progress  = flag.Bool("progress", false, "print live phase progress to stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	var mem *obs.MemRecorder
+	var recs []obs.Recorder
+	if *metrics {
+		mem = obs.NewMemRecorder()
+		recs = append(recs, mem)
+	}
+	if *progress {
+		wall := func() int64 { return time.Now().UnixNano() }
+		recs = append(recs, obs.NewProgressPrinter(os.Stderr, wall, int64(200*time.Millisecond)))
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("tracescope_metrics", expvar.Func(func() any {
+			if mem == nil {
+				return nil
+			}
+			return mem.Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if mem != nil {
+		defer func() {
+			snap := mem.Snapshot()
+			fmt.Fprintln(os.Stderr, "\n# metrics (Prometheus text exposition)")
+			_ = snap.WritePrometheus(os.Stderr)
+			fmt.Fprintln(os.Stderr, "\n# metrics (JSON)")
+			_ = snap.WriteJSON(os.Stderr)
+		}()
+	}
+
 	suite := experiments.NewSuiteOptions(scenario.Config{
 		Seed: *seed, Streams: *streams, Episodes: *episodes,
-	}, core.Options{Workers: *workers})
+	}, core.Options{Workers: *workers, Recorder: obs.Tee(recs...)})
 	if *md {
 		if err := suite.WriteMarkdown(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

@@ -7,18 +7,30 @@
 //
 //	traceanalyze -corpus DIR [-components "*.sys"] [-cache N]
 //	             [-scenario NAME [-tfast MS -tslow MS] [-top N] [-k N]]
+//	             [-metrics] [-progress] [-pprof ADDR]
 //
 // By default the corpus is opened lazily: only stream metadata is read
 // up front, and streams are decoded on demand through an LRU bounded by
 // -cache, so corpora much larger than RAM analyse in bounded memory.
 // -cache 0 keeps every decoded stream resident (the fully in-memory
 // behaviour).
+//
+// Observability: -progress prints live per-phase progress to stderr;
+// -metrics prints a final Prometheus-text and JSON metrics snapshot to
+// stdout (counters and span counts only — no wall time — so the
+// snapshot is byte-identical across runs at the same seed and worker
+// count); -pprof serves net/http/pprof and expvar (including the live
+// metrics snapshot under "tracescope_metrics") on the given address.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"tracescope"
 	"tracescope/internal/mining"
@@ -39,6 +51,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		cacheLimit   = flag.Int("cache", 64, "decoded-stream LRU limit for out-of-core analysis (0 = keep all streams resident)")
 		cacheStats   = flag.Bool("cachestats", false, "print decoded-stream cache counters after the run")
+		metrics      = flag.Bool("metrics", false, "print a Prometheus-text and JSON metrics snapshot after the run")
+		progress     = flag.Bool("progress", false, "print live phase progress to stderr")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -56,8 +71,37 @@ func main() {
 	fmt.Printf("corpus: %d streams, %d instances, %d events\n\n",
 		src.NumStreams(), src.NumInstances(), src.NumEvents())
 
+	// Assemble the recorder: an in-memory registry for -metrics (no
+	// clock, so the final snapshot stays deterministic) teed with a
+	// wall-clocked progress printer for -progress.
+	var mem *tracescope.MemRecorder
+	var recs []tracescope.Recorder
+	if *metrics {
+		mem = tracescope.NewMemRecorder()
+		recs = append(recs, mem)
+	}
+	if *progress {
+		wall := func() int64 { return time.Now().UnixNano() }
+		recs = append(recs, tracescope.NewProgressPrinter(os.Stderr, wall, int64(200*time.Millisecond)))
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("tracescope_metrics", expvar.Func(func() any {
+			if mem == nil {
+				return nil
+			}
+			return mem.Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "traceanalyze: pprof server: %v\n", err)
+			}
+		}()
+	}
+
 	filter := tracescope.NewComponentFilter(*components)
-	an := tracescope.NewAnalyzerOptions(src, tracescope.AnalyzerOptions{Workers: *workers})
+	an := tracescope.NewAnalyzer(src,
+		tracescope.WithWorkers(*workers),
+		tracescope.WithRecorder(tracescope.TeeRecorders(recs...)))
 
 	m := an.Impact(filter, *scen)
 	scope := "all scenarios"
@@ -74,23 +118,28 @@ func main() {
 		fmt.Println()
 	}
 	if *baselines {
-		// The §6 baselines scan raw streams, so they need the corpus
-		// resident; materialise it once through the cache.
-		corpus, err := dirSrc.Materialize()
+		// The §6 baselines stream one decoded stream at a time through
+		// the same cached source, so they too run out-of-core.
+		prof, err := tracescope.CallGraphProfile(src)
 		if err != nil {
 			fatal(err)
 		}
-		prof := tracescope.CallGraphProfile(corpus)
 		fmt.Printf("call-graph profile: %v CPU total; top 5 by cumulative:\n", prof.TotalCPU)
 		for _, e := range prof.Top(5) {
 			fmt.Printf("  %-34s self=%-10v cum=%v\n", e.Frame, e.Self, e.Cumulative)
 		}
-		cont := tracescope.LockContention(corpus, filter)
+		cont, err := tracescope.LockContention(src, filter)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("lock contention: %v total; top 5 sites:\n", cont.TotalWait)
 		for _, e := range cont.Top(5) {
 			fmt.Printf("  %-34s total=%-10v count=%d\n", e.WaitSig, e.Total, e.Count)
 		}
-		sm := tracescope.MineStacks(corpus, filter, 3)
+		sm, err := tracescope.MineStacks(src, filter, 3)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("StackMine: %d patterns over %v wait; top 3:\n", len(sm.Patterns), sm.TotalWait)
 		for _, p := range sm.Top(3) {
 			fmt.Printf("  cost=%-10v n=%-5d %s\n", p.Cost, p.Count, p)
@@ -99,7 +148,7 @@ func main() {
 	}
 
 	if *scen == "" {
-		finish(an, cached, *cacheStats)
+		finish(an, cached, *cacheStats, mem)
 		return
 	}
 
@@ -152,17 +201,28 @@ func main() {
 				occ.Ref.Stream, occ.Ref.Instance)
 		}
 	}
-	finish(an, cached, *cacheStats)
+	finish(an, cached, *cacheStats, mem)
 }
 
 // finish surfaces deferred stream-fetch failures (lazy sources treat
 // failed instances as empty rather than aborting mid-shard) and,
-// optionally, the cache counters.
-func finish(an *tracescope.Analyzer, cached *tracescope.CachedSource, stats bool) {
+// optionally, the cache counters and the metrics snapshot.
+func finish(an *tracescope.Analyzer, cached *tracescope.CachedSource, stats bool, mem *tracescope.MemRecorder) {
 	if stats {
 		s := cached.Stats()
 		fmt.Printf("\nstream cache: limit=%d hits=%d misses=%d evictions=%d high-water=%d\n",
 			cached.Limit(), s.Hits, s.Misses, s.Evictions, s.HighWater)
+	}
+	if mem != nil {
+		snap := mem.Snapshot()
+		fmt.Println("\n# metrics (Prometheus text exposition)")
+		if err := snap.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n# metrics (JSON)")
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 	if err := an.Err(); err != nil {
 		fatal(err)

@@ -1,0 +1,92 @@
+package tracescope_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tracescope"
+)
+
+// facadeCorpus is shared by the facade-level equivalence tests.
+func facadeCorpus(t *testing.T) *tracescope.Corpus {
+	t.Helper()
+	return tracescope.Generate(tracescope.GenerateConfig{Seed: 9, Streams: 12, Episodes: 6})
+}
+
+// runFacadePipeline drives one impact plus one causality analysis and
+// returns everything the comparison needs.
+func runFacadePipeline(t *testing.T, an *tracescope.Analyzer) (tracescope.ImpactMetrics, *tracescope.CausalityResult) {
+	t.Helper()
+	m := an.Impact(tracescope.AllDrivers(), "")
+	tf, ts, ok := tracescope.Thresholds(tracescope.BrowserTabCreate)
+	if !ok {
+		t.Fatal("no thresholds for BrowserTabCreate")
+	}
+	res, err := an.Causality(tracescope.CausalityConfig{
+		Scenario: tracescope.BrowserTabCreate, Tfast: tf, Tslow: ts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+// compareCausality asserts two causality results are bit-for-bit
+// identical: ranked patterns, the rendered slow-class AWG, and every
+// scalar field.
+func compareCausality(t *testing.T, label string, got, want *tracescope.CausalityResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Patterns, want.Patterns) {
+		t.Errorf("%s: ranked patterns differ (%d vs %d)", label, len(got.Patterns), len(want.Patterns))
+		return
+	}
+	render := func(g *tracescope.AWG) string {
+		if g == nil {
+			return "<nil>"
+		}
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf, 64); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if g, w := render(got.SlowAWG), render(want.SlowAWG); g != w {
+		t.Errorf("%s: slow-class AWG differs", label)
+		return
+	}
+	g, w := *got, *want
+	g.SlowAWG, w.SlowAWG = nil, nil
+	g.Patterns, w.Patterns = nil, nil
+	if !reflect.DeepEqual(g, w) {
+		t.Errorf("%s: result fields differ:\n  got  %+v\n  want %+v", label, g, w)
+	}
+}
+
+// TestNewAnalyzerEquivalentToDeprecatedForms: the variadic constructor
+// and the deprecated NewAnalyzerOptions form produce bit-for-bit
+// identical analyses at both the sequential and a parallel worker
+// count, with and without a recorder attached.
+func TestNewAnalyzerEquivalentToDeprecatedForms(t *testing.T) {
+	corpus := facadeCorpus(t)
+	for _, workers := range []int{1, 4} {
+		mNew, resNew := runFacadePipeline(t,
+			tracescope.NewAnalyzer(corpus, tracescope.WithWorkers(workers)))
+		mOld, resOld := runFacadePipeline(t,
+			tracescope.NewAnalyzerOptions(corpus, tracescope.AnalyzerOptions{Workers: workers}))
+		if mNew != mOld {
+			t.Errorf("workers=%d: impact differs:\n  new %v\n  old %v", workers, mNew, mOld)
+		}
+		compareCausality(t, "new vs deprecated", resNew, resOld)
+
+		// Attaching a recorder must not perturb results either.
+		mRec, resRec := runFacadePipeline(t,
+			tracescope.NewAnalyzer(corpus,
+				tracescope.WithWorkers(workers),
+				tracescope.WithRecorder(tracescope.NewMemRecorder())))
+		if mRec != mNew {
+			t.Errorf("workers=%d: recorder changed impact:\n  with %v\n  without %v", workers, mRec, mNew)
+		}
+		compareCausality(t, "recorded vs plain", resRec, resNew)
+	}
+}

@@ -8,10 +8,26 @@
 package baseline
 
 import (
+	"fmt"
 	"sort"
 
 	"tracescope/internal/trace"
 )
+
+// forEachStream decodes the source's streams one at a time and applies
+// fn — the out-of-core access pattern: a *trace.Corpus passes through
+// untouched, while a lazy source never needs more than one decoded
+// stream resident per call.
+func forEachStream(src trace.Source, fn func(*trace.Stream)) error {
+	for i := 0; i < src.NumStreams(); i++ {
+		s, err := src.Stream(i)
+		if err != nil {
+			return fmt.Errorf("baseline: stream %d: %w", i, err)
+		}
+		fn(s)
+	}
+	return nil
+}
 
 // ProfileEntry is one function's CPU attribution in a call-graph profile.
 type ProfileEntry struct {
@@ -31,16 +47,19 @@ type Profile struct {
 	TotalCPU trace.Duration
 }
 
-// CallGraphProfile aggregates running samples of the corpus into a
-// gprof-style profile. Only CPU is visible to it: waiting time — 36.4% of
-// the paper's scenario time — never appears.
-func CallGraphProfile(c *trace.Corpus) *Profile {
+// CallGraphProfile aggregates running samples of the source into a
+// gprof-style profile, decoding streams one at a time so out-of-core
+// sources run within bounded memory. Only CPU is visible to it: waiting
+// time — 36.4% of the paper's scenario time — never appears.
+func CallGraphProfile(src trace.Source) (*Profile, error) {
 	self := make(map[string]*ProfileEntry)
-	for _, s := range c.Streams {
+	p := &Profile{}
+	err := forEachStream(src, func(s *trace.Stream) {
 		for _, e := range s.Events {
 			if e.Type != trace.Running {
 				continue
 			}
+			p.TotalCPU += e.Cost
 			frames := s.Stack(e.Stack)
 			for i, fid := range frames {
 				frame := s.Frame(fid)
@@ -56,17 +75,13 @@ func CallGraphProfile(c *trace.Corpus) *Profile {
 				}
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	p := &Profile{Entries: make([]ProfileEntry, 0, len(self))}
+	p.Entries = make([]ProfileEntry, 0, len(self))
 	for _, e := range self {
 		p.Entries = append(p.Entries, *e)
-	}
-	for _, s := range c.Streams {
-		for _, e := range s.Events {
-			if e.Type == trace.Running {
-				p.TotalCPU += e.Cost
-			}
-		}
 	}
 	sort.Slice(p.Entries, func(i, j int) bool {
 		if p.Entries[i].Cumulative != p.Entries[j].Cumulative {
@@ -74,7 +89,7 @@ func CallGraphProfile(c *trace.Corpus) *Profile {
 		}
 		return p.Entries[i].Frame < p.Entries[j].Frame
 	})
-	return p
+	return p, nil
 }
 
 // Top returns the first n entries.
@@ -110,11 +125,12 @@ type ContentionReport struct {
 // (falling back to the innermost non-kernel frame). Each site is analysed
 // in isolation: the report cannot connect contention on one lock to the
 // hierarchical dependencies and further locks behind it (§1's second
-// limitation).
-func LockContention(c *trace.Corpus, filter *trace.ComponentFilter) *ContentionReport {
+// limitation). Streams are decoded one at a time, so out-of-core sources
+// run within bounded memory.
+func LockContention(src trace.Source, filter *trace.ComponentFilter) (*ContentionReport, error) {
 	byName := make(map[string]*ContentionEntry)
 	r := &ContentionReport{}
-	for _, s := range c.Streams {
+	err := forEachStream(src, func(s *trace.Stream) {
 		for _, e := range s.Events {
 			if e.Type != trace.Wait {
 				continue
@@ -141,6 +157,9 @@ func LockContention(c *trace.Corpus, filter *trace.ComponentFilter) *ContentionR
 			}
 			r.TotalWait += e.Cost
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, e := range byName {
 		r.Entries = append(r.Entries, *e)
@@ -151,7 +170,7 @@ func LockContention(c *trace.Corpus, filter *trace.ComponentFilter) *ContentionR
 		}
 		return r.Entries[i].WaitSig < r.Entries[j].WaitSig
 	})
-	return r
+	return r, nil
 }
 
 // isLockWait reports whether the blocked callstack is a lock acquisition

@@ -10,6 +10,15 @@ import (
 
 const ms = trace.Millisecond
 
+// must unwraps a baseline result; the in-memory corpora in these tests
+// cannot fail to stream.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestCallGraphProfile(t *testing.T) {
 	s := trace.NewStream("p")
 	leafStack := s.InternStackStrings("se.sys!Decrypt", "fs.sys!Read", "App!Main")
@@ -21,7 +30,7 @@ func TestCallGraphProfile(t *testing.T) {
 	// A wait event must not contribute CPU.
 	s.AppendEvent(trace.Event{Type: trace.Wait, Time: trace.Time(20 * ms), Cost: 100 * ms, TID: 1, WTID: trace.NoThread, Stack: leafStack})
 
-	p := CallGraphProfile(trace.NewCorpus(s))
+	p := must(CallGraphProfile(trace.NewCorpus(s)))
 	if p.TotalCPU != 4*ms {
 		t.Errorf("TotalCPU = %v, want 4ms", p.TotalCPU)
 	}
@@ -64,7 +73,7 @@ func TestLockContention(t *testing.T) {
 	k.Run(0)
 	s := k.Finish()
 
-	r := LockContention(trace.NewCorpus(s), trace.AllDrivers())
+	r := must(LockContention(trace.NewCorpus(s), trace.AllDrivers()))
 	if len(r.Entries) != 1 {
 		t.Fatalf("entries = %d, want 1: %+v", len(r.Entries), r.Entries)
 	}
@@ -84,13 +93,13 @@ func TestBaselinesMissPropagation(t *testing.T) {
 	s := scenario.MotivatingCase()
 	c := trace.NewCorpus(s)
 
-	p := CallGraphProfile(c)
+	p := must(CallGraphProfile(c))
 	// All CPU in the case is small compared with the propagated delay.
 	if p.TotalCPU > 250*ms {
 		t.Errorf("profile CPU = %v; the case's cost is waiting, not CPU", p.TotalCPU)
 	}
 
-	r := LockContention(c, trace.AllDrivers())
+	r := must(LockContention(c, trace.AllDrivers()))
 	var sigs []string
 	for _, e := range r.Entries {
 		sigs = append(sigs, e.WaitSig)
@@ -117,10 +126,10 @@ func TestBaselinesMissPropagation(t *testing.T) {
 
 func TestEmptyCorpus(t *testing.T) {
 	c := trace.NewCorpus()
-	if p := CallGraphProfile(c); p.TotalCPU != 0 || len(p.Entries) != 0 {
+	if p := must(CallGraphProfile(c)); p.TotalCPU != 0 || len(p.Entries) != 0 {
 		t.Error("empty corpus produced a profile")
 	}
-	if r := LockContention(c, trace.AllDrivers()); r.TotalWait != 0 {
+	if r := must(LockContention(c, trace.AllDrivers())); r.TotalWait != 0 {
 		t.Error("empty corpus produced contention")
 	}
 }

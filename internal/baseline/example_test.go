@@ -14,13 +14,13 @@ import (
 func Example() {
 	corpus := trace.NewCorpus(scenario.MotivatingCase())
 
-	prof := baseline.CallGraphProfile(corpus)
+	prof, _ := baseline.CallGraphProfile(corpus)
 	fmt.Println("profile sees the 780ms propagation chain:", prof.TotalCPU > 700*trace.Millisecond)
 
-	cont := baseline.LockContention(corpus, trace.AllDrivers())
+	cont, _ := baseline.LockContention(corpus, trace.AllDrivers())
 	fmt.Println("contention rows:", len(cont.Entries))
 
-	sm := baseline.MineStacks(corpus, trace.AllDrivers(), 1)
+	sm, _ := baseline.MineStacks(corpus, trace.AllDrivers(), 1)
 	fmt.Println("stackmine patterns:", len(sm.Patterns) > 0)
 	// Output:
 	// profile sees the 780ms propagation chain: false

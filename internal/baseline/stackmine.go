@@ -65,17 +65,20 @@ func (n *stackTrieNode) child(frame string) *stackTrieNode {
 	return c
 }
 
-// MineStacks aggregates the corpus's wait events into a callstack-prefix
+// MineStacks aggregates the source's wait events into a callstack-prefix
 // trie and extracts maximal patterns with at least minSupport occurrences,
 // ranked by total cost. Only events whose stacks contain a component of
 // the filter participate, mirroring how analysts scope a StackMine run.
-func MineStacks(c *trace.Corpus, filter *trace.ComponentFilter, minSupport int64) *StackMineResult {
+// Streams are decoded one at a time, so out-of-core sources run within
+// bounded memory (only the trie — frame strings, not events — is
+// retained across streams).
+func MineStacks(src trace.Source, filter *trace.ComponentFilter, minSupport int64) (*StackMineResult, error) {
 	if minSupport <= 0 {
 		minSupport = 2
 	}
 	root := &stackTrieNode{}
 	res := &StackMineResult{}
-	for _, s := range c.Streams {
+	err := forEachStream(src, func(s *trace.Stream) {
 		for _, e := range s.Events {
 			if e.Type != trace.Wait || e.Cost <= 0 {
 				continue
@@ -93,6 +96,9 @@ func MineStacks(c *trace.Corpus, filter *trace.ComponentFilter, minSupport int64
 				node.count++
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Extract maximal supported prefixes: descend while a child keeps
@@ -140,7 +146,7 @@ func MineStacks(c *trace.Corpus, filter *trace.ComponentFilter, minSupport int64
 		}
 		return res.Patterns[i].String() < res.Patterns[j].String()
 	})
-	return res
+	return res, nil
 }
 
 func sortedChildren(n *stackTrieNode) []*stackTrieNode {

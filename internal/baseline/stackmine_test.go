@@ -22,7 +22,7 @@ func TestMineStacksAggregatesPrefixes(t *testing.T) {
 	waitEvent(s, 20*1000, 20*ms, "kernel!AcquireLock", "fs.sys!AcquireMDU", "fv.sys!Query", "App!Main")
 	waitEvent(s, 40*1000, 5*ms, "kernel!AcquireLock", "fv.sys!Query", "App!Main")
 
-	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 2)
+	r := must(MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 2))
 	if r.TotalWait != 35*ms {
 		t.Errorf("TotalWait = %v", r.TotalWait)
 	}
@@ -55,7 +55,7 @@ func TestMineStacksSupportThreshold(t *testing.T) {
 	s := trace.NewStream("sm")
 	waitEvent(s, 0, 10*ms, "kernel!AcquireLock", "fv.sys!A", "App!Main")
 	waitEvent(s, 1000, 10*ms, "kernel!AcquireLock", "fv.sys!B", "App!Main")
-	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 2)
+	r := must(MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 2))
 	// The two stacks only share App!Main+kernel; each leaf has support 1.
 	for _, p := range r.Patterns {
 		if p.Count < 2 {
@@ -68,12 +68,12 @@ func TestMineStacksFilterScopes(t *testing.T) {
 	s := trace.NewStream("sm")
 	waitEvent(s, 0, 10*ms, "kernel!Wait", "App!OnlyApp")
 	waitEvent(s, 1000, 10*ms, "kernel!Wait", "App!OnlyApp")
-	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 1)
+	r := must(MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 1))
 	if r.TotalWait != 0 || len(r.Patterns) != 0 {
 		t.Error("app-only waits leaked into a driver-scoped run")
 	}
 	// Nil filter mines everything.
-	r = MineStacks(trace.NewCorpus(s), nil, 1)
+	r = must(MineStacks(trace.NewCorpus(s), nil, 1))
 	if r.TotalWait != 20*ms {
 		t.Errorf("nil filter TotalWait = %v", r.TotalWait)
 	}
@@ -81,7 +81,7 @@ func TestMineStacksFilterScopes(t *testing.T) {
 
 func TestMineStacksOnMotivatingCase(t *testing.T) {
 	s := scenario.MotivatingCase()
-	r := MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 1)
+	r := must(MineStacks(trace.NewCorpus(s), trace.AllDrivers(), 1))
 	if len(r.Patterns) == 0 {
 		t.Fatal("no patterns on the motivating case")
 	}

@@ -15,11 +15,14 @@ import (
 	"tracescope/internal/engine"
 	"tracescope/internal/impact"
 	"tracescope/internal/mining"
+	"tracescope/internal/obs"
 	"tracescope/internal/trace"
 	"tracescope/internal/waitgraph"
 )
 
-// Options tunes how the analyzer schedules its work.
+// Options tunes how the analyzer schedules and observes its work.
+// Prefer the Option functions (WithWorkers, WithRecorder) over building
+// this struct directly.
 type Options struct {
 	// Workers bounds the shard-and-merge worker pool used by Impact and
 	// Causality. Zero means GOMAXPROCS; one forces the sequential path.
@@ -27,6 +30,9 @@ type Options struct {
 	// split a stream, per-shard partials are deterministic, and merges
 	// happen in shard-index order.
 	Workers int
+	// Recorder receives the pipeline's observability events. Nil means
+	// no-op.
+	Recorder obs.Recorder
 }
 
 // Analyzer runs impact and causality analyses over one corpus source,
@@ -41,25 +47,51 @@ type Analyzer struct {
 	metas []trace.StreamMeta
 	imp   *impact.Analyzer
 	opts  Options
+	rec   obs.Recorder
 }
 
-// NewAnalyzer indexes a corpus source for analysis with default options.
-func NewAnalyzer(src trace.Source) *Analyzer {
-	return NewAnalyzerOptions(src, Options{})
-}
-
-// NewAnalyzerOptions indexes a corpus source for analysis.
-func NewAnalyzerOptions(src trace.Source, opts Options) *Analyzer {
+// NewAnalyzer indexes a corpus source for impact and causality analyses.
+// Options configure scheduling and observability:
+//
+//	an := core.NewAnalyzer(src, core.WithWorkers(8), core.WithRecorder(rec))
+//
+// With no options the analyzer uses GOMAXPROCS workers and records
+// nothing. When a recorder is set and the source is instrumentable
+// (*trace.CachedSource, *trace.DirSource), the recorder is wired into the
+// source too, so every layer reports into one registry.
+func NewAnalyzer(src trace.Source, options ...Option) *Analyzer {
+	var opts Options
+	for _, opt := range options {
+		opt(&opts)
+	}
 	metas := make([]trace.StreamMeta, src.NumStreams())
 	for i := range metas {
 		metas[i] = src.StreamMeta(i)
 	}
-	return &Analyzer{
+	a := &Analyzer{
 		src:   src,
 		metas: metas,
 		imp:   impact.NewAnalyzer(src, waitgraph.Options{}),
 		opts:  opts,
+		rec:   obs.OrNop(opts.Recorder),
 	}
+	if opts.Recorder != nil {
+		a.imp.SetRecorder(opts.Recorder)
+		if rs, ok := src.(interface{ SetRecorder(obs.Recorder) }); ok {
+			rs.SetRecorder(opts.Recorder)
+		}
+	}
+	return a
+}
+
+// NewAnalyzerOptions indexes a corpus source for analysis with a
+// prebuilt Options struct.
+//
+// Deprecated: use NewAnalyzer with WithWorkers/WithRecorder (or
+// WithOptions for a prebuilt struct). Kept as a thin wrapper for
+// compatibility; behaviour is identical.
+func NewAnalyzerOptions(src trace.Source, opts Options) *Analyzer {
+	return NewAnalyzer(src, WithOptions(opts))
 }
 
 // Source returns the corpus source under analysis.
@@ -79,9 +111,10 @@ func (a *Analyzer) GraphCacheStats() impact.CacheStats { return a.imp.GraphCache
 // for benchmarks that need cold-cache measurements.
 func (a *Analyzer) SetGraphCacheLimit(n int) { a.imp.SetGraphCacheLimit(n) }
 
-// engineOptions maps the analyzer options onto the engine's.
-func (a *Analyzer) engineOptions() engine.Options {
-	return engine.Options{Workers: a.opts.Workers}
+// engineOptions maps the analyzer options onto the engine's; label
+// names the run in recorded spans and progress events.
+func (a *Analyzer) engineOptions(label string) engine.Options {
+	return engine.Options{Workers: a.opts.Workers, Recorder: a.opts.Recorder, Label: label}
 }
 
 // shards packs refs into stream-whole shards weighted by per-stream
@@ -92,20 +125,22 @@ func (a *Analyzer) engineOptions() engine.Options {
 func (a *Analyzer) shards(refs []trace.InstanceRef) []engine.Shard {
 	return engine.ShardByStreamWeighted(refs, func(stream int) int64 {
 		return int64(a.metas[stream].Events)
-	}, a.engineOptions().TargetShards())
+	}, a.engineOptions("").TargetShards())
 }
 
 // Impact measures the chosen components over all instances of the named
 // scenario ("" means every instance): step one of the approach, run as a
 // shard-and-merge over the engine's worker pool.
 func (a *Analyzer) Impact(filter *trace.ComponentFilter, scenario string) impact.Metrics {
+	sp := a.rec.Start("impact_analysis")
+	defer sp.End()
 	return a.impactOver(filter, a.src.InstancesOf(scenario))
 }
 
 // impactOver shards refs by stream, measures each shard on the pool, and
 // merges the partials in shard order.
 func (a *Analyzer) impactOver(filter *trace.ComponentFilter, refs []trace.InstanceRef) impact.Metrics {
-	eng := a.engineOptions()
+	eng := a.engineOptions("impact_measure")
 	shards := a.shards(refs)
 	merged := engine.MapMerge(len(shards), eng,
 		func(i int) *impact.Partial {
@@ -211,11 +246,25 @@ type CausalityResult struct {
 	SlowAWG *awg.Graph
 }
 
-// Causality runs step two of the approach for one scenario.
+// phase wraps one causality phase in a span and reports its completion
+// as a progress event, so CLIs see phases tick by live.
+func (a *Analyzer) phase(name string, fn func()) {
+	sp := a.rec.Start(name)
+	fn()
+	sp.End()
+	a.rec.Progress(name, 1, 1)
+}
+
+// Causality runs step two of the approach for one scenario. If any
+// stream fetch failed during the analysis — lazy sources treat failed
+// instances as empty rather than aborting a shard run midway — the
+// latched error is returned alongside the (incomplete) result; see Err.
 func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
+	total := a.rec.Start("causality_analysis")
+	defer total.End()
 
 	refs := a.src.InstancesOf(cfg.Scenario)
 	if len(refs) == 0 {
@@ -225,15 +274,20 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 	// Classification needs only instance metadata: lazy sources split the
 	// contrast classes without decoding a single stream.
 	var fastRefs, slowRefs []trace.InstanceRef
-	for _, ref := range refs {
-		in := a.src.InstanceMeta(ref)
-		switch d := in.Duration(); {
-		case d < cfg.Tfast:
-			fastRefs = append(fastRefs, ref)
-		case d > cfg.Tslow:
-			slowRefs = append(slowRefs, ref)
+	a.phase("causality_classify", func() {
+		for _, ref := range refs {
+			in := a.src.InstanceMeta(ref)
+			switch d := in.Duration(); {
+			case d < cfg.Tfast:
+				fastRefs = append(fastRefs, ref)
+			case d > cfg.Tslow:
+				slowRefs = append(slowRefs, ref)
+			}
 		}
-	}
+	})
+	a.rec.Add("causality_instances_total", int64(len(refs)))
+	a.rec.Add("causality_fast_total", int64(len(fastRefs)))
+	a.rec.Add("causality_slow_total", int64(len(slowRefs)))
 	res := &CausalityResult{
 		Scenario:  cfg.Scenario,
 		Tfast:     cfg.Tfast,
@@ -243,18 +297,29 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 		SlowCount: len(slowRefs),
 	}
 	if len(slowRefs) == 0 {
-		return res, nil
+		return res, a.imp.Err()
 	}
 
 	awgOpts := awg.Options{MaxDepth: cfg.MaxAWGDepth, Reduce: !cfg.DisableReduce}
-	slowAWG, slowImpact := a.aggregateClass(slowRefs, cfg.Filter, awgOpts, true)
-	fastAWG, _ := a.aggregateClass(fastRefs, cfg.Filter, awgOpts, false)
+	slowAWG, slowImpact := a.aggregateClass("causality_aggregate_slow", slowRefs, cfg.Filter, awgOpts, true)
+	fastAWG, _ := a.aggregateClass("causality_aggregate_fast", fastRefs, cfg.Filter, awgOpts, false)
 
-	slowMetas, segSlow := mining.EnumerateMetas(slowAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
-	fastMetas, segFast := mining.EnumerateMetas(fastAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
-	contrasts := mining.DiscoverContrasts(slowMetas, fastMetas, cfg.Tfast, cfg.Tslow)
-	patterns := mining.DiscoverPatterns(slowAWG, contrasts)
+	var slowMetas, fastMetas map[string]*mining.Meta
+	var segSlow, segFast int
+	a.phase("causality_enumerate", func() {
+		slowMetas, segSlow = mining.EnumerateMetas(slowAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
+		fastMetas, segFast = mining.EnumerateMetas(fastAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
+	})
+	var contrasts []mining.Contrast
+	a.phase("causality_select", func() {
+		contrasts = mining.DiscoverContrasts(slowMetas, fastMetas, cfg.Tfast, cfg.Tslow)
+	})
+	var patterns []mining.Pattern
+	a.phase("causality_lift", func() {
+		patterns = mining.DiscoverPatterns(slowAWG, contrasts)
+	})
 
+	rankSpan := a.rec.Start("causality_rank")
 	res.SlowImpact = slowImpact
 	// The coverage denominator is the slow class's total driver time
 	// under the same full-path accounting as pattern costs, plus the
@@ -288,7 +353,9 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 		res.ReducedShare = float64(slowAWG.ReducedCost) / float64(total)
 	}
 	res.SlowAWG = slowAWG
-	return res, nil
+	rankSpan.End()
+	a.rec.Progress("causality_rank", 1, 1)
+	return res, a.imp.Err()
 }
 
 // classPartial is one shard's contribution to a contrast class: an
@@ -306,10 +373,10 @@ type classPartial struct {
 // graph is fetched once and feeds both the aggregation and the impact
 // measurement, and the per-shard forests are merged in shard-index order
 // before the non-optimizable reduction runs on the merged result.
-func (a *Analyzer) aggregateClass(refs []trace.InstanceRef, filter *trace.ComponentFilter,
+func (a *Analyzer) aggregateClass(label string, refs []trace.InstanceRef, filter *trace.ComponentFilter,
 	awgOpts awg.Options, withImpact bool) (*awg.Graph, impact.Metrics) {
 
-	eng := a.engineOptions()
+	eng := a.engineOptions(label)
 	shards := a.shards(refs)
 	parts := engine.Map(len(shards), eng, func(i int) classPartial {
 		shardOpts := awgOpts

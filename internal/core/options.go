@@ -1,0 +1,32 @@
+package core
+
+import "tracescope/internal/obs"
+
+// Option configures an Analyzer at construction. Options compose left to
+// right: NewAnalyzer(src, WithWorkers(8), WithRecorder(rec)).
+type Option func(*Options)
+
+// WithWorkers bounds the shard-and-merge worker pool. Zero means
+// GOMAXPROCS; one forces the sequential path. Results are bit-for-bit
+// identical at any setting.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithRecorder routes the analysis pipeline's observability events —
+// engine shard spans and progress, causality phase spans, Wait-Graph
+// build spans, and cache counters — to r. The analyzer also wires r into
+// the corpus source when the source is instrumentable (a
+// *trace.CachedSource or *trace.DirSource), so stream-decode latency and
+// cache hit/miss counters land in the same registry. A nil recorder is
+// the no-op default.
+func WithRecorder(r obs.Recorder) Option {
+	return func(o *Options) { o.Recorder = r }
+}
+
+// WithOptions applies a whole Options struct at once — the bridge for
+// callers holding a prebuilt Options value (the deprecated
+// NewAnalyzerOptions forms pass through here).
+func WithOptions(opts Options) Option {
+	return func(o *Options) { *o = opts }
+}

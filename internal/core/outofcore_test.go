@@ -43,7 +43,7 @@ func TestOutOfCoreEquivalence(t *testing.T) {
 	}
 
 	// In-memory reference, sequential.
-	ref := NewAnalyzerOptions(corpus, Options{Workers: 1})
+	ref := NewAnalyzer(corpus, WithWorkers(1))
 	wantImpact := make(map[string]interface{})
 	for _, scope := range scopes {
 		wantImpact[scope] = ref.Impact(trace.AllDrivers(), scope)
@@ -59,7 +59,7 @@ func TestOutOfCoreEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			cached := trace.NewCachedSource(src, limit)
-			an := NewAnalyzerOptions(cached, Options{Workers: workers})
+			an := NewAnalyzer(cached, WithWorkers(workers))
 
 			for _, scope := range scopes {
 				if got := an.Impact(trace.AllDrivers(), scope); got != wantImpact[scope] {
@@ -120,7 +120,7 @@ func TestOutOfCoreFetchErrorLatches(t *testing.T) {
 	if err := removeFile(dir, lost); err != nil {
 		t.Fatal(err)
 	}
-	an := NewAnalyzerOptions(trace.NewCachedSource(src, 2), Options{Workers: 2})
+	an := NewAnalyzer(trace.NewCachedSource(src, 2), WithWorkers(2))
 	an.Impact(trace.AllDrivers(), "")
 	if an.Err() == nil {
 		t.Fatal("missing stream file not surfaced through Err")

@@ -33,10 +33,10 @@ func renderAWG(t *testing.T, g *awg.Graph) string {
 // whole corpus and per scenario.
 func TestParallelImpactEquivalence(t *testing.T) {
 	corpus := equivalenceCorpus(t)
-	seq := NewAnalyzerOptions(corpus, Options{Workers: 1})
+	seq := NewAnalyzer(corpus, WithWorkers(1))
 	scopes := append([]string{""}, scenario.Selected()...)
 	for _, workers := range []int{2, 4, 8} {
-		par := NewAnalyzerOptions(corpus, Options{Workers: workers})
+		par := NewAnalyzer(corpus, WithWorkers(workers))
 		for _, scope := range scopes {
 			want := seq.Impact(trace.AllDrivers(), scope)
 			got := par.Impact(trace.AllDrivers(), scope)
@@ -54,7 +54,7 @@ func TestParallelCausalityEquivalence(t *testing.T) {
 	corpus := equivalenceCorpus(t)
 	runCausality := func(workers int, name string) *CausalityResult {
 		t.Helper()
-		an := NewAnalyzerOptions(corpus, Options{Workers: workers})
+		an := NewAnalyzer(corpus, WithWorkers(workers))
 		tf, ts, ok := scenario.Thresholds(name)
 		if !ok {
 			t.Fatalf("no thresholds for %q", name)
@@ -102,7 +102,7 @@ func TestParallelCausalityEquivalence(t *testing.T) {
 func TestDefaultAnalyzerUsesEngine(t *testing.T) {
 	corpus := equivalenceCorpus(t)
 	def := NewAnalyzer(corpus)
-	seq := NewAnalyzerOptions(corpus, Options{Workers: 1})
+	seq := NewAnalyzer(corpus, WithWorkers(1))
 	if got, want := def.Impact(trace.AllDrivers(), ""), seq.Impact(trace.AllDrivers(), ""); got != want {
 		t.Fatalf("default analyzer differs from sequential:\n  got  %v\n  want %v", got, want)
 	}
@@ -114,7 +114,7 @@ func TestDefaultAnalyzerUsesEngine(t *testing.T) {
 // graph cache fixes (impact + aggregation used to rebuild every graph).
 func TestCausalityGraphCacheReuse(t *testing.T) {
 	corpus := equivalenceCorpus(t)
-	an := NewAnalyzerOptions(corpus, Options{Workers: 2})
+	an := NewAnalyzer(corpus, WithWorkers(2))
 	name := scenario.BrowserTabCreate
 	tf, ts, _ := scenario.Thresholds(name)
 	res, err := an.Causality(CausalityConfig{Scenario: name, Tfast: tf, Tslow: ts})

@@ -12,7 +12,9 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"tracescope/internal/obs"
 	"tracescope/internal/trace"
 )
 
@@ -21,6 +23,21 @@ type Options struct {
 	// Workers bounds the worker pool. Zero means GOMAXPROCS; one forces
 	// the inline sequential path. Results are identical at any setting.
 	Workers int
+	// Recorder receives the run's observability events (shard spans,
+	// per-shard progress, shard/worker counters). Nil means no-op.
+	Recorder obs.Recorder
+	// Label names the run in recorded events: shard spans complete under
+	// "<Label>_shard", progress under "<Label>", and the merge fold under
+	// "<Label>_merge". Empty means "engine".
+	Label string
+}
+
+// label resolves the run label.
+func (o Options) label() string {
+	if o.Label == "" {
+		return "engine"
+	}
+	return o.Label
 }
 
 // EffectiveWorkers resolves the configured worker count.
@@ -137,18 +154,34 @@ func ShardByStreamWeighted(refs []trace.InstanceRef, weight func(stream int) int
 
 // Map runs fn(i) for every i in [0, n) on a bounded worker pool and
 // returns the results in index order, regardless of completion order.
+// Each unit completes a "<label>_shard" span and a progress report on
+// the run's recorder; the recorded event set is identical at any worker
+// count (only the interleaving varies), so metric snapshots stay
+// deterministic alongside the results.
 func Map[R any](n int, opts Options, fn func(i int) R) []R {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]R, n)
+	rec := obs.OrNop(opts.Recorder)
+	label := opts.label()
 	workers := opts.EffectiveWorkers()
 	if workers > n {
 		workers = n
 	}
+	rec.Add("engine_runs_total", 1)
+	rec.Add("engine_shards_total", int64(n))
+	rec.Add("engine_workers_total", int64(workers))
+	var done int64
+	runOne := func(i int) {
+		sp := rec.Start(label + "_shard")
+		out[i] = fn(i)
+		sp.End()
+		rec.Progress(label, atomic.AddInt64(&done, 1), int64(n))
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			runOne(i)
 		}
 		return out
 	}
@@ -159,7 +192,7 @@ func Map[R any](n int, opts Options, fn func(i int) R) []R {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = fn(i)
+				runOne(i)
 			}
 		}()
 	}
@@ -177,6 +210,8 @@ func Map[R any](n int, opts Options, fn func(i int) R) []R {
 func MapMerge[R any](n int, opts Options, fn func(i int) R, merge func(acc, next R) R) R {
 	var acc R
 	parts := Map(n, opts, fn)
+	sp := obs.OrNop(opts.Recorder).Start(opts.label() + "_merge")
+	defer sp.End()
 	for i, p := range parts {
 		if i == 0 {
 			acc = p

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"tracescope/internal/obs"
+)
+
+// TestMapRecordsShardSpans: every unit of a Map run is wrapped in a
+// labelled shard span, and the run/shard/worker counters reconcile with
+// the call — the invariant the CI bench-smoke step checks end to end.
+func TestMapRecordsShardSpans(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := obs.NewMemRecorder()
+		opts := Options{Workers: workers, Recorder: rec, Label: "test"}
+		n := 13
+		out := Map(n, opts, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		if got := rec.SpanCount("test_shard"); got != int64(n) {
+			t.Errorf("workers=%d: shard spans = %d, want %d", workers, got, n)
+		}
+		if got := rec.CounterValue("engine_shards_total"); got != int64(n) {
+			t.Errorf("workers=%d: engine_shards_total = %d, want %d", workers, got, n)
+		}
+		if got := rec.CounterValue("engine_runs_total"); got != 1 {
+			t.Errorf("workers=%d: engine_runs_total = %d, want 1", workers, got)
+		}
+		snap := rec.Snapshot()
+		if len(snap.Progress) != 1 || snap.Progress[0].Phase != "test" ||
+			snap.Progress[0].Done != int64(n) || snap.Progress[0].Total != int64(n) {
+			t.Errorf("workers=%d: progress = %+v", workers, snap.Progress)
+		}
+	}
+}
+
+// TestMapMergeRecordsMergeSpan: the fold of a MapMerge run is one merge
+// span, and an unlabelled Options falls back to the "engine" label.
+func TestMapMergeRecordsMergeSpan(t *testing.T) {
+	rec := obs.NewMemRecorder()
+	opts := Options{Workers: 2, Recorder: rec}
+	sum := MapMerge(5, opts, func(i int) int { return i }, func(a, b int) int { return a + b })
+	if sum != 0+1+2+3+4 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if got := rec.SpanCount("engine_merge"); got != 1 {
+		t.Errorf("merge spans = %d, want 1", got)
+	}
+	if got := rec.SpanCount("engine_shard"); got != 5 {
+		t.Errorf("shard spans = %d, want 5", got)
+	}
+}
+
+// TestMapNilRecorder: an unset recorder must not panic or change
+// results.
+func TestMapNilRecorder(t *testing.T) {
+	out := Map(4, Options{Workers: 2}, func(i int) int { return i })
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -52,7 +52,7 @@ func NewSuiteOptions(cfg scenario.Config, opts core.Options) *Suite {
 	return &Suite{
 		Cfg:       cfg,
 		Corpus:    corpus,
-		An:        core.NewAnalyzerOptions(corpus, opts),
+		An:        core.NewAnalyzer(corpus, core.WithOptions(opts)),
 		causality: make(map[string]*core.CausalityResult),
 	}
 }
@@ -65,7 +65,7 @@ func NewSuiteFromSource(cfg scenario.Config, src trace.Source, opts core.Options
 	s := &Suite{
 		Cfg:       cfg,
 		Source:    src,
-		An:        core.NewAnalyzerOptions(src, opts),
+		An:        core.NewAnalyzer(src, core.WithOptions(opts)),
 		causality: make(map[string]*core.CausalityResult),
 	}
 	if c, ok := src.(*trace.Corpus); ok {
@@ -80,25 +80,6 @@ func (s *Suite) src() trace.Source {
 		return s.Source
 	}
 	return s.Corpus
-}
-
-// corpus returns the in-memory corpus, materialising it from the source
-// if the suite is out-of-core (only the §6 baselines need resident
-// streams; everything else runs off the Source seam).
-func (s *Suite) corpus() (*trace.Corpus, error) {
-	if s.Corpus != nil {
-		return s.Corpus, nil
-	}
-	src := s.src()
-	c := &trace.Corpus{}
-	for i := 0; i < src.NumStreams(); i++ {
-		st, err := src.Stream(i)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: materialising stream %d: %w", i, err)
-		}
-		c.Add(st)
-	}
-	return c, nil
 }
 
 // ResetCache drops cached causality results, so benchmarks re-measure the
@@ -378,11 +359,11 @@ func (s *Suite) HardFaultCase(w io.Writer) error {
 // analysis on the same corpus: the CPU profile cannot see waiting at all,
 // and the contention report sees sites in isolation.
 func (s *Suite) Baselines(w io.Writer) error {
-	corpus, err := s.corpus()
+	src := s.src()
+	prof, err := baseline.CallGraphProfile(src)
 	if err != nil {
 		return err
 	}
-	prof := baseline.CallGraphProfile(corpus)
 	fmt.Fprintf(w, "call-graph profile: total CPU %v across %d frames (top 8 by cumulative):\n",
 		prof.TotalCPU, len(prof.Entries))
 	for _, e := range prof.Top(8) {
@@ -392,7 +373,10 @@ func (s *Suite) Baselines(w io.Writer) error {
 	fmt.Fprintf(w, "=> the profile accounts for %v CPU while driver waiting alone is %v (%.0fx more)\n\n",
 		prof.TotalCPU, m.Dwait, float64(m.Dwait)/float64(max64(int64(prof.TotalCPU), 1)))
 
-	cont := baseline.LockContention(corpus, trace.AllDrivers())
+	cont, err := baseline.LockContention(src, trace.AllDrivers())
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "lock-contention report: total lock wait %v across %d sites (top 8):\n",
 		cont.TotalWait, len(cont.Entries))
 	for _, e := range cont.Top(8) {
@@ -401,7 +385,10 @@ func (s *Suite) Baselines(w io.Writer) error {
 	fmt.Fprintf(w, "=> each site is reported in isolation; the chains (e.g. FileTable->MDU->decrypt)\n")
 	fmt.Fprintf(w, "   only appear in the causality analysis' Signature Set Tuples\n\n")
 
-	sm := baseline.MineStacks(corpus, trace.AllDrivers(), 3)
+	sm, err := baseline.MineStacks(src, trace.AllDrivers(), 3)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "StackMine-style costly stack patterns: %d patterns over %v wait (top 5):\n",
 		len(sm.Patterns), sm.TotalWait)
 	for _, p := range sm.Top(5) {

@@ -49,23 +49,28 @@ func (c *graphCache) get(ref trace.InstanceRef) *waitgraph.Graph {
 	return nil
 }
 
-func (c *graphCache) put(ref trace.InstanceRef, g *waitgraph.Graph) {
+// put inserts the graph, returning how many entries were evicted to
+// make room.
+func (c *graphCache) put(ref trace.InstanceRef, g *waitgraph.Graph) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.limit <= 0 {
-		return
+		return 0
 	}
 	if _, ok := c.m[ref]; ok {
-		return
+		return 0
 	}
+	var evicted int64
 	for len(c.m) >= c.limit && len(c.fifo) > 0 {
 		old := c.fifo[0]
 		c.fifo = c.fifo[1:]
 		delete(c.m, old)
 		c.stats.Evictions++
+		evicted++
 	}
 	c.m[ref] = g
 	c.fifo = append(c.fifo, ref)
+	return evicted
 }
 
 func (c *graphCache) setLimit(n int) {

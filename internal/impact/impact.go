@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tracescope/internal/obs"
 	"tracescope/internal/trace"
 	"tracescope/internal/waitgraph"
 )
@@ -82,6 +83,7 @@ type Analyzer struct {
 	src    trace.Source
 	wgOpts waitgraph.Options
 	cache  *graphCache
+	rec    obs.Recorder
 
 	bmu      sync.Mutex
 	builders map[int]*waitgraph.Builder
@@ -103,6 +105,7 @@ func NewAnalyzer(src trace.Source, opts waitgraph.Options) *Analyzer {
 		src:      src,
 		wgOpts:   opts,
 		cache:    newGraphCache(DefaultGraphCacheLimit),
+		rec:      obs.Nop,
 		builders: make(map[int]*waitgraph.Builder),
 	}
 	if n, ok := src.(evictionNotifier); ok {
@@ -113,6 +116,11 @@ func NewAnalyzer(src trace.Source, opts waitgraph.Options) *Analyzer {
 
 // Source returns the corpus source under analysis.
 func (a *Analyzer) Source() trace.Source { return a.src }
+
+// SetRecorder routes the analyzer's observability events (Wait-Graph
+// build spans, graph-cache counters) to r. Call before concurrent use;
+// nil restores the no-op recorder.
+func (a *Analyzer) SetRecorder(r obs.Recorder) { a.rec = obs.OrNop(r) }
 
 // Err returns the first stream-fetch failure encountered, if any.
 // In-memory sources never fail; lazy sources can (missing or corrupt
@@ -144,11 +152,15 @@ func (a *Analyzer) builder(i int) (*waitgraph.Builder, error) {
 	if b != nil {
 		return b, nil
 	}
+	sp := a.rec.Start("impact_wait_graph_build")
 	s, err := a.src.Stream(i)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	b = waitgraph.NewBuilder(s, i, a.wgOpts)
+	sp.End()
+	a.rec.Add("impact_builders_built_total", 1)
 	a.bmu.Lock()
 	if exist, ok := a.builders[i]; ok {
 		b = exist
@@ -175,18 +187,25 @@ func (a *Analyzer) dropBuilder(i int) {
 // graph.
 func (a *Analyzer) Graph(ref trace.InstanceRef) *waitgraph.Graph {
 	if g := a.cache.get(ref); g != nil {
+		a.rec.Add("impact_graph_cache_hits_total", 1)
 		return g
 	}
+	a.rec.Add("impact_graph_cache_misses_total", 1)
 	b, err := a.builder(ref.Stream)
 	if err != nil {
 		a.setErr(fmt.Errorf("impact: stream %d: %w", ref.Stream, err))
+		a.rec.Add("impact_fetch_errors_total", 1)
 		return &waitgraph.Graph{
 			Stream:      trace.NewStream("<fetch error>"),
 			StreamIndex: ref.Stream,
 		}
 	}
+	sp := a.rec.Start("impact_graph_assemble")
 	g := b.Instance(b.Stream().Instances[ref.Instance])
-	a.cache.put(ref, g)
+	sp.End()
+	if evicted := a.cache.put(ref, g); evicted > 0 {
+		a.rec.Add("impact_graph_cache_evictions_total", evicted)
+	}
 	return g
 }
 

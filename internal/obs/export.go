@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a deterministic view of a MemRecorder: every section is
+// sorted by name and every value is an integer, so equal event histories
+// serialise to identical bytes in both export formats.
+type Snapshot struct {
+	// Counters are the monotonic counters, sorted by name.
+	Counters []CounterSnapshot `json:"counters"`
+	// Spans aggregate completed span durations per name (nanoseconds).
+	Spans []HistogramSnapshot `json:"spans"`
+	// Observations aggregate explicit Observe samples per name.
+	Observations []HistogramSnapshot `json:"observations"`
+	// Progress is the final per-phase completion state.
+	Progress []ProgressSnapshot `json:"progress"`
+}
+
+// CounterSnapshot is one counter's final value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one value distribution: total count and sum plus
+// fixed-boundary bucket counts. Counts has one more entry than
+// Boundaries; the last bucket is the overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Name       string  `json:"name"`
+	Count      int64   `json:"count"`
+	Sum        int64   `json:"sum"`
+	Boundaries []int64 `json:"boundaries"`
+	Counts     []int64 `json:"counts"`
+}
+
+// ProgressSnapshot is one phase's final progress state.
+type ProgressSnapshot struct {
+	Phase  string `json:"phase"`
+	Events int64  `json:"events"`
+	Done   int64  `json:"done"`
+	Total  int64  `json:"total"`
+}
+
+// WriteJSON marshals the snapshot as indented JSON followed by a
+// newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format under the tracescope_ namespace: counters as counter metrics,
+// spans and observations as histograms with cumulative le buckets
+// (span/observation values are nanoseconds), and progress phases as a
+// trio of gauges labelled by phase.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		fmt.Fprintf(bw, "# TYPE tracescope_%s counter\n", c.Name)
+		fmt.Fprintf(bw, "tracescope_%s %d\n", c.Name, c.Value)
+	}
+	writeHists := func(hists []HistogramSnapshot, suffix string) {
+		for _, h := range hists {
+			name := "tracescope_" + h.Name + suffix
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum int64
+			for i, b := range h.Boundaries {
+				cum += h.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+		}
+	}
+	writeHists(s.Spans, "_duration_ns")
+	writeHists(s.Observations, "")
+	for _, p := range s.Progress {
+		fmt.Fprintf(bw, "tracescope_progress_done{phase=%q} %d\n", p.Phase, p.Done)
+		fmt.Fprintf(bw, "tracescope_progress_total{phase=%q} %d\n", p.Phase, p.Total)
+		fmt.Fprintf(bw, "tracescope_progress_events{phase=%q} %d\n", p.Phase, p.Events)
+	}
+	return bw.Flush()
+}
+
+// Counter returns the named counter's value from the snapshot (0 when
+// absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Span returns the named span aggregate and whether it exists.
+func (s Snapshot) Span(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Spans {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}

@@ -1,0 +1,121 @@
+// Package obs is the zero-dependency observability seam of the analysis
+// pipeline. Every layer — the shard-and-merge engine, the impact
+// analyzer, the causality phases, and the out-of-core corpus sources —
+// reports typed spans, counters, and progress events to a Recorder; the
+// default recorder is a no-op, so uninstrumented use costs one interface
+// call per event.
+//
+// Determinism contract (DESIGN.md §7 extends to metrics): nothing in
+// this package reads the wall clock. Spans are timed through a Clock
+// owned by the recorder and injected by the caller; with no clock
+// injected every duration is zero, so counters, span counts, and
+// histogram shapes are bit-for-bit reproducible across runs at any
+// worker count. CLIs that want real timings inject time-based clocks at
+// the command layer, outside the determinism boundary.
+package obs
+
+// Clock returns a monotonic reading in nanoseconds. Analysis code never
+// calls the wall clock directly (the walltime lint analyzer enforces
+// this under internal/); commands inject a real clock when they want
+// wall-time spans, and tests inject stepped fakes.
+type Clock func() int64
+
+// Span is an in-flight timed region. End records the elapsed clock time
+// under the span's name; every Start must be paired with exactly one
+// End.
+type Span interface {
+	End()
+}
+
+// Recorder receives the pipeline's observability events. Implementations
+// must be safe for concurrent use: the engine's workers record from
+// multiple goroutines.
+type Recorder interface {
+	// Add increments the named monotonic counter.
+	Add(name string, delta int64)
+	// Observe records one sample of the named value distribution.
+	Observe(name string, value int64)
+	// Start opens a timed span; the recorder's clock times it.
+	Start(name string) Span
+	// Progress reports that done of total units of the named phase have
+	// completed. done is monotonic per phase within one run.
+	Progress(phase string, done, total int64)
+}
+
+type nopSpan struct{}
+
+func (nopSpan) End() {}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Add(string, int64)             {}
+func (nopRecorder) Observe(string, int64)         {}
+func (nopRecorder) Start(string) Span             { return nopSpan{} }
+func (nopRecorder) Progress(string, int64, int64) {}
+
+// Nop is the do-nothing recorder every layer defaults to.
+var Nop Recorder = nopRecorder{}
+
+// OrNop returns r, or the Nop recorder when r is nil, so instrumented
+// code never branches on nil.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Tee fans every event out to all given recorders in order — typically a
+// MemRecorder for the final snapshot plus a ProgressPrinter for live CLI
+// feedback. Nil entries are dropped; an empty tee is Nop.
+func Tee(recorders ...Recorder) Recorder {
+	var rs []Recorder
+	for _, r := range recorders {
+		if r != nil && r != Nop {
+			rs = append(rs, r)
+		}
+	}
+	switch len(rs) {
+	case 0:
+		return Nop
+	case 1:
+		return rs[0]
+	}
+	return teeRecorder(rs)
+}
+
+type teeRecorder []Recorder
+
+func (t teeRecorder) Add(name string, delta int64) {
+	for _, r := range t {
+		r.Add(name, delta)
+	}
+}
+
+func (t teeRecorder) Observe(name string, value int64) {
+	for _, r := range t {
+		r.Observe(name, value)
+	}
+}
+
+func (t teeRecorder) Start(name string) Span {
+	spans := make(teeSpan, len(t))
+	for i, r := range t {
+		spans[i] = r.Start(name)
+	}
+	return spans
+}
+
+func (t teeRecorder) Progress(phase string, done, total int64) {
+	for _, r := range t {
+		r.Progress(phase, done, total)
+	}
+}
+
+type teeSpan []Span
+
+func (s teeSpan) End() {
+	for _, sp := range s {
+		sp.End()
+	}
+}

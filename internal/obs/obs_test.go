@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// record plays a fixed event history onto r from several goroutines: the
+// per-goroutine event sets are fixed, only the interleaving varies.
+func record(r Recorder) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Add("events_total", 1)
+				r.Observe("value", int64(i%7))
+				sp := r.Start("work")
+				sp.End()
+				r.Progress("phase", int64(i+1), 50)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func snapshotBytes(t *testing.T, m *MemRecorder) (jsonOut, promOut []byte) {
+	t.Helper()
+	var jb, pb bytes.Buffer
+	snap := m.Snapshot()
+	if err := snap.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), pb.Bytes()
+}
+
+// TestSnapshotByteIdentical is the metrics determinism contract: equal
+// event histories yield byte-identical snapshots in both export formats,
+// regardless of goroutine interleaving.
+func TestSnapshotByteIdentical(t *testing.T) {
+	m1 := NewMemRecorder()
+	m2 := NewMemRecorder()
+	record(m1)
+	record(m2)
+	j1, p1 := snapshotBytes(t, m1)
+	j2, p2 := snapshotBytes(t, m2)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("JSON snapshots differ:\n%s\n---\n%s", j1, j2)
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Errorf("Prometheus snapshots differ:\n%s\n---\n%s", p1, p2)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(j1, &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+func TestMemRecorderAggregates(t *testing.T) {
+	m := NewMemRecorder()
+	record(m)
+	snap := m.Snapshot()
+	if got := snap.Counter("events_total"); got != 200 {
+		t.Errorf("events_total = %d, want 200", got)
+	}
+	if got := m.SpanCount("work"); got != 200 {
+		t.Errorf("work span count = %d, want 200", got)
+	}
+	sp, ok := snap.Span("work")
+	if !ok || sp.Count != 200 || sp.Sum != 0 {
+		t.Errorf("work span = %+v (nil clock must give zero durations)", sp)
+	}
+	if len(snap.Progress) != 1 || snap.Progress[0].Done != 50 || snap.Progress[0].Total != 50 {
+		t.Errorf("progress = %+v", snap.Progress)
+	}
+	if snap.Progress[0].Events != 200 {
+		t.Errorf("progress events = %d, want 200", snap.Progress[0].Events)
+	}
+}
+
+// TestInjectedClockBuckets drives spans with a stepped fake clock and
+// checks durations land in the right fixed-boundary buckets.
+func TestInjectedClockBuckets(t *testing.T) {
+	var now int64
+	step := int64(0)
+	clock := func() int64 {
+		now += step
+		return now
+	}
+	m := NewMemRecorder(WithClock(clock))
+
+	step = 500 // 0.5µs per reading: duration 500ns -> first bucket (≤1µs)
+	m.Start("fast").End()
+	step = 2_000_000 // 2ms per reading -> fifth bucket (≤10ms)
+	m.Start("slow").End()
+	step = 100_000_000_000 // 100s -> overflow bucket
+	m.Start("huge").End()
+
+	snap := m.Snapshot()
+	check := func(name string, bucket int, sum int64) {
+		h, ok := snap.Span(name)
+		if !ok {
+			t.Fatalf("span %q missing", name)
+		}
+		if h.Counts[bucket] != 1 {
+			t.Errorf("%s: bucket %d = %d, counts %v", name, bucket, h.Counts[bucket], h.Counts)
+		}
+		if h.Sum != sum {
+			t.Errorf("%s: sum = %d, want %d", name, h.Sum, sum)
+		}
+	}
+	check("fast", 0, 500)
+	check("slow", 4, 2_000_000)
+	check("huge", len(DefaultBoundaries), 100_000_000_000)
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := NewMemRecorder(), NewMemRecorder()
+	r := Tee(a, nil, b, Nop)
+	r.Add("c", 2)
+	r.Start("s").End()
+	r.Observe("o", 5)
+	r.Progress("p", 1, 1)
+	for _, m := range []*MemRecorder{a, b} {
+		if m.CounterValue("c") != 2 || m.SpanCount("s") != 1 {
+			t.Errorf("tee target missed events: %+v", m.Snapshot())
+		}
+	}
+	if Tee() != Nop || Tee(nil, Nop) != Nop {
+		t.Error("empty tee is not Nop")
+	}
+	if Tee(a) != Recorder(a) {
+		t.Error("single-entry tee should collapse")
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	m := NewMemRecorder()
+	if OrNop(m) != Recorder(m) {
+		t.Error("OrNop must pass recorders through")
+	}
+	// The Nop recorder must absorb everything quietly.
+	Nop.Add("x", 1)
+	Nop.Observe("x", 1)
+	Nop.Start("x").End()
+	Nop.Progress("x", 1, 1)
+}
+
+func TestProgressPrinterThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	var now int64
+	clock := func() int64 { return now }
+	p := NewProgressPrinter(&buf, clock, 1_000_000_000) // 1s between lines
+
+	p.Progress("phase", 1, 10) // first report: prints
+	now += 10_000_000
+	p.Progress("phase", 2, 10) // 10ms later: throttled
+	now += 2_000_000_000
+	p.Progress("phase", 5, 10) // 2s later: prints
+	p.Progress("phase", 10, 10) // final: always prints
+	p.Progress("phase", 10, 10) // after final: suppressed
+
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 3 {
+		t.Errorf("printed %d lines, want 3:\n%s", lines, buf.String())
+	}
+	if !strings.Contains(buf.String(), "10/10 (100%)") {
+		t.Errorf("final line missing:\n%s", buf.String())
+	}
+}
+
+func TestProgressPrinterNilClock(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressPrinter(&buf, nil, 0)
+	for i := 1; i <= 10; i++ {
+		p.Progress("phase", int64(i), 10)
+	}
+	// Deterministic mode: first and final reports only.
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("printed %d lines, want 2:\n%s", lines, buf.String())
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProgressPrinter is a Recorder that renders Progress events as
+// human-readable lines, throttled per phase so tight shard loops do not
+// flood the terminal. Counters, observations, and spans are ignored —
+// tee it with a MemRecorder to keep both.
+//
+// The clock only throttles and stamps elapsed time; it is injected like
+// every clock in this package. With a nil clock the printer emits only
+// each phase's first and final report, which is the deterministic mode.
+type ProgressPrinter struct {
+	w           io.Writer
+	clock       Clock
+	minInterval int64 // ns between lines per phase; 0 prints every report
+
+	mu     sync.Mutex
+	phases map[string]*printerPhase
+}
+
+type printerPhase struct {
+	firstAt  int64
+	lastAt   int64
+	reported bool
+	finished bool
+}
+
+// NewProgressPrinter writes throttled progress lines to w. clock may be
+// nil (first and final reports only); minIntervalNS is the minimum clock
+// distance between two lines of the same phase.
+func NewProgressPrinter(w io.Writer, clock Clock, minIntervalNS int64) *ProgressPrinter {
+	return &ProgressPrinter{
+		w:           w,
+		clock:       clock,
+		minInterval: minIntervalNS,
+		phases:      make(map[string]*printerPhase),
+	}
+}
+
+// Add ignores counters.
+func (p *ProgressPrinter) Add(string, int64) {}
+
+// Observe ignores observations.
+func (p *ProgressPrinter) Observe(string, int64) {}
+
+// Start ignores spans.
+func (p *ProgressPrinter) Start(string) Span { return nopSpan{} }
+
+// Progress prints the phase's state when it is the first report, the
+// final report (done == total), or at least minInterval after the last
+// printed line.
+func (p *ProgressPrinter) Progress(phase string, done, total int64) {
+	var now int64
+	if p.clock != nil {
+		now = p.clock()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.phases[phase]
+	if !ok {
+		st = &printerPhase{firstAt: now}
+		p.phases[phase] = st
+	}
+	final := done >= total && total > 0
+	switch {
+	case final:
+		if st.finished {
+			return
+		}
+		st.finished = true
+	case !st.reported:
+		// First report always prints.
+	case p.clock == nil:
+		return
+	case now-st.lastAt < p.minInterval:
+		return
+	}
+	st.reported = true
+	st.lastAt = now
+
+	var pct int64
+	if total > 0 {
+		pct = 100 * done / total
+	}
+	if p.clock != nil {
+		fmt.Fprintf(p.w, "%9.3fs %-32s %d/%d (%d%%)\n",
+			float64(now-st.firstAt)/1e9, phase, done, total, pct)
+	} else {
+		fmt.Fprintf(p.w, "%-32s %d/%d (%d%%)\n", phase, done, total, pct)
+	}
+}

@@ -3,6 +3,8 @@ package trace
 import (
 	"container/list"
 	"sync"
+
+	"tracescope/internal/obs"
 )
 
 // SourceCacheStats reports a CachedSource's effectiveness and its
@@ -31,6 +33,7 @@ type SourceCacheStats struct {
 // per-stream Wait-Graph builders — release their references in step).
 type CachedSource struct {
 	src Source
+	rec obs.Recorder
 
 	mu      sync.Mutex
 	limit   int
@@ -53,6 +56,7 @@ type pendingFetch struct {
 func NewCachedSource(src Source, limit int) *CachedSource {
 	return &CachedSource{
 		src:     src,
+		rec:     obs.Nop,
 		limit:   limit,
 		lru:     list.New(),
 		entries: make(map[int]*list.Element),
@@ -63,6 +67,20 @@ func NewCachedSource(src Source, limit int) *CachedSource {
 
 // Unwrap returns the wrapped source.
 func (c *CachedSource) Unwrap() Source { return c.src }
+
+// SetRecorder routes the cache's hit/miss/eviction counters to r and
+// forwards the recorder to the wrapped source when it is instrumentable
+// (a *DirSource records per-stream decode spans), so one registry holds
+// the whole out-of-core story. Call before concurrent use; nil restores
+// the no-op recorder.
+func (c *CachedSource) SetRecorder(r obs.Recorder) {
+	c.mu.Lock()
+	c.rec = obs.OrNop(r)
+	c.mu.Unlock()
+	if rs, ok := c.src.(interface{ SetRecorder(obs.Recorder) }); ok {
+		rs.SetRecorder(r)
+	}
+}
 
 // NumStreams returns the number of streams.
 func (c *CachedSource) NumStreams() int { return c.src.NumStreams() }
@@ -96,16 +114,19 @@ func (c *CachedSource) StreamMeta(i int) StreamMeta { return c.src.StreamMeta(i)
 // one decode.
 func (c *CachedSource) Stream(i int) (*Stream, error) {
 	c.mu.Lock()
+	rec := c.rec
 	if el, ok := c.entries[i]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
 		s := c.streams[i]
 		c.mu.Unlock()
+		rec.Add("source_cache_hits_total", 1)
 		return s, nil
 	}
 	if p, ok := c.pending[i]; ok {
 		c.stats.Hits++
 		c.mu.Unlock()
+		rec.Add("source_cache_hits_total", 1)
 		<-p.done
 		return p.s, p.err
 	}
@@ -114,6 +135,7 @@ func (c *CachedSource) Stream(i int) (*Stream, error) {
 	c.stats.Misses++
 	c.noteHeldLocked()
 	c.mu.Unlock()
+	rec.Add("source_cache_misses_total", 1)
 
 	p.s, p.err = c.src.Stream(i)
 
@@ -128,6 +150,9 @@ func (c *CachedSource) Stream(i int) (*Stream, error) {
 	}
 	c.mu.Unlock()
 	close(p.done)
+	if len(evicted) > 0 {
+		rec.Add("source_cache_evictions_total", int64(len(evicted)))
+	}
 	c.notifyEvicted(evicted)
 	return p.s, p.err
 }
@@ -144,8 +169,12 @@ func (c *CachedSource) Limit() int {
 func (c *CachedSource) SetLimit(n int) {
 	c.mu.Lock()
 	c.limit = n
+	rec := c.rec
 	evicted := c.evictOverLimitLocked()
 	c.mu.Unlock()
+	if len(evicted) > 0 {
+		rec.Add("source_cache_evictions_total", int64(len(evicted)))
+	}
 	c.notifyEvicted(evicted)
 }
 

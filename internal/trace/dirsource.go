@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"tracescope/internal/obs"
 )
 
 // corpus.index format
@@ -235,6 +237,7 @@ type DirSource struct {
 	dir   string
 	v2    bool
 	metas []StreamMeta
+	rec   obs.Recorder
 
 	numInstances int
 	numEvents    int
@@ -253,7 +256,7 @@ func OpenDir(dir string) (*DirSource, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
 	}
-	d := &DirSource{dir: dir, v2: version >= indexVersion, metas: metas}
+	d := &DirSource{dir: dir, v2: version >= indexVersion, metas: metas, rec: obs.Nop}
 	if !d.v2 {
 		for i := range d.metas {
 			s, err := d.Stream(i)
@@ -276,6 +279,11 @@ func OpenDir(dir string) (*DirSource, error) {
 
 // Dir returns the backing corpus directory.
 func (d *DirSource) Dir() string { return d.dir }
+
+// SetRecorder routes the source's observability events — a "trace_decode"
+// span per on-demand stream decode plus decoded/error counters — to r.
+// Call before concurrent use; nil restores the no-op recorder.
+func (d *DirSource) SetRecorder(r obs.Recorder) { d.rec = obs.OrNop(r) }
 
 // NumStreams returns the number of streams.
 func (d *DirSource) NumStreams() int { return len(d.metas) }
@@ -314,6 +322,19 @@ func (d *DirSource) Stream(i int) (*Stream, error) {
 	if i < 0 || i >= len(d.metas) {
 		return nil, fmt.Errorf("trace: stream %d out of range (%d streams)", i, len(d.metas))
 	}
+	sp := d.rec.Start("trace_decode")
+	s, err := d.decode(i)
+	sp.End()
+	if err != nil {
+		d.rec.Add("trace_decode_errors_total", 1)
+		return nil, err
+	}
+	d.rec.Add("trace_streams_decoded_total", 1)
+	return s, nil
+}
+
+// decode reads and decodes stream i's backing file.
+func (d *DirSource) decode(i int) (*Stream, error) {
 	name := d.metas[i].File
 	f, err := os.Open(filepath.Join(d.dir, filepath.FromSlash(name)))
 	if err != nil {

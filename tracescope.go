@@ -31,12 +31,15 @@
 package tracescope
 
 import (
+	"io"
+
 	"tracescope/internal/awg"
 	"tracescope/internal/baseline"
 	"tracescope/internal/core"
 	"tracescope/internal/detect"
 	"tracescope/internal/impact"
 	"tracescope/internal/mining"
+	"tracescope/internal/obs"
 	"tracescope/internal/scenario"
 	"tracescope/internal/sigset"
 	"tracescope/internal/trace"
@@ -83,10 +86,15 @@ type (
 
 // Analysis types (§3–§4).
 type (
-	// Analyzer runs impact and causality analyses over a corpus.
+	// Analyzer runs impact and causality analyses over a corpus. Over
+	// lazy sources, stream-fetch failures do not abort a shard run
+	// midway: the first is latched and reported by Analyzer.Err (and
+	// returned by Causality); the failed instances are treated as empty.
 	Analyzer = core.Analyzer
-	// AnalyzerOptions tunes analysis scheduling (worker-pool size for
-	// the deterministic shard-and-merge engine).
+	// AnalyzerOption configures NewAnalyzer (WithWorkers, WithRecorder).
+	AnalyzerOption = core.Option
+	// AnalyzerOptions is a prebuilt options struct for the deprecated
+	// NewAnalyzerOptions form; prefer AnalyzerOption functions.
 	AnalyzerOptions = core.Options
 	// ImpactMetrics carries Dscn/Dwait/Drun/Dwaitdist and the derived
 	// IArun, IAwait, IAopt.
@@ -103,6 +111,70 @@ type (
 	// AWG is an Aggregated Wait Graph.
 	AWG = awg.Graph
 )
+
+// Observability types: the recorder seam every pipeline layer reports
+// into (engine shards, causality phases, Wait-Graph builds, stream
+// decodes, cache counters). Recording is strictly opt-in — without
+// WithRecorder the pipeline runs with a no-op recorder and zero
+// overhead beyond an interface call.
+type (
+	// Recorder receives typed observability events: counters (Add),
+	// value observations (Observe), timed spans (Start), and progress
+	// reports (Progress).
+	Recorder = obs.Recorder
+	// RecorderSpan is an in-flight timed region; End records it.
+	RecorderSpan = obs.Span
+	// MetricsClock supplies nanosecond timestamps for span durations.
+	// A nil clock records zero durations, keeping snapshots
+	// deterministic; CLIs may inject a wall clock.
+	MetricsClock = obs.Clock
+	// MemRecorder aggregates events in memory: counters, fixed-boundary
+	// latency histograms, and progress state, exportable as a
+	// deterministic snapshot.
+	MemRecorder = obs.MemRecorder
+	// MemRecorderOption configures NewMemRecorder.
+	MemRecorderOption = obs.MemOption
+	// MetricsSnapshot is a point-in-time export of a MemRecorder with
+	// deterministic ordering; it marshals to indented JSON (WriteJSON)
+	// or Prometheus text exposition format (WritePrometheus).
+	MetricsSnapshot = obs.Snapshot
+	// ProgressPrinter is a Recorder that renders throttled progress
+	// lines for CLIs and ignores all other events.
+	ProgressPrinter = obs.ProgressPrinter
+)
+
+// NopRecorder is the no-op recorder: every event is discarded. It is
+// what the pipeline uses when no recorder is configured.
+var NopRecorder = obs.Nop
+
+// NewMemRecorder builds an in-memory recorder. With no options it has
+// no clock — span durations record as zero and snapshots are
+// byte-identical across identical runs. Inject a wall clock (e.g.
+// WithMetricsClock(func() int64 { return time.Now().UnixNano() })) to
+// measure real latencies at the cost of run-to-run snapshot variance.
+func NewMemRecorder(opts ...MemRecorderOption) *MemRecorder {
+	return obs.NewMemRecorder(opts...)
+}
+
+// WithMetricsClock sets the MemRecorder's span clock (nanoseconds).
+func WithMetricsClock(c MetricsClock) MemRecorderOption { return obs.WithClock(c) }
+
+// WithMetricsBoundaries replaces the default histogram bucket
+// boundaries (ascending, in nanoseconds).
+func WithMetricsBoundaries(b []int64) MemRecorderOption { return obs.WithBoundaries(b) }
+
+// NewProgressPrinter builds a Recorder that prints throttled progress
+// lines to w, at most one per phase per minIntervalNS nanoseconds
+// (first and final reports always print). A nil clock prints only
+// first and final reports.
+func NewProgressPrinter(w io.Writer, clock MetricsClock, minIntervalNS int64) *ProgressPrinter {
+	return obs.NewProgressPrinter(w, clock, minIntervalNS)
+}
+
+// TeeRecorders fans events out to every non-nil recorder — e.g. a
+// MemRecorder for the final snapshot plus a ProgressPrinter for live
+// output.
+func TeeRecorders(recorders ...Recorder) Recorder { return obs.Tee(recorders...) }
 
 // Workload-generation types.
 type (
@@ -186,13 +258,39 @@ func MotivatingCase() *Stream { return scenario.MotivatingCase() }
 
 // NewAnalyzer indexes a corpus source for impact and causality analyses.
 // Pass a *Corpus for in-memory analysis or a (usually cached) *DirSource
-// for out-of-core analysis; results are identical.
-func NewAnalyzer(src Source) *Analyzer { return core.NewAnalyzer(src) }
+// for out-of-core analysis; results are identical. Options configure
+// scheduling and observability:
+//
+//	an := tracescope.NewAnalyzer(src,
+//		tracescope.WithWorkers(8),
+//		tracescope.WithRecorder(rec))
+//
+// With no options the analyzer uses GOMAXPROCS workers and records
+// nothing. Results are bit-for-bit identical at any worker count. Over
+// lazy sources, check an.Err() after an analysis (Causality returns it
+// directly): stream-fetch failures are latched, not fatal mid-shard.
+func NewAnalyzer(src Source, options ...AnalyzerOption) *Analyzer {
+	return core.NewAnalyzer(src, options...)
+}
 
-// NewAnalyzerOptions indexes a corpus source for analysis with explicit
-// scheduling options. Workers bounds the shard-and-merge pool (0 means
-// GOMAXPROCS, 1 forces the sequential path); results are bit-for-bit
-// identical at any worker count.
+// WithWorkers bounds the analyzer's shard-and-merge worker pool. Zero
+// means GOMAXPROCS; one forces the sequential path. Results are
+// bit-for-bit identical at any setting.
+func WithWorkers(n int) AnalyzerOption { return core.WithWorkers(n) }
+
+// WithRecorder routes the analysis pipeline's observability events —
+// engine shard spans and progress, causality phase spans, Wait-Graph
+// build spans, stream-decode latency, and cache counters — to r. When
+// the source is instrumentable (*CachedSource, *DirSource) the recorder
+// is wired into it too, so one registry holds the whole pipeline. A nil
+// recorder is the no-op default.
+func WithRecorder(r Recorder) AnalyzerOption { return core.WithRecorder(r) }
+
+// NewAnalyzerOptions indexes a corpus source for analysis with a
+// prebuilt options struct.
+//
+// Deprecated: use NewAnalyzer with WithWorkers/WithRecorder. Kept as a
+// thin wrapper; behaviour is identical.
 func NewAnalyzerOptions(src Source, opts AnalyzerOptions) *Analyzer {
 	return core.NewAnalyzerOptions(src, opts)
 }
@@ -240,20 +338,26 @@ func NewCachedSource(src Source, limit int) *CachedSource {
 	return trace.NewCachedSource(src, limit)
 }
 
-// CallGraphProfile computes a gprof-style CPU profile of the corpus: the
-// call-dependency baseline of §6 (sees CPU only, never waiting).
-func CallGraphProfile(c *Corpus) *Profile { return baseline.CallGraphProfile(c) }
+// CallGraphProfile computes a gprof-style CPU profile of the source: the
+// call-dependency baseline of §6 (sees CPU only, never waiting). Streams
+// are decoded one at a time, so out-of-core sources run within bounded
+// memory; the error is non-nil only when a lazy stream fetch fails.
+func CallGraphProfile(src Source) (*Profile, error) { return baseline.CallGraphProfile(src) }
 
 // LockContention computes a per-lock contention report: the
-// single-lock baseline of §6 (sees each lock in isolation, never chains).
-func LockContention(c *Corpus, filter *ComponentFilter) *ContentionReport {
-	return baseline.LockContention(c, filter)
+// single-lock baseline of §6 (sees each lock in isolation, never
+// chains). Streams are decoded one at a time; the error is non-nil only
+// when a lazy stream fetch fails.
+func LockContention(src Source, filter *ComponentFilter) (*ContentionReport, error) {
+	return baseline.LockContention(src, filter)
 }
 
 // MineStacks runs the StackMine-style costly-callstack baseline (§6):
-// within-thread wait patterns by shared callstack prefix.
-func MineStacks(c *Corpus, filter *ComponentFilter, minSupport int64) *StackMineResult {
-	return baseline.MineStacks(c, filter, minSupport)
+// within-thread wait patterns by shared callstack prefix. Streams are
+// decoded one at a time; the error is non-nil only when a lazy stream
+// fetch fails.
+func MineStacks(src Source, filter *ComponentFilter, minSupport int64) (*StackMineResult, error) {
+	return baseline.MineStacks(src, filter, minSupport)
 }
 
 // Detection types: deriving scenario instances from raw streams.

@@ -67,10 +67,10 @@ func TestSelectedScenariosHaveThresholds(t *testing.T) {
 
 func TestBaselinesPublic(t *testing.T) {
 	corpus := tracescope.Generate(tracescope.GenerateConfig{Seed: 4, Streams: 2, Episodes: 4})
-	if p := tracescope.CallGraphProfile(corpus); p.TotalCPU <= 0 {
+	if p, err := tracescope.CallGraphProfile(corpus); err != nil || p.TotalCPU <= 0 {
 		t.Error("profile empty")
 	}
-	if r := tracescope.LockContention(corpus, tracescope.AllDrivers()); r.TotalWait <= 0 {
+	if r, err := tracescope.LockContention(corpus, tracescope.AllDrivers()); err != nil || r.TotalWait <= 0 {
 		t.Error("contention empty")
 	}
 }

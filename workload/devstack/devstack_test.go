@@ -136,7 +136,10 @@ func TestStackEndToEndAnalysis(t *testing.T) {
 		t.Error("layered stack produced no measurable driver waits")
 	}
 	// The filter lock creates contention across the four requests.
-	r := tracescope.LockContention(corpus, tracescope.NewComponentFilter("*.sys"))
+	r, err := tracescope.LockContention(corpus, tracescope.NewComponentFilter("*.sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.TotalWait <= 0 {
 		t.Error("no contention on the filter's table lock")
 	}
