@@ -2,8 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-json \
-	bench-corpus bench-smoke experiments experiments-md report fuzz clean
+.PHONY: all build vet lint lint-fix lint-json test test-short test-race \
+	bench bench-json bench-corpus bench-smoke experiments experiments-md \
+	report fuzz clean
 
 all: build vet lint test
 
@@ -13,11 +14,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism-and-invariant static analysis (internal/lint): mapiter,
-# walltime, unstablesort. CI gates on this; findings exit non-zero.
+# Determinism-and-invariant static analysis (internal/lint). Packages
+# under internal/ are loaded whole and type-checked (stdlib go/types),
+# arming the type-aware analyzers: mapiter, walltime, unstablesort,
+# detertaint (cross-function map-order taint), copylock, spanend,
+# errdrop. CI gates on this; findings exit non-zero.
 # Silence a deliberate site with:  //lint:ignore <analyzer> <reason>
 lint:
-	$(GO) run ./cmd/tracelint ./...
+	$(GO) run ./cmd/tracelint -tests ./...
+
+# Apply the safe rewrites analyzers attach (sort.Slice → SliceStable on
+# single-key comparators, defer sp.End() for never-ended spans) and
+# report what remains.
+lint-fix:
+	$(GO) run ./cmd/tracelint -tests -fix ./...
+
+# Machine-readable findings report; CI uploads tracelint.json as a
+# build artifact on every run.
+lint-json:
+	$(GO) run ./cmd/tracelint -tests -json ./... > tracelint.json
 
 test:
 	$(GO) test ./...
@@ -65,13 +80,17 @@ experiments-md:
 report:
 	$(GO) run ./cmd/experiments -html report.html
 
-# Short fuzzing pass over the decoders, index parser, and matcher.
+# Short fuzzing pass over the decoders, index parser, matcher, and the
+# lint suite's directive parser and package loader.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzReadBinary -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzParseIndex -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzCorpusReadFrom -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzWildcardMatch -fuzztime 15s
 	$(GO) test ./internal/trace/ -fuzz FuzzSlice -fuzztime 15s
+	$(GO) test ./internal/lint/ -fuzz FuzzDirectiveText -fuzztime 15s
+	$(GO) test ./internal/lint/ -fuzz FuzzSplitQuoted -fuzztime 15s
+	$(GO) test ./internal/lint/ -fuzz FuzzLoadDir -fuzztime 30s
 
 clean:
-	rm -f report.html test_output.txt bench_output.txt BENCH_*.json *.dot
+	rm -f report.html test_output.txt bench_output.txt BENCH_*.json *.dot tracelint.json

@@ -68,7 +68,7 @@ func TestDiagWaitBreakdown(t *testing.T) {
 	for k, v := range byKind {
 		rows = append(rows, row{k, v.dwait, v.ddist})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].dwait > rows[j].dwait })
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].dwait > rows[j].dwait })
 	for _, r := range rows {
 		t.Logf("%-28s dwait=%10v ddist=%10v mult=%.2f", r.kind, r.dwait, r.ddist, float64(r.dwait)/float64(r.ddist+1))
 	}

@@ -1,0 +1,183 @@
+// copylock flags values carrying synchronisation state that are copied.
+// A sync.Mutex copied by value forks the lock: the copy guards nothing,
+// and code that locks the copy while another goroutine locks the
+// original has exactly the race the mutex was meant to prevent. The
+// engine's worker closures and the observability layer make this easy
+// to write by accident — obs.MemRecorder and obs.ProgressPrinter both
+// embed a mutex, so passing a recorder struct (rather than a pointer or
+// the Recorder interface) into an engine worker silently splits its
+// state per shard.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CopyLock reports lock-bearing values passed or assigned by value.
+//
+// A type is lock-bearing when it is (or transitively contains, through
+// struct fields and arrays) one of sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once, sync.Cond, sync.Map, or sync.Pool — which
+// covers the obs recorders, whose state embeds a mutex. Pointers and
+// interfaces are not lock-bearing: sharing through them is the fix.
+//
+// Flagged sites: function parameters, receivers, and results declared
+// by value; assignments whose right-hand side reads an existing
+// lock-bearing value (composite literals and zero-value declarations
+// initialise rather than copy, and stay silent); range clauses whose
+// value variable copies lock-bearing elements; and call arguments
+// passing a lock-bearing value. The check is type-aware and only runs
+// on files loaded with type information.
+const copylockName = "copylock"
+
+var CopyLock = &Analyzer{
+	Name: copylockName,
+	Doc:  "flags sync.Mutex/RWMutex/WaitGroup (and recorder-state) values passed or assigned by value",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(f *File) []Diagnostic {
+	if f.Pkg == nil || f.Pkg.Info == nil || strings.HasSuffix(f.Filename, "_test.go") {
+		return nil
+	}
+	var diags []Diagnostic
+	flag := func(pos token.Pos, what string, t types.Type) {
+		diags = append(diags, f.Diag(copylockName, pos,
+			"%s copies %s, which carries a lock; the copy guards nothing — pass a pointer", what, typeString(t)))
+	}
+
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			if node.Recv != nil {
+				checkFieldList(f, node.Recv, "receiver", flag)
+			}
+			checkFieldList(f, node.Type.Params, "parameter", flag)
+			checkFieldList(f, node.Type.Results, "result", flag)
+		case *ast.FuncLit:
+			checkFieldList(f, node.Type.Params, "parameter", flag)
+			checkFieldList(f, node.Type.Results, "result", flag)
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) {
+					break
+				}
+				// `_ = x` reads without keeping a copy alive.
+				if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !copiesValue(rhs) {
+					continue
+				}
+				if t := f.Pkg.TypeOf(rhs); lockBearing(t) {
+					flag(node.Pos(), "assignment", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := node.Value.(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+			if node.Value != nil {
+				if t := f.Pkg.TypeOf(node.Value); lockBearing(t) {
+					flag(node.Value.Pos(), "range value", t)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range node.Args {
+				if !copiesValue(arg) {
+					continue
+				}
+				if t := f.Pkg.TypeOf(arg); lockBearing(t) {
+					flag(arg.Pos(), "call argument", t)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkFieldList flags by-value lock-bearing entries of a parameter,
+// result, or receiver list.
+func checkFieldList(f *File, fl *ast.FieldList, what string, flag func(token.Pos, string, types.Type)) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		t := f.Pkg.TypeOf(fld.Type)
+		if !lockBearing(t) {
+			continue
+		}
+		pos := fld.Type.Pos()
+		if len(fld.Names) > 0 {
+			pos = fld.Names[0].Pos()
+		}
+		flag(pos, what, t)
+	}
+}
+
+// copiesValue reports whether evaluating the expression reads an
+// existing addressable value — the shapes whose assignment or passing
+// duplicates state. Composite literals, calls, and conversions build a
+// fresh value; &x shares instead of copying.
+func copiesValue(x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true // *p copies the pointee
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// lockTypes are the sync types whose by-value copy is always a bug.
+var lockTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Map": true, "sync.Pool": true,
+}
+
+// lockBearing reports whether t is or transitively contains one of the
+// sync types. Pointers, interfaces, slices, maps, and channels stop the
+// walk: they share, not copy.
+func lockBearing(t types.Type) bool {
+	return lockBearingRec(t, make(map[types.Type]bool))
+}
+
+func lockBearingRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil {
+			if lockTypes[obj.Pkg().Path()+"."+obj.Name()] {
+				return true
+			}
+		}
+		return lockBearingRec(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockBearingRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockBearingRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeString renders a type compactly for diagnostics, trimming the
+// module prefix so messages stay readable.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

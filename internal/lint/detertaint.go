@@ -1,0 +1,375 @@
+// detertaint is the package-scoped, interprocedural extension of
+// mapiter: it tracks slices and strings whose contents were produced in
+// map-iteration order across function boundaries. mapiter sees a loop
+// append into a local and a missing sort in the same function; it is
+// blind the moment the map-ordered slice is returned — the caller
+// receives run-dependent ordering with no syntactic trace of the map
+// that caused it. This is exactly how the engine's merge contract rots:
+// a helper collects map keys, a second function encodes the helper's
+// result, each file looks innocent alone.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterTaint reports map-iteration-ordered values that cross a function
+// boundary and reach ordered output without an intervening sort.
+//
+// Taint seeding (per function, type-aware): a slice appended to, or a
+// string concatenated with +=, inside a `range` over an expression of
+// map type. A sort.* or slices.Sort* call naming the value downstream
+// of the taint clears it. A function whose return statement yields a
+// still-tainted value is summarised as tainted, and the summaries are
+// iterated to a fixpoint across the package — so taint flows through
+// chains of intra-package calls, across files.
+//
+// Reported sinks — only for taint that crossed a function boundary
+// (direct map-range-to-sink flows inside one function stay mapiter's,
+// so no site is reported twice):
+//
+//   - a tainted value passed to a writer or encoder call (fmt.Fprint*,
+//     Write*, Encode, ...);
+//   - a `range` over a tainted slice whose body writes to a writer;
+//   - a tainted value appended into a struct field (result assembly).
+//
+// Limits, by design: taint flows through return values and local
+// copies, not through parameters, struct fields, channels, or closures;
+// sinks are recognised by the method-name heuristic shared with
+// mapiter. The analyzer runs only on type-checked packages.
+const detertaintName = "detertaint"
+
+var DeterTaint = &Analyzer{
+	Name:       detertaintName,
+	Doc:        "tracks map-iteration-ordered slices across function returns into ordered output",
+	RunPackage: runDeterTaint,
+}
+
+// taintMark records how a value became map-ordered.
+type taintMark struct {
+	pos   token.Pos // where the taint attached; sorts after it clear it
+	cross bool      // true when the taint crossed a function boundary
+	srcFn string    // the tainted function the value came from ("" when local)
+}
+
+// funcTaint is the per-function analysis state.
+type funcTaint struct {
+	file    *File
+	pkg     *Package
+	summary map[*types.Func]bool // package-wide fixpoint summaries
+	taint   map[types.Object]taintMark
+	sorted  map[types.Object]token.Pos
+}
+
+func runDeterTaint(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	// Fixpoint over the package: which functions return map-ordered
+	// data? Chains (f calls g calls h) settle in at most #funcs rounds.
+	summary := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Files {
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := p.ObjectOf(fn.Name).(*types.Func)
+				if !ok || summary[obj] {
+					continue
+				}
+				ft := newFuncTaint(f, summary)
+				ft.scanBody(fn.Body)
+				if ft.returnsTainted(fn.Body) {
+					summary[obj] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Report sinks, file by file in deterministic order.
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ft := newFuncTaint(f, summary)
+			ft.scanBody(fn.Body)
+			diags = append(diags, ft.findSinks(fn.Body)...)
+		}
+	}
+	return diags
+}
+
+func newFuncTaint(f *File, summary map[*types.Func]bool) *funcTaint {
+	return &funcTaint{
+		file:    f,
+		pkg:     f.Pkg,
+		summary: summary,
+		taint:   make(map[types.Object]taintMark),
+		sorted:  make(map[types.Object]token.Pos),
+	}
+}
+
+// scanBody runs the local taint pass in source order: seeds from
+// map-range accumulation, propagation through copies and calls to
+// summarised functions, clearing through sort calls.
+func (ft *funcTaint) scanBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if ft.isMapRange(st) {
+				ft.seedFromMapRange(st)
+			}
+		case *ast.AssignStmt:
+			ft.propagateAssign(st)
+		case *ast.CallExpr:
+			if isSortCall(st) {
+				for _, arg := range st.Args {
+					if obj := ft.objectOf(arg); obj != nil {
+						ft.sorted[obj] = st.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (ft *funcTaint) isMapRange(rng *ast.RangeStmt) bool {
+	t := ft.pkg.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// seedFromMapRange taints slices appended to and strings concatenated
+// inside the loop body.
+func (ft *funcTaint) seedFromMapRange(rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(as.Lhs) {
+					continue
+				}
+				if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" {
+					if obj := ft.objectOf(as.Lhs[i]); obj != nil {
+						ft.taint[obj] = taintMark{pos: rng.End()}
+					}
+				}
+			}
+		case token.ADD_ASSIGN:
+			if len(as.Lhs) != 1 {
+				return true
+			}
+			obj := ft.objectOf(as.Lhs[0])
+			if obj == nil {
+				return true
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				ft.taint[obj] = taintMark{pos: rng.End()}
+			}
+		}
+		return true
+	})
+}
+
+// propagateAssign moves taint through `y := x` copies and `y := f(...)`
+// calls to functions summarised as returning map-ordered data.
+func (ft *funcTaint) propagateAssign(as *ast.AssignStmt) {
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return
+	}
+	// y := f(...) with a multi-result call: every result of a tainted
+	// function is treated as tainted (coarse, but functions returning a
+	// map-ordered slice plus untainted extras are rare).
+	if len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if fn := ft.calleeFunc(call); fn != nil && ft.summary[fn] {
+				for _, lhs := range as.Lhs {
+					if obj := ft.objectOf(lhs); obj != nil {
+						ft.taint[obj] = taintMark{pos: as.Pos(), cross: true, srcFn: fn.Name()}
+					}
+				}
+				return
+			}
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		src := ft.objectOf(rhs)
+		if src == nil {
+			continue
+		}
+		if mark, ok := ft.taintedAt(src, rhs.Pos()); ok {
+			if dst := ft.objectOf(as.Lhs[i]); dst != nil {
+				mark.pos = as.Pos()
+				ft.taint[dst] = mark
+			}
+		}
+	}
+}
+
+// taintedAt reports the value's taint when it has not been sorted away
+// by position pos.
+func (ft *funcTaint) taintedAt(obj types.Object, pos token.Pos) (taintMark, bool) {
+	mark, ok := ft.taint[obj]
+	if !ok {
+		return taintMark{}, false
+	}
+	if sortPos, ok := ft.sorted[obj]; ok && sortPos > mark.pos && sortPos < pos {
+		return taintMark{}, false
+	}
+	return mark, true
+}
+
+// returnsTainted reports whether any return yields a tainted value or
+// the direct result of a call to a tainted function.
+func (ft *funcTaint) returnsTainted(body *ast.BlockStmt) bool {
+	tainted := false
+	inspectSkipFuncLit(body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || tainted {
+			return
+		}
+		for _, res := range ret.Results {
+			if obj := ft.objectOf(res); obj != nil {
+				if _, ok := ft.taintedAt(obj, ret.Pos()); ok {
+					tainted = true
+					return
+				}
+			}
+			if call, ok := res.(*ast.CallExpr); ok {
+				if fn := ft.calleeFunc(call); fn != nil && ft.summary[fn] {
+					tainted = true
+					return
+				}
+			}
+		}
+	})
+	return tainted
+}
+
+// findSinks reports cross-function taint reaching ordered output.
+func (ft *funcTaint) findSinks(body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string, mark taintMark, sink string) {
+		if what == "" {
+			what = "value"
+		}
+		diags = append(diags, ft.file.Diag(detertaintName, pos,
+			"%s is in map-iteration order (returned by %s) and reaches %s without a sort; map iteration order is nondeterministic",
+			what, mark.srcFn, sink))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			// Tainted value handed to a writer/encoder.
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || !writerMethods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range st.Args {
+				obj := ft.objectOf(arg)
+				if obj == nil {
+					continue
+				}
+				if mark, ok := ft.taintedAt(obj, st.Pos()); ok && mark.cross {
+					report(st.Pos(), exprName(arg), mark, exprName(sel))
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging a tainted slice while committing bytes.
+			obj := ft.objectOf(st.X)
+			if obj == nil {
+				return true
+			}
+			mark, ok := ft.taintedAt(obj, st.Pos())
+			if !ok || !mark.cross {
+				return true
+			}
+			sc := &funcScope{file: ft.file, maps: map[string]bool{}, floats: map[string]bool{}, mapFields: map[string]bool{}}
+			if _, writes, _ := inspectRangeBody(st.Body, sc); len(writes) > 0 {
+				report(st.Pos(), exprName(st.X), mark, writes[0])
+			}
+		case *ast.AssignStmt:
+			// Result assembly: x.Field = append(x.Field, tainted...).
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(st.Lhs) {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" {
+					continue
+				}
+				if _, isField := st.Lhs[i].(*ast.SelectorExpr); !isField {
+					continue
+				}
+				for _, arg := range call.Args[1:] {
+					obj := ft.objectOf(arg)
+					if obj == nil {
+						continue
+					}
+					if mark, ok := ft.taintedAt(obj, st.Pos()); ok && mark.cross {
+						report(st.Pos(), exprName(arg), mark, "field "+exprName(st.Lhs[i]))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// calleeFunc resolves a call's target to a package-level or method
+// *types.Func, or nil for builtins, function values, and conversions.
+func (ft *funcTaint) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := ft.pkg.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// objectOf resolves an expression to the object it reads, unwrapping
+// the ellipsis spread and parens.
+func (ft *funcTaint) objectOf(x ast.Expr) types.Object {
+	switch e := x.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		return ft.pkg.ObjectOf(e)
+	case *ast.ParenExpr:
+		return ft.objectOf(e.X)
+	case *ast.IndexExpr:
+		// An element read from a map-ordered container is itself
+		// order-dependent.
+		return ft.objectOf(e.X)
+	}
+	return nil
+}

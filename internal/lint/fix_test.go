@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestUnstableSortFixGolden checks the sort.Slice → sort.SliceStable
+// rewrite against a golden file, and that a second pass finds nothing
+// left to fix (the rewrite is idempotent).
+func TestUnstableSortFixGolden(t *testing.T) {
+	path := filepath.Join("testdata", "fix", "sortfix.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFile(token.NewFileSet(), path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(f, []*Analyzer{UnstableSort})
+	fixed, n := ApplyFixes(src, diags)
+	if n != 1 {
+		t.Fatalf("applied %d fixes, want 1 (diags: %v)", n, diags)
+	}
+	golden, err := os.ReadFile(path + ".golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fixed) != string(golden) {
+		t.Errorf("fixed output does not match golden\n--- got ---\n%s\n--- want ---\n%s", fixed, golden)
+	}
+
+	f2, err := ParseFile(token.NewFileSet(), path, fixed)
+	if err != nil {
+		t.Fatalf("fixed source does not parse: %v", err)
+	}
+	for _, d := range Run(f2, []*Analyzer{UnstableSort}) {
+		if len(d.Fixes) > 0 {
+			t.Errorf("second pass still offers a fix: %v", d)
+		}
+	}
+}
+
+// TestSpanEndFixGolden checks the defer-insertion rewrite, including
+// indentation of the inserted statement, and idempotence by reloading
+// the fixed package from a temp dir.
+func TestSpanEndFixGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "fix", "spanfix")
+	pkg, err := NewLoader(dir).LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPkg(pkg, []*Analyzer{SpanEnd})
+	src, err := os.ReadFile(filepath.Join(dir, "input.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, n := ApplyFixes(src, diags)
+	if n != 2 {
+		t.Fatalf("applied %d fixes, want 2 (diags: %v)", n, diags)
+	}
+	golden, err := os.ReadFile(filepath.Join(dir, "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fixed) != string(golden) {
+		t.Errorf("fixed output does not match golden\n--- got ---\n%s\n--- want ---\n%s", fixed, golden)
+	}
+
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "input.go"), fixed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := NewLoader(tmp).LoadDir(tmp)
+	if err != nil {
+		t.Fatalf("fixed source does not load: %v", err)
+	}
+	if len(pkg2.TypeErrors) != 0 {
+		t.Errorf("fixed source has type errors (the defer should have repaired the unused vars): %v", pkg2.TypeErrors)
+	}
+	if again := RunPkg(pkg2, []*Analyzer{SpanEnd}); len(again) != 0 {
+		t.Errorf("second pass still reports: %v", again)
+	}
+}
+
+// TestApplyFixesSkipsInvalid pins the safety behaviour: out-of-range
+// and overlapping edits are dropped, not guessed at.
+func TestApplyFixesSkipsInvalid(t *testing.T) {
+	src := []byte("0123456789")
+	diags := []Diagnostic{
+		{Fixes: []Fix{{Start: 3, End: 5, Text: "XX"}}},
+		{Fixes: []Fix{{Start: 2, End: 4, Text: "AB"}}},  // overlaps; back-to-front application keeps {3,5}
+		{Fixes: []Fix{{Start: 8, End: 20, Text: "no"}}}, // out of range
+		{Fixes: []Fix{{Start: -1, End: 0, Text: "no"}}}, // out of range
+		{Fixes: []Fix{{Start: 6, End: 6, Text: "+"}}},   // insertion, fine
+	}
+	out, n := ApplyFixes(src, diags)
+	if n != 2 {
+		t.Fatalf("applied %d fixes, want 2", n)
+	}
+	if got, want := string(out), "012XX5+6789"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestLineIndent pins the indentation helper the defer insertion
+// depends on.
+func TestLineIndent(t *testing.T) {
+	src := []byte("a\n\tb\n\t\tc\n    d\n")
+	cases := []struct {
+		off  int
+		want string
+	}{
+		{0, ""},
+		{3, "\t"},
+		{7, "\t\t"},
+		{13, "    "},
+	}
+	for _, c := range cases {
+		if got := lineIndent(src, c.off); got != c.want {
+			t.Errorf("lineIndent(%d) = %q, want %q", c.off, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveText throws arbitrary comment text at the suppression
+// directive parser: it must never panic, must only accept line comments
+// that really carry the lint:ignore prefix, and the downstream
+// field-splitting of whatever it accepts must stay total.
+func FuzzDirectiveText(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore mapiter reason",
+		"//lint:ignore mapiter,walltime two analyzers",
+		"//lint:ignore * everything",
+		"//lint:ignore",
+		"//lint:ignore    ",
+		"// lint:ignore spaced out",
+		"//lint:ignored not the directive",
+		"/*lint:ignore block comment*/",
+		"//",
+		"",
+		"//lint:ignore \x00\xff binary",
+		"//lint:ignore a,,b,, empty names",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		text, ok := directiveText(comment)
+		if !ok {
+			return
+		}
+		if !strings.HasPrefix(comment, "//") {
+			t.Fatalf("accepted a non-line-comment: %q", comment)
+		}
+		// The accepted text must survive the same processing
+		// suppressions() applies without panicking.
+		fields := strings.Fields(text)
+		if len(fields) >= 1 {
+			for _, n := range strings.Split(fields[0], ",") {
+				_ = n
+			}
+		}
+	})
+}
+
+// FuzzSplitQuoted exercises the want-pattern splitter the fixture
+// harness uses: arbitrary input must produce either patterns or an
+// error, never a panic.
+func FuzzSplitQuoted(f *testing.F) {
+	for _, seed := range []string{
+		`"a"`,
+		`"a" "b c"`,
+		`"unterminated`,
+		`"esc\"aped"`,
+		`no quotes`,
+		`""`,
+		"\"\\",
+		`"a"x"b"`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := splitQuoted(s)
+		if err == nil && strings.TrimSpace(s) != "" && len(out) == 0 {
+			t.Fatalf("non-empty input %q produced no patterns and no error", s)
+		}
+	})
+}
+
+// FuzzLoadDir feeds arbitrary bytes to the package loader as a source
+// file. Malformed source must come back as an error (or a package with
+// recorded type errors) — never a panic. This is the crash-hardening
+// net for running the suite on code that does not compile yet.
+func FuzzLoadDir(f *testing.F) {
+	for _, seed := range []string{
+		"package p\n",
+		"package p\n\nfunc f() {",
+		"package p\n\nimport \"nosuch/thing\"\n",
+		"package p\n\nvar x = undefined\n",
+		"not go at all",
+		"",
+		"package p\n//lint:ignore\nfunc f() {}\n",
+		"package p\n\nfunc f() { for k := range map[string]int{} { _ = k } }\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "fuzz.go"), []byte(src), 0o600); err != nil {
+			t.Skip()
+		}
+		pkg, err := NewLoader(dir).LoadDir(dir)
+		if err != nil {
+			return // parse failures are the documented error path
+		}
+		// A loaded package must be analyzable without panics, type
+		// errors or not.
+		_ = RunPkg(pkg, All())
+	})
+}

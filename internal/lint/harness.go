@@ -52,6 +52,57 @@ func RunTestdata(t TB, dir string, analyzers []*Analyzer) {
 	}
 }
 
+// RunTestdataPackage is RunTestdata for type-aware analyzers: it loads
+// dir as one type-checked package (module imports resolved, type errors
+// tolerated) and runs the analyzers in package mode via RunPkg, then
+// checks the merged findings against every file's `// want` comments.
+func RunTestdataPackage(t TB, dir string, analyzers []*Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("lint harness: %v", err)
+	}
+	pkg, err := NewLoader(abs).LoadDir(abs)
+	if err != nil {
+		t.Fatalf("lint harness: load %s: %v", dir, err)
+	}
+	if len(pkg.AllFiles()) == 0 {
+		t.Fatalf("lint harness: no .go fixtures in %s", dir)
+	}
+	wants := make(map[string][]expectation)
+	for _, f := range pkg.AllFiles() {
+		ws, err := parseWants(f)
+		if err != nil {
+			t.Fatalf("lint harness: %s: %v", f.Filename, err)
+		}
+		wants[f.Filename] = ws
+	}
+	for _, d := range RunPkg(pkg, analyzers) {
+		full := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		found := false
+		ws := wants[d.Pos.Filename]
+		for i := range ws {
+			w := &ws[i]
+			if w.matched || w.line != d.Pos.Line || !w.re.MatchString(full) {
+				continue
+			}
+			w.matched = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected finding: %s", d.Pos.Filename, d.Pos.Line, full)
+		}
+	}
+	for _, f := range pkg.AllFiles() {
+		for _, w := range wants[f.Filename] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", f.Filename, w.line, w.pattern)
+			}
+		}
+	}
+}
+
 // expectation is one parsed `// want` clause.
 type expectation struct {
 	line    int

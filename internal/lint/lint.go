@@ -6,17 +6,22 @@
 // unstable sorts with ambiguous comparators. The analyzers here turn
 // those conventions into machine-checked properties.
 //
-// The framework is deliberately small and zero-dependency: analyzers work
-// on a single parsed file (stdlib go/ast, go/parser, go/token only),
-// report Diagnostics, and can be silenced per-site with
+// The framework is deliberately small and zero-dependency (stdlib
+// go/ast, go/parser, go/token, go/types, go/importer only). Analyzers
+// come in two shapes: per-file checks that keep working on code that
+// does not compile yet, and package-level checks that see a whole
+// type-checked package at once — a Loader parses and type-checks each
+// package exactly once (load.go) and hands every analyzer the shared
+// *types.Info, so interprocedural properties like "this function's
+// return value is in map-iteration order" become checkable. Per-file
+// analyzers consult the same type information when a file was loaded as
+// part of a package and fall back to their documented syntactic
+// heuristics when it was not. Findings are silenced per-site with
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // placed on the flagged line or on the line directly above it. The
 // reason is mandatory; a suppression without one is itself a finding.
-// Analyzers are purely syntactic — no go/types, no build context — which
-// keeps them fast and usable on files that do not compile yet, at the
-// cost of a documented heuristic scope (see the analyzer docs).
 package lint
 
 import (
@@ -24,6 +29,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -33,6 +39,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fixes holds machine-applicable rewrites for the finding, empty
+	// when the fix needs human judgment. tracelint -fix applies them.
+	Fixes []Fix
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -45,6 +54,11 @@ type File struct {
 	Fset     *token.FileSet
 	AST      *ast.File
 	Filename string
+	// Pkg points back to the type-checked package the file was loaded
+	// into, or nil when the file was parsed stand-alone (ParseFile).
+	// Analyzers consult it for optional type information and must keep
+	// working — at their documented syntactic scope — when it is nil.
+	Pkg *Package
 }
 
 // Position resolves a token position within the file.
@@ -53,6 +67,21 @@ func (f *File) Position(p token.Pos) token.Position { return f.Fset.Position(p) 
 // Diag constructs a diagnostic for the analyzer at the given position.
 func (f *File) Diag(name string, p token.Pos, format string, args ...interface{}) Diagnostic {
 	return Diagnostic{Pos: f.Position(p), Analyzer: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// IsPkgIdent reports whether id refers to the package imported under
+// the given path. With type information (file loaded as part of a
+// package) the identifier is resolved through the type checker, which
+// removes the syntactic mode's one documented false-positive class — a
+// local variable shadowing the import name. Without type information it
+// falls back to comparing against syntacticName (the name ImportName
+// resolved), preserving the old behaviour on stand-alone files.
+func (f *File) IsPkgIdent(id *ast.Ident, path, syntacticName string) bool {
+	if obj := f.Pkg.ObjectOf(id); obj != nil {
+		pn, ok := obj.(*types.PkgName)
+		return ok && pn.Imported().Path() == path
+	}
+	return syntacticName != "" && id.Name == syntacticName
 }
 
 // ImportName returns the identifier the file uses for the import of the
@@ -76,19 +105,27 @@ func (f *File) ImportName(path string) string {
 	return ""
 }
 
-// Analyzer is one named check over a single file.
+// Analyzer is one named check. Per-file analyzers set Run and work on
+// one file at a time (with optional type info through File.Pkg);
+// package-level analyzers set RunPackage and see a whole type-checked
+// package at once — the scope interprocedural checks like detertaint
+// need. Exactly one of the two must be set.
 type Analyzer struct {
 	// Name is the identifier used in diagnostics and suppressions.
 	Name string
 	// Doc is a one-line description for -help style listings.
 	Doc string
-	// Run reports the analyzer's findings for the file.
+	// Run reports the analyzer's findings for one file.
 	Run func(f *File) []Diagnostic
+	// RunPackage reports the analyzer's findings for a loaded package.
+	// Package analyzers require type information and are skipped in
+	// single-file (syntactic) mode.
+	RunPackage func(p *Package) []Diagnostic
 }
 
 // All returns the full analyzer suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, WallTime, UnstableSort}
+	return []*Analyzer{MapIter, WallTime, UnstableSort, DeterTaint, CopyLock, SpanEnd, ErrDrop}
 }
 
 // ParseFile parses one source file (src may be nil to read filename from
@@ -102,16 +139,52 @@ func ParseFile(fset *token.FileSet, filename string, src interface{}) (*File, er
 	return &File{Fset: fset, AST: astf, Filename: filename}, nil
 }
 
-// Run executes the analyzers over the file, drops suppressed findings,
-// adds findings for malformed suppression comments, and returns the
-// result in deterministic order.
+// Run executes the per-file analyzers over the file, drops suppressed
+// findings, adds findings for malformed suppression comments, and
+// returns the result in deterministic order. Package-level analyzers
+// are skipped: they need a loaded package (use RunPkg).
 func Run(f *File, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		diags = append(diags, a.Run(f)...)
+		if a.Run != nil {
+			diags = append(diags, a.Run(f)...)
+		}
 	}
 	sups, malformed := suppressions(f)
 	diags = append(diags, malformed...)
+	out := diags[:0]
+	for _, d := range diags {
+		if !sups.covers(d) {
+			out = append(out, d)
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// RunPkg executes the full suite — per-file analyzers over every file,
+// package-level analyzers over the package — with suppressions gathered
+// from all files, and returns the findings in deterministic order.
+func RunPkg(p *Package, analyzers []*Analyzer) []Diagnostic {
+	var (
+		diags []Diagnostic
+		sups  suppressionSet
+	)
+	for _, a := range analyzers {
+		switch {
+		case a.RunPackage != nil:
+			diags = append(diags, a.RunPackage(p)...)
+		case a.Run != nil:
+			for _, f := range p.AllFiles() {
+				diags = append(diags, a.Run(f)...)
+			}
+		}
+	}
+	for _, f := range p.AllFiles() {
+		fileSups, malformed := suppressions(f)
+		sups = append(sups, fileSups...)
+		diags = append(diags, malformed...)
+	}
 	out := diags[:0]
 	for _, d := range diags {
 		if !sups.covers(d) {

@@ -23,6 +23,24 @@ func TestUnstableSortTestdata(t *testing.T) {
 	RunTestdata(t, filepath.Join("testdata", "unstablesort"), []*Analyzer{UnstableSort})
 }
 
+// The type-aware analyzers load their fixture directories as real
+// packages: imports resolved, types checked, cross-file taint visible.
+func TestErrDropTestdata(t *testing.T) {
+	RunTestdataPackage(t, filepath.Join("testdata", "errdrop"), []*Analyzer{ErrDrop})
+}
+
+func TestCopyLockTestdata(t *testing.T) {
+	RunTestdataPackage(t, filepath.Join("testdata", "copylock"), []*Analyzer{CopyLock})
+}
+
+func TestSpanEndTestdata(t *testing.T) {
+	RunTestdataPackage(t, filepath.Join("testdata", "spanend"), []*Analyzer{SpanEnd})
+}
+
+func TestDeterTaintTestdata(t *testing.T) {
+	RunTestdataPackage(t, filepath.Join("testdata", "detertaint"), []*Analyzer{DeterTaint})
+}
+
 // parse is a helper wrapping ParseFile for inline sources.
 func parse(t *testing.T, filename, src string) *File {
 	t.Helper()
@@ -220,7 +238,11 @@ func TestFilesInSkipsTestdataAndTests(t *testing.T) {
 
 // TestRepoIsLintClean runs the full suite over the module's non-test
 // sources — the same set `make lint` gates — so `go test` alone already
-// enforces the determinism contract on the tree.
+// enforces the determinism contract on the tree. Packages under
+// internal/ are loaded whole and type-checked, exactly as the CLI does,
+// so the type-aware analyzers (errdrop, copylock, spanend, detertaint)
+// run armed; everything else is checked per file at the syntactic
+// scope.
 func TestRepoIsLintClean(t *testing.T) {
 	root := filepath.Join("..", "..")
 	files, err := FilesIn(root, false)
@@ -230,8 +252,43 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(files) < 20 {
 		t.Fatalf("suspiciously few files under module root: %d", len(files))
 	}
-	fset := token.NewFileSet()
+	var (
+		typedDirs []string
+		seenDir   = map[string]bool{}
+		plain     []string
+	)
 	for _, path := range files {
+		dir := filepath.Dir(path)
+		if strings.Contains(filepath.ToSlash(dir), "/internal/") || filepath.Base(dir) == "internal" {
+			if !seenDir[dir] {
+				seenDir[dir] = true
+				typedDirs = append(typedDirs, dir)
+			}
+			continue
+		}
+		plain = append(plain, path)
+	}
+	if len(typedDirs) < 10 {
+		t.Fatalf("suspiciously few internal/ packages: %d", len(typedDirs))
+	}
+
+	loader := NewLoader(root)
+	for _, dir := range typedDirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Errorf("load %s: %v", dir, err)
+			continue
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s: type errors weaken the typed analyzers: %v", dir, pkg.TypeErrors[0])
+		}
+		for _, d := range RunPkg(pkg, All()) {
+			t.Errorf("%s", d)
+		}
+	}
+
+	fset := token.NewFileSet()
+	for _, path := range plain {
 		f, err := ParseFile(fset, path, nil)
 		if err != nil {
 			t.Errorf("parse %s: %v", path, err)

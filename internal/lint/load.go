@@ -1,0 +1,319 @@
+// load.go promotes the suite from per-file syntax checking to
+// package-level, type-aware analysis. A Loader parses and type-checks
+// one directory at a time with the stdlib toolchain only (go/parser,
+// go/types, go/importer — no third-party dependency): imports of the
+// surrounding module are resolved by loading the imported directory
+// recursively through the same loader, and everything else (the
+// standard library) is compiled from $GOROOT/src by go/importer's
+// "source" mode. Loaded packages are cached, so a whole-tree run
+// type-checks each package exactly once and hands every analyzer the
+// same shared *types.Info.
+//
+// Type-checking is best-effort by design: the suite must stay usable on
+// code that does not compile yet. Parse errors fail the load (the CLI
+// exits 2, exactly as before), but type errors are collected on
+// Package.TypeErrors and the partially filled types.Info is used as far
+// as it goes — analyzers treat "no type known" as "stay silent" (never
+// flag what cannot be read) and the purely syntactic checks run
+// regardless.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and (best-effort) type-checked package, the
+// unit package-level analyzers consume.
+type Package struct {
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Path is the package's import path when the directory is inside a
+	// module ("tracescope/internal/engine"), else the directory itself.
+	Path string
+	// Name is the package name from the source files.
+	Name string
+	// Fset positions every file in the package (shared with the Loader).
+	Fset *token.FileSet
+	// Files are the type-checked source files (never _test.go).
+	Files []*File
+	// TestFiles are _test.go files of the same package, parsed but not
+	// type-checked (analyzers fall back to their syntactic paths there).
+	// Populated only when the Loader has Tests set.
+	TestFiles []*File
+	// Types is the type-checked package object; nil when type-checking
+	// could not even start (for example an unresolvable import).
+	Types *types.Package
+	// Info holds the type-checker's facts for Files. Always non-nil,
+	// but sparsely filled when TypeErrors is non-empty.
+	Info *types.Info
+	// TypeErrors are the problems the type checker reported. They do
+	// not fail the load: analyzers degrade to their syntactic scope.
+	TypeErrors []error
+}
+
+// AllFiles returns the package's files, type-checked ones first, in a
+// deterministic order.
+func (p *Package) AllFiles() []*File {
+	out := make([]*File, 0, len(p.Files)+len(p.TestFiles))
+	out = append(out, p.Files...)
+	out = append(out, p.TestFiles...)
+	return out
+}
+
+// TypeOf returns the static type of e, or nil when the package has no
+// type fact for it (type-check failed, or e is in a test file). Every
+// type-aware analyzer goes through this so "unknown" uniformly means
+// "stay silent".
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if p == nil || p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its types.Object, or nil.
+func (p *Package) ObjectOf(id *ast.Ident) types.Object {
+	if p == nil || p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// Loader parses and type-checks package directories, caching results so
+// shared dependencies are checked once per run.
+type Loader struct {
+	// Fset receives every parsed file's positions.
+	Fset *token.FileSet
+	// Tests includes _test.go files in Package.TestFiles (parsed, not
+	// type-checked).
+	Tests bool
+
+	moduleRoot string // directory holding go.mod; "" when not found
+	modulePath string // module path from go.mod; "" when not found
+
+	std   types.Importer      // $GOROOT/src source importer for non-module paths
+	cache map[string]*Package // by cleaned absolute dir
+	stack map[string]bool     // dirs currently loading, for cycle detection
+}
+
+// NewLoader returns a loader rooted at the module containing dir (the
+// nearest go.mod above it). Outside a module, intra-module import
+// resolution is disabled and only the standard library resolves.
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*Package),
+		stack: make(map[string]bool),
+	}
+	l.moduleRoot, l.modulePath = findModule(dir)
+	return l
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, path string) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}
+
+// importPath maps dir to its import path within the module, or "" when
+// the dir is outside the module.
+func (l *Loader) importPath(dir string) string {
+	if l.moduleRoot == "" || l.modulePath == "" {
+		return ""
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// dirOf maps a module-internal import path back to its directory, and
+// reports whether the path is module-internal at all.
+func (l *Loader) dirOf(importPath string) (string, bool) {
+	if l.moduleRoot == "" || l.modulePath == "" {
+		return "", false
+	}
+	if importPath == l.modulePath {
+		return l.moduleRoot, true
+	}
+	rest, ok := strings.CutPrefix(importPath, l.modulePath+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), true
+}
+
+// Import implements types.Importer over the loader, so the type checker
+// resolves the surrounding module's packages through the same cache and
+// everything else through the $GOROOT/src source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirOf(path); ok {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: %s did not type-check", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir (non-recursive: the
+// .go files directly inside it). The result is cached; concurrent use
+// is not supported. Parse failures and empty directories return an
+// error; type-check failures do not (see Package.TypeErrors).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	key, err := filepath.Abs(dir)
+	if err != nil {
+		key = filepath.Clean(dir)
+	}
+	if p, ok := l.cache[key]; ok {
+		return p, nil
+	}
+	if l.stack[key] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.stack[key] = true
+	defer delete(l.stack, key)
+
+	names, err := sourceFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+
+	pkg := &Package{
+		Dir:  dir,
+		Path: l.importPath(dir),
+		Fset: l.Fset,
+		Info: newInfo(),
+	}
+	if pkg.Path == "" {
+		pkg.Path = dir
+	}
+
+	var astFiles []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := ParseFile(l.Fset, path, nil)
+		if err != nil {
+			return nil, err
+		}
+		f.Pkg = pkg
+		if strings.HasSuffix(name, "_test.go") {
+			// External test packages (package foo_test) belong to a
+			// different package entirely; analyzing them here would
+			// mis-scope suppressions, so they are skipped.
+			if l.Tests && !strings.HasSuffix(f.AST.Name.Name, "_test") {
+				pkg.TestFiles = append(pkg.TestFiles, f)
+			}
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+		astFiles = append(astFiles, f.AST)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test .go files in %s", dir)
+	}
+	pkg.Name = pkg.Files[0].AST.Name.Name
+	for _, f := range pkg.Files {
+		if f.AST.Name.Name != pkg.Name {
+			return nil, fmt.Errorf("lint: %s holds two packages, %s and %s",
+				dir, pkg.Name, f.AST.Name.Name)
+		}
+	}
+
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+		// Keep checking past errors: a sparse Info still serves the
+		// analyzers that can use it.
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, err := conf.Check(pkg.Path, l.Fset, astFiles, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+
+	l.cache[key] = pkg
+	return pkg, nil
+}
+
+// sourceFileNames lists the .go files directly in dir, filtered exactly
+// like FilesIn (no hidden or underscore-prefixed files), test files
+// included — LoadDir separates them.
+func sourceFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// newInfo allocates a fully mapped types.Info, so analyzers can consult
+// any fact class without nil checks on the maps themselves.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -9,15 +9,23 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // MapIter reports nondeterministic map-iteration patterns.
 //
-// The analyzer is syntactic: an expression counts as a map when it is an
-// identifier declared as a map in the same function or file (var decl,
-// make, composite literal, parameter), or a selector whose field is
-// declared with a map type anywhere in the file. Three loop bodies are
-// flagged:
+// With type information (file loaded as part of a package) an
+// expression counts as a map exactly when its static type is a map,
+// which removes both documented heuristic error classes of the
+// syntactic mode: a selector whose field shares its name with a map
+// field of an unrelated struct in the same file is no longer a false
+// positive, and maps the syntax cannot see — named map types, fields of
+// structs declared in other files, call results — are no longer missed.
+// Without type information the analyzer falls back to the original
+// heuristic: an identifier declared as a map in the same function or
+// file (var decl, make, composite literal, parameter), or a selector
+// whose field is declared with a map type anywhere in the file. Three
+// loop bodies are flagged:
 //
 //   - appending to a slice declared outside the loop, unless a sort.*
 //     call follows the loop in the same function (the collect-then-sort
@@ -72,6 +80,7 @@ func collectMapFields(astf *ast.File) map[string]bool {
 
 // funcScope is the per-function name environment the heuristics consult.
 type funcScope struct {
+	file      *File           // for optional type information
 	maps      map[string]bool // identifiers declared with a map type
 	floats    map[string]bool // identifiers declared with a float type
 	mapFields map[string]bool // file-level struct fields of map type
@@ -79,6 +88,7 @@ type funcScope struct {
 
 func mapIterFunc(f *File, fn *ast.FuncDecl, mapFields map[string]bool) []Diagnostic {
 	sc := &funcScope{
+		file:      f,
 		maps:      make(map[string]bool),
 		floats:    make(map[string]bool),
 		mapFields: mapFields,
@@ -216,9 +226,15 @@ func (sc *funcScope) classifyValue(id *ast.Ident, v ast.Expr) {
 	}
 }
 
-// isMapExpr reports whether the heuristics can tell the expression is a
-// map: a known local/param identifier or a map-typed struct field.
+// isMapExpr reports whether the expression is a map. The type checker
+// answers authoritatively when the file carries type information; the
+// syntactic fallback recognises known local/param identifiers and
+// map-typed struct fields.
 func (sc *funcScope) isMapExpr(x ast.Expr) bool {
+	if t := sc.file.Pkg.TypeOf(x); t != nil {
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
 	switch e := x.(type) {
 	case *ast.Ident:
 		return sc.maps[e.Name]
@@ -228,6 +244,17 @@ func (sc *funcScope) isMapExpr(x ast.Expr) bool {
 		return sc.isMapExpr(e.X)
 	}
 	return false
+}
+
+// isFloatExpr reports whether the expression is a float accumulator.
+// Typed when possible, name-environment fallback otherwise.
+func (sc *funcScope) isFloatExpr(x ast.Expr) bool {
+	if t := sc.file.Pkg.TypeOf(x); t != nil {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	id, ok := x.(*ast.Ident)
+	return ok && sc.floats[id.Name]
 }
 
 func isMapType(t ast.Expr) bool {
@@ -277,12 +304,10 @@ func inspectRangeBody(body *ast.BlockStmt, sc *funcScope) (appends, writes, floa
 				}
 			}
 			// sum += v on a known float.
-			if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 {
-				if id, ok := st.Lhs[0].(*ast.Ident); ok && sc.floats[id.Name] {
-					if !seenFloat[id.Name] {
-						seenFloat[id.Name] = true
-						floatAdds = append(floatAdds, id.Name)
-					}
+			if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 && sc.isFloatExpr(st.Lhs[0]) {
+				if name := exprName(st.Lhs[0]); name != "" && !seenFloat[name] {
+					seenFloat[name] = true
+					floatAdds = append(floatAdds, name)
 				}
 			}
 		case *ast.CallExpr:

@@ -1,0 +1,40 @@
+// Negative fixtures: sharing through pointers and interfaces, and
+// initialisation shapes that build a value instead of copying one.
+package copylock
+
+import "sync"
+
+func pointerParam(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func initialise() *guarded {
+	var g guarded  // zero value: initialisation, not a copy
+	h := guarded{} // composite literal: fresh value
+	p := &g        // address-of shares instead of copying
+	h.n = p.n
+	return p
+}
+
+func plainValues(n int, s string, xs []int) int {
+	m := n
+	return m + len(s) + len(xs)
+}
+
+func rangePointers(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+func waitGroupPointer(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

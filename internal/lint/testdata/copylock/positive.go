@@ -1,0 +1,55 @@
+// Positive fixtures: lock-bearing values copied by value. The guarded
+// struct embeds a sync.Mutex the way the obs recorders do.
+package copylock
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// nested carries a lock two levels down, through an array.
+type nested struct {
+	slots [2]guarded
+}
+
+func byValueParam(g guarded) { // want "parameter copies .*guarded"
+	_ = g
+}
+
+func byValueResult() (g guarded) { // want "result copies .*guarded"
+	return
+}
+
+func (g guarded) valueReceiver() int { // want "receiver copies .*guarded"
+	return g.n
+}
+
+func assignCopy(src *guarded) {
+	dst := *src // want "assignment copies .*guarded"
+	_ = dst
+}
+
+func fieldCopy(n *nested) {
+	first := n.slots[0] // want "assignment copies .*guarded"
+	_ = first
+}
+
+func rangeCopy(gs []guarded) {
+	for _, g := range gs { // want "range value copies .*guarded"
+		_ = g
+	}
+}
+
+func callCopy(src *guarded) {
+	take(*src) // want "call argument copies .*guarded"
+}
+
+func take(g guarded) { // want "parameter copies .*guarded"
+	_ = g
+}
+
+func takeWG(wg sync.WaitGroup) { // want "parameter copies sync.WaitGroup"
+	wg.Wait()
+}

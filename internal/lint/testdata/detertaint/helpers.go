@@ -1,0 +1,39 @@
+// Taint sources for the interprocedural fixtures: helpers in one file,
+// sinks in another, so the tests cover cross-file summaries.
+package detertaint
+
+import "sort"
+
+// keysOf returns the map's keys in iteration order — the taint source.
+func keysOf(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeysOf sorts before returning, so its result is clean.
+func sortedKeysOf(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// chained propagates the taint through an intermediate call — the
+// fixpoint must mark it tainted transitively.
+func chained(m map[string]int) []string {
+	return keysOf(m)
+}
+
+// lineOf concatenates in map order: tainted string.
+func lineOf(m map[string]int) string {
+	var line string
+	for k := range m {
+		line += k
+	}
+	return line
+}

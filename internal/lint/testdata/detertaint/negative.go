@@ -1,0 +1,41 @@
+// Negative fixtures: sorted data, taint that never reaches ordered
+// output, and helpers that sanitise internally.
+package detertaint
+
+import (
+	"bytes"
+	"sort"
+)
+
+// sortedBeforeSink: a sort between the tainted call and the sink
+// clears the taint.
+func sortedBeforeSink(m map[string]int, buf *bytes.Buffer) {
+	keys := keysOf(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+}
+
+// presortedHelper: the helper sorts internally, so its result was never
+// tainted.
+func presortedHelper(m map[string]int, buf *bytes.Buffer) {
+	keys := sortedKeysOf(m)
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+}
+
+// countOnly consumes tainted data without ordered output.
+func countOnly(m map[string]int) int {
+	keys := keysOf(m)
+	return len(keys)
+}
+
+// sortedCopy: the copy is sorted before the sink.
+func sortedCopy(m map[string]int, buf *bytes.Buffer) {
+	ks := keysOf(m)
+	aliased := ks
+	sort.Strings(aliased)
+	buf.WriteString(aliased[0])
+}

@@ -1,0 +1,46 @@
+// Positive fixtures: map-ordered data crossing a function boundary and
+// reaching ordered output without a sort.
+package detertaint
+
+import "bytes"
+
+// rangeToWriter ranges the helper's map-ordered keys while committing
+// bytes — the classic cross-function leak mapiter cannot see.
+func rangeToWriter(m map[string]int, buf *bytes.Buffer) {
+	keys := keysOf(m)
+	for _, k := range keys { // want "keys is in map-iteration order"
+		buf.WriteString(k)
+	}
+}
+
+// directToWriter hands a tainted string straight to a writer.
+func directToWriter(m map[string]int, buf *bytes.Buffer) {
+	joined := lineOf(m)
+	buf.WriteString(joined) // want "joined is in map-iteration order"
+}
+
+// throughChain picks up taint two calls deep.
+func throughChain(m map[string]int, buf *bytes.Buffer) {
+	ks := chained(m)
+	for _, k := range ks { // want "ks is in map-iteration order"
+		buf.WriteString(k)
+	}
+}
+
+type result struct {
+	names []string
+}
+
+// assembleResult appends tainted data into a result field — ordered
+// output by assembly rather than by write.
+func assembleResult(m map[string]int, r *result) {
+	ks := keysOf(m)
+	r.names = append(r.names, ks...) // want "ks is in map-iteration order"
+}
+
+// copyStillTainted: taint survives a local copy.
+func copyStillTainted(m map[string]int, buf *bytes.Buffer) {
+	ks := keysOf(m)
+	aliased := ks
+	buf.WriteString(aliased[0]) // want "aliased is in map-iteration order"
+}

@@ -1,0 +1,57 @@
+// Negative fixtures: handled errors, error-free calls, and the
+// documented buffered/infallible-writer exemptions.
+package errdrop
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func closeHandled(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func closeJoined(path string) (err error) {
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		return ferr
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// bytes.Buffer and strings.Builder writes are documented infallible;
+// bufio.Writer latches its first error and re-reports it from Flush.
+func exemptWriters(buf *bytes.Buffer, sb *strings.Builder, bw *bufio.Writer) error {
+	buf.WriteString("a")
+	buf.WriteByte('b')
+	sb.WriteString("c")
+	bw.WriteString("d")
+	fmt.Fprintf(buf, "%d", 1)
+	fmt.Fprintln(bw, "x")
+	return bw.Flush()
+}
+
+func noErrorResult(buf *bytes.Buffer) int {
+	buf.Reset()
+	return buf.Len()
+}
+
+func suppressed(f *os.File) {
+	//lint:ignore errdrop read-only descriptor, close cannot lose data
+	f.Close()
+}

@@ -1,0 +1,37 @@
+// Positive fixtures: discarded errors the analyzer must flag. The
+// testdata/errdrop path is explicitly in the analyzer's scope so these
+// fixtures exercise the production code path.
+package errdrop
+
+import (
+	"bufio"
+	"os"
+)
+
+func closeDropped(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f.Close() // want "statement discards the error returned by f.Close"
+	return nil, nil
+}
+
+func closeDeferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer discards the error returned by f.Close"
+	return nil
+}
+
+func syncInGoroutine(f *os.File) {
+	go f.Sync() // want "go discards the error returned by f.Sync"
+}
+
+// Flush is where bufio's latched write error finally surfaces, so it is
+// never exempt even though per-write checks on the same writer are.
+func flushDropped(w *bufio.Writer) {
+	w.Flush() // want "statement discards the error returned by w.Flush"
+}

@@ -1,0 +1,23 @@
+// Fix fixture for unstablesort: the single-key comparator is rewritten
+// to sort.SliceStable; the tie-broken one is left alone.
+package fixme
+
+import "sort"
+
+type item struct {
+	key  string
+	rank int
+}
+
+func order(items []item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+}
+
+func keepTieBreak(items []item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].key != items[j].key {
+			return items[i].key < items[j].key
+		}
+		return items[i].rank < items[j].rank
+	})
+}

@@ -1,0 +1,23 @@
+// Fix fixture for spanend: spans that are never ended gain a
+// defer sp.End() right after the Start, at the surrounding indentation.
+// The unused span variables are type errors the loader tolerates — and
+// the inserted defer repairs them.
+package spanfix
+
+type span interface {
+	End()
+}
+
+type recorder struct{}
+
+func (recorder) Start(name string) span { return nil }
+
+func work(r recorder) {
+	sp := r.Start("work")
+}
+
+func nested(r recorder, ok bool) {
+	if ok {
+		sp := r.Start("nested")
+	}
+}

@@ -1,0 +1,16 @@
+// The span seam under test: an interface with End(), shaped like
+// obs.Span, and a recorder whose Start returns it. Self-contained so the
+// fixture package type-checks without importing the module.
+package spanend
+
+type span interface {
+	End()
+}
+
+type recorder struct{}
+
+func (recorder) Start(name string) span { return noop{} }
+
+type noop struct{}
+
+func (noop) End() {}

@@ -1,0 +1,54 @@
+// Negative fixtures: the sanctioned shapes — defer, provable explicit
+// End on all paths, and escapes that transfer the obligation.
+package spanend
+
+import "errors"
+
+func deferred(r recorder) {
+	sp := r.Start("work")
+	defer sp.End()
+}
+
+func straightLine(r recorder) {
+	sp := r.Start("work")
+	sp.End()
+}
+
+func endThenReturn(r recorder, fail bool) error {
+	sp := r.Start("work")
+	if fail {
+		sp.End()
+		return errors.New("bail")
+	}
+	sp.End()
+	return nil
+}
+
+func bothBranches(r recorder, ok bool) {
+	sp := r.Start("branch")
+	if ok {
+		sp.End()
+	} else {
+		sp.End()
+	}
+}
+
+// returned transfers the obligation to the caller.
+func returned(r recorder) span {
+	sp := r.Start("escape")
+	return sp
+}
+
+// handedOff transfers the obligation to the callee.
+func handedOff(r recorder) {
+	sp := r.Start("handoff")
+	finish(sp)
+}
+
+func finish(sp span) { sp.End() }
+
+// closureUse counts as an escape: the closure owns the End now.
+func closureUse(r recorder) func() {
+	sp := r.Start("closure")
+	return func() { sp.End() }
+}

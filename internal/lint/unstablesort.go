@@ -45,7 +45,9 @@ func runUnstableSort(f *File) []Diagnostic {
 		if !ok || sel.Sel.Name != "Slice" {
 			return true
 		}
-		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != sortName {
+		// With type information the receiver must resolve to package
+		// sort itself — a value shadowing the import name stays silent.
+		if pkg, ok := sel.X.(*ast.Ident); !ok || !f.IsPkgIdent(pkg, "sort", sortName) {
 			return true
 		}
 		cmp, ok := call.Args[1].(*ast.FuncLit)
@@ -53,8 +55,17 @@ func runUnstableSort(f *File) []Diagnostic {
 			return true
 		}
 		if key, found := singleKeyComparator(cmp); found {
-			diags = append(diags, f.Diag(unstablesortName, call.Pos(),
-				"sort.Slice comparator orders by the single key %s; equal keys land in nondeterministic order — use sort.SliceStable or add a tie-break", key))
+			d := f.Diag(unstablesortName, call.Pos(),
+				"sort.Slice comparator orders by the single key %s; equal keys land in nondeterministic order — use sort.SliceStable or add a tie-break", key)
+			// Swapping in the stable sort never changes a correct
+			// program and removes the tie nondeterminism, so it is a
+			// safe -fix rewrite.
+			d.Fixes = []Fix{{
+				Start: f.Position(sel.Sel.Pos()).Offset,
+				End:   f.Position(sel.Sel.End()).Offset,
+				Text:  "SliceStable",
+			}}
+			diags = append(diags, d)
 		}
 		return true
 	})

@@ -22,7 +22,9 @@ import (
 // wraps) and everything in _test.go files and outside internal/ — the
 // cmd/ benchmarks legitimately measure wall time. Renamed imports are
 // resolved; a local package named "rand" that is not math/rand is not
-// flagged.
+// flagged. With type information the receiver identifier is resolved
+// through the type checker, so a local variable shadowing the import
+// name no longer false-positives.
 const walltimeName = "walltime"
 
 var WallTime = &Analyzer{
@@ -70,12 +72,15 @@ func runWallTime(f *File) []Diagnostic {
 		if !ok {
 			return true
 		}
+		// With type information the identifier must resolve to the
+		// actual package import — a local variable that happens to be
+		// named "time" or "rand" no longer false-positives.
 		switch {
-		case timeName != "" && pkg.Name == timeName && wallClockFuncs[sel.Sel.Name]:
+		case f.IsPkgIdent(pkg, "time", timeName) && wallClockFuncs[sel.Sel.Name]:
 			diags = append(diags, f.Diag(walltimeName, call.Pos(),
 				"%s.%s reads the wall clock; analysis code runs on simulated trace.Time — inject a clock if one is really needed",
 				pkg.Name, sel.Sel.Name))
-		case randName != "" && pkg.Name == randName && globalRandFuncs[sel.Sel.Name]:
+		case f.IsPkgIdent(pkg, "math/rand", randName) && globalRandFuncs[sel.Sel.Name]:
 			diags = append(diags, f.Diag(walltimeName, call.Pos(),
 				"%s.%s uses the global math/rand generator; use an explicitly seeded stats.Rand so runs are reproducible",
 				pkg.Name, sel.Sel.Name))

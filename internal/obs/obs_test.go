@@ -166,7 +166,7 @@ func TestProgressPrinterThrottles(t *testing.T) {
 	now += 10_000_000
 	p.Progress("phase", 2, 10) // 10ms later: throttled
 	now += 2_000_000_000
-	p.Progress("phase", 5, 10) // 2s later: prints
+	p.Progress("phase", 5, 10)  // 2s later: prints
 	p.Progress("phase", 10, 10) // final: always prints
 	p.Progress("phase", 10, 10) // after final: suppressed
 

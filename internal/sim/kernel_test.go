@@ -312,7 +312,7 @@ func TestWorkerPoolSaturationQueues(t *testing.T) {
 	// One worker serves three 10ms items FIFO: completions at 10/20/30ms.
 	want := []trace.Time{trace.Time(10 * ms), trace.Time(20 * ms), trace.Time(30 * ms)}
 	got := append([]trace.Time{}, ends...)
-	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.SliceStable(got, func(i, j int) bool { return got[i] < got[j] })
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("completion %d = %v, want %v", i, trace.Duration(got[i]), trace.Duration(want[i]))

@@ -173,7 +173,11 @@ func ReadDir(dir string) (*Corpus, error) {
 			return nil, err
 		}
 		s, err := ReadBinary(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			// A close error on a fully decoded stream still means the
+			// underlying read may have been short; surface it.
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading %s: %w", m.File, err)
 		}
