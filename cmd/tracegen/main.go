@@ -1,30 +1,48 @@
 // Command tracegen generates a corpus of simulated ETW-shaped trace
-// streams and writes it to a directory in the tracescope binary format.
+// streams and either writes it to a directory in the tracescope binary
+// format or trickles it into a running tracescoped daemon, simulating
+// a fleet of machines reporting in.
 //
 // Usage:
 //
 //	tracegen -out DIR [-seed N] [-streams N] [-episodes N] [-storm P]
+//	tracegen -stream URL [-order N] [-delay D] [generation flags]
+//
+// With -stream, each generated stream is POSTed to URL/ingest one at a
+// time. -order shuffles the arrival order with the given seed (0 keeps
+// generation order) — the daemon's results are identical either way,
+// which is exactly what the shuffle is for exercising.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"tracescope"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "", "output directory (required)")
+		out      = flag.String("out", "", "output directory")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		streams  = flag.Int("streams", 120, "number of trace streams (machines)")
 		episodes = flag.Int("episodes", 18, "episodes per stream")
 		storm    = flag.Float64("storm", 0.35, "contention-storm probability per episode")
+		stream   = flag.String("stream", "", "feed the corpus to a tracescoped base URL (e.g. http://127.0.0.1:8754)")
+		order    = flag.Int64("order", 0, "arrival-order shuffle seed for -stream (0 = generation order)")
+		delay    = flag.Duration("delay", 0, "pause between -stream uploads")
 	)
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
+	if *out == "" && *stream == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: one of -out or -stream is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -35,14 +53,73 @@ func main() {
 		Episodes:  *episodes,
 		StormProb: *storm,
 	})
-	if err := tracescope.WriteCorpusDir(corpus, *out); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+
+	if *out != "" {
+		if err := tracescope.WriteCorpusDir(corpus, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d streams (%d instances, %d events, %v recorded) to %s\n",
+			corpus.NumStreams(), corpus.NumInstances(), corpus.NumEvents(),
+			corpus.TotalDuration(), *out)
+		for _, sc := range corpus.Scenarios() {
+			fmt.Printf("  %-22s %6d instances\n", sc.Name, sc.Instances)
+		}
 	}
-	fmt.Printf("wrote %d streams (%d instances, %d events, %v recorded) to %s\n",
-		corpus.NumStreams(), corpus.NumInstances(), corpus.NumEvents(),
-		corpus.TotalDuration(), *out)
-	for _, sc := range corpus.Scenarios() {
-		fmt.Printf("  %-22s %6d instances\n", sc.Name, sc.Instances)
+
+	if *stream != "" {
+		if err := feed(corpus, *stream, *order, *delay); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// feed POSTs each stream to the daemon's /ingest endpoint, one at a
+// time, optionally shuffled into a different arrival order.
+func feed(corpus *tracescope.Corpus, baseURL string, orderSeed int64, delay time.Duration) error {
+	idx := make([]int, len(corpus.Streams))
+	for i := range idx {
+		idx[i] = i
+	}
+	if orderSeed != 0 {
+		rand.New(rand.NewSource(orderSeed)).Shuffle(len(idx), func(i, j int) {
+			idx[i], idx[j] = idx[j], idx[i]
+		})
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/ingest"
+	client := &http.Client{Timeout: 60 * time.Second}
+	for n, si := range idx {
+		var buf bytes.Buffer
+		if err := corpus.Streams[si].WriteBinary(&buf); err != nil {
+			return fmt.Errorf("encoding stream %d: %w", si, err)
+		}
+		resp, err := client.Post(url, "application/octet-stream", &buf)
+		if err != nil {
+			return fmt.Errorf("uploading stream %d: %w", si, err)
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if cerr := resp.Body.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return fmt.Errorf("reading response for stream %d: %w", si, rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("uploading stream %d: %s: %s", si, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var ack struct {
+			Stream        int `json:"stream"`
+			CorpusStreams int `json:"corpus_streams"`
+		}
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return fmt.Errorf("decoding response for stream %d: %w", si, err)
+		}
+		fmt.Printf("fed stream %d/%d (generated #%d) as corpus stream %d; daemon holds %d\n",
+			n+1, len(idx), si, ack.Stream, ack.CorpusStreams)
+		if delay > 0 && n < len(idx)-1 {
+			time.Sleep(delay)
+		}
+	}
+	return nil
 }

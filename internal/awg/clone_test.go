@@ -1,0 +1,40 @@
+package awg
+
+import (
+	"testing"
+
+	"tracescope/internal/trace"
+)
+
+// TestCloneIsDeep: a clone renders identically, and mutating it (merging
+// more graphs in, reducing) leaves the original untouched — the property
+// long-lived incremental state relies on to answer repeated queries.
+func TestCloneIsDeep(t *testing.T) {
+	graphs := caseGraphs(t)
+	opts := Options{Reduce: false}
+	ag := NewAggregator(trace.AllDrivers(), opts)
+	for _, wg := range graphs {
+		ag.Add(wg)
+	}
+	original := ag.Partial()
+	before := renderAWG(t, original)
+
+	clone := original.Clone()
+	if got := renderAWG(t, clone); got != before {
+		t.Fatalf("clone renders differently:\n%s\n--- want ---\n%s", got, before)
+	}
+
+	// Mutate the clone two ways: fold more graphs in via a reducing
+	// aggregator, then finish (reduce) it.
+	final := NewAggregator(trace.AllDrivers(), DefaultOptions())
+	final.Merge(clone)
+	final.Add(graphs[0])
+	final.Finish()
+
+	if got := renderAWG(t, original); got != before {
+		t.Fatalf("mutating the clone changed the original:\n%s\n--- want ---\n%s", got, before)
+	}
+	if original.ReducedCost != 0 || original.KeptCost != 0 {
+		t.Fatalf("reduction leaked into the original: %v/%v", original.ReducedCost, original.KeptCost)
+	}
+}

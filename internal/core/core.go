@@ -249,10 +249,16 @@ type CausalityResult struct {
 // phase wraps one causality phase in a span and reports its completion
 // as a progress event, so CLIs see phases tick by live.
 func (a *Analyzer) phase(name string, fn func()) {
-	sp := a.rec.Start(name)
+	phaseRun(a.rec, name, fn)
+}
+
+// phaseRun is the recorder-explicit form of phase, shared with the
+// incremental path.
+func phaseRun(rec obs.Recorder, name string, fn func()) {
+	sp := rec.Start(name)
 	fn()
 	sp.End()
-	a.rec.Progress(name, 1, 1)
+	rec.Progress(name, 1, 1)
 }
 
 // Causality runs step two of the approach for one scenario. If any
@@ -304,22 +310,35 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 	slowAWG, slowImpact := a.aggregateClass("causality_aggregate_slow", slowRefs, cfg.Filter, awgOpts, true)
 	fastAWG, _ := a.aggregateClass("causality_aggregate_fast", fastRefs, cfg.Filter, awgOpts, false)
 
+	finishCausality(a.rec, cfg, res, slowAWG, fastAWG, slowImpact)
+	return res, a.imp.Err()
+}
+
+// finishCausality runs the mining phases (enumerate, select, lift, rank)
+// over the finished class AWGs and fills in the result's patterns and
+// aggregates. It is shared verbatim by the batch path above and the
+// incremental path (Incremental.Causality), which is what makes the two
+// bit-for-bit comparable: once the class AWGs are equal, everything
+// downstream is the same code.
+func finishCausality(rec obs.Recorder, cfg CausalityConfig, res *CausalityResult,
+	slowAWG, fastAWG *awg.Graph, slowImpact impact.Metrics) {
+
 	var slowMetas, fastMetas map[string]*mining.Meta
 	var segSlow, segFast int
-	a.phase("causality_enumerate", func() {
+	phaseRun(rec, "causality_enumerate", func() {
 		slowMetas, segSlow = mining.EnumerateMetas(slowAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
 		fastMetas, segFast = mining.EnumerateMetas(fastAWG, cfg.Mining.K, cfg.Mining.MaxSegments)
 	})
 	var contrasts []mining.Contrast
-	a.phase("causality_select", func() {
+	phaseRun(rec, "causality_select", func() {
 		contrasts = mining.DiscoverContrasts(slowMetas, fastMetas, cfg.Tfast, cfg.Tslow)
 	})
 	var patterns []mining.Pattern
-	a.phase("causality_lift", func() {
+	phaseRun(rec, "causality_lift", func() {
 		patterns = mining.DiscoverPatterns(slowAWG, contrasts)
 	})
 
-	rankSpan := a.rec.Start("causality_rank")
+	rankSpan := rec.Start("causality_rank")
 	res.SlowImpact = slowImpact
 	// The coverage denominator is the slow class's total driver time
 	// under the same full-path accounting as pattern costs, plus the
@@ -354,8 +373,7 @@ func (a *Analyzer) Causality(cfg CausalityConfig) (*CausalityResult, error) {
 	}
 	res.SlowAWG = slowAWG
 	rankSpan.End()
-	a.rec.Progress("causality_rank", 1, 1)
-	return res, a.imp.Err()
+	rec.Progress("causality_rank", 1, 1)
 }
 
 // classPartial is one shard's contribution to a contrast class: an

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/engine"
+	"tracescope/internal/impact"
+	"tracescope/internal/mining"
+	"tracescope/internal/obs"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// IncrementalConfig parameterises a resumable analysis. Unlike the batch
+// CausalityConfig, thresholds and the component filter are fixed up
+// front: every arriving instance is classified into its contrast class
+// as its stream is ingested, so they cannot change after the fact
+// without re-ingesting the corpus.
+type IncrementalConfig struct {
+	// Filter names the components under analysis. Nil means all drivers.
+	Filter *trace.ComponentFilter
+	// Thresholds returns the fast/slow developer thresholds for a
+	// scenario. ok=false means the scenario keeps impact metrics only
+	// (no contrast classes, no causality queries). The function must be
+	// pure: it is called from concurrent warm-up workers and its answer
+	// for a scenario must never change across calls.
+	Thresholds func(scenario string) (tfast, tslow trace.Duration, ok bool)
+	// MaxAWGDepth bounds aggregation depth; zero takes the awg default.
+	// Fixed at ingest time because the depth bound is applied as graphs
+	// are folded in.
+	MaxAWGDepth int
+	// DisableReduce turns off the non-optimizable reduction at query
+	// time (ablation only).
+	DisableReduce bool
+	// Workers bounds the IngestSource warm-up pool. Zero means
+	// GOMAXPROCS.
+	Workers int
+	// Recorder receives ingest/query observability events. Nil means
+	// no-op.
+	Recorder obs.Recorder
+}
+
+// scenarioState is the persistent per-scenario analysis state: the
+// running impact partial over every instance, plus — when thresholds are
+// known — the two contrast classes' unreduced AWG aggregations and the
+// slow class's impact partial.
+type scenarioState struct {
+	tfast, tslow trace.Duration
+	classed      bool // thresholds known: contrast classes maintained
+
+	instances int
+	fastCount int
+	slowCount int
+
+	impact     *impact.Partial // all instances
+	slowImpact *impact.Partial // slow class only
+	slow, fast *awg.Aggregator // unreduced forests
+}
+
+// Incremental is the resumable form of Analyzer: streams are folded in
+// one at a time with Ingest (or in parallel with IngestSource), and
+// Impact/Causality answer queries over everything ingested so far
+// without disturbing the state — queries clone the persistent forests
+// and reduce only the clones, so ingestion can continue afterwards.
+//
+// Determinism contract: after ingesting streams 1..N in any arrival
+// order, Impact and Causality results are bit-for-bit identical to a
+// batch Analyzer over the same N streams. Every accumulation the state
+// holds is commutative and associative — impact partials are sums plus
+// a distinct-set union, AWG forests merge by signature-keyed node union
+// with C/N sums and MaxC maximum — and the query tail (enumerate,
+// select, lift, rank) is the same code as the batch path.
+//
+// An Incremental is not safe for concurrent use; the tracescoped daemon
+// serializes ingestion and queries behind one lock. Ingest must see
+// each stream exactly once — feeding the same stream twice double
+// counts it.
+type Incremental struct {
+	cfg    IncrementalConfig
+	filter *trace.ComponentFilter
+	fc     *trace.FilterCache
+	rec    obs.Recorder
+
+	streams   int
+	events    int
+	instances int
+	totalDur  trace.Duration
+
+	global *impact.Partial // impact over every instance, any scenario
+	scen   map[string]*scenarioState
+}
+
+// NewIncremental prepares empty incremental analysis state.
+func NewIncremental(cfg IncrementalConfig) *Incremental {
+	if cfg.Filter == nil {
+		cfg.Filter = trace.AllDrivers()
+	}
+	return &Incremental{
+		cfg:    cfg,
+		filter: cfg.Filter,
+		fc:     trace.NewFilterCache(cfg.Filter),
+		rec:    obs.OrNop(cfg.Recorder),
+		global: impact.NewPartial(),
+		scen:   make(map[string]*scenarioState),
+	}
+}
+
+// NumStreams returns the number of streams ingested so far.
+func (inc *Incremental) NumStreams() int { return inc.streams }
+
+// NumEvents returns the total events across ingested streams.
+func (inc *Incremental) NumEvents() int { return inc.events }
+
+// NumInstances returns the total scenario instances ingested.
+func (inc *Incremental) NumInstances() int { return inc.instances }
+
+// TotalDuration sums the time spans of ingested streams.
+func (inc *Incremental) TotalDuration() trace.Duration { return inc.totalDur }
+
+// Scenarios returns the sorted scenario names seen so far with instance
+// counts.
+func (inc *Incremental) Scenarios() []trace.ScenarioCount {
+	names := make([]string, 0, len(inc.scen))
+	for name := range inc.scen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]trace.ScenarioCount, 0, len(names))
+	for _, name := range names {
+		out = append(out, trace.ScenarioCount{Name: name, Instances: inc.scen[name].instances})
+	}
+	return out
+}
+
+// state finds or creates the persistent state for one scenario, fixing
+// its thresholds on first sight.
+func (inc *Incremental) state(scenario string) *scenarioState {
+	sc, ok := inc.scen[scenario]
+	if !ok {
+		sc = &scenarioState{
+			impact: impact.NewPartial(),
+		}
+		if inc.cfg.Thresholds != nil {
+			tf, ts, classed := inc.cfg.Thresholds(scenario)
+			if classed && tf > 0 && ts > tf {
+				sc.tfast, sc.tslow, sc.classed = tf, ts, true
+				awgOpts := awg.Options{MaxDepth: inc.cfg.MaxAWGDepth, Reduce: false}
+				sc.slow = awg.NewAggregator(inc.filter, awgOpts)
+				sc.fast = awg.NewAggregator(inc.filter, awgOpts)
+				sc.slowImpact = impact.NewPartial()
+			}
+		}
+		inc.scen[scenario] = sc
+	}
+	return sc
+}
+
+// Ingest folds one stream into the analysis state: each instance's Wait
+// Graph is built once and feeds the global and per-scenario impact
+// partials plus — when the instance classifies fast or slow — its
+// contrast class's AWG aggregation. streamIndex is the stream's index
+// in the corpus (the value EventIDs embed); callers must feed each
+// stream exactly once, and indices must be unique.
+func (inc *Incremental) Ingest(streamIndex int, s *trace.Stream) {
+	sp := inc.rec.Start("ingest_stream")
+	defer sp.End()
+
+	b := waitgraph.NewBuilder(s, streamIndex, waitgraph.Options{})
+	for _, in := range s.Instances {
+		g := b.Instance(in)
+		inc.global.AddGraph(g, inc.fc)
+		sc := inc.state(in.Scenario)
+		sc.impact.AddGraph(g, inc.fc)
+		sc.instances++
+		if !sc.classed {
+			continue
+		}
+		switch d := in.Duration(); {
+		case d < sc.tfast:
+			sc.fast.Add(g)
+			sc.fastCount++
+		case d > sc.tslow:
+			sc.slow.Add(g)
+			sc.slowImpact.AddGraph(g, inc.fc)
+			sc.slowCount++
+		}
+	}
+
+	inc.streams++
+	inc.events += len(s.Events)
+	inc.instances += len(s.Instances)
+	inc.totalDur += s.Duration()
+	inc.rec.Add("core_streams_ingested_total", 1)
+	inc.rec.Add("core_instances_ingested_total", int64(len(s.Instances)))
+}
+
+// Merge folds another incremental state into this one. Both must have
+// been built with the same configuration (filter, thresholds, depth
+// bound); the receiver adopts the other's forests, and other must not
+// be used afterwards.
+func (inc *Incremental) Merge(other *Incremental) {
+	if other == nil {
+		return
+	}
+	inc.streams += other.streams
+	inc.events += other.events
+	inc.instances += other.instances
+	inc.totalDur += other.totalDur
+	inc.global.Merge(other.global)
+
+	// Sorted order for determinism of any recorder hooks below; the
+	// merges themselves are commutative.
+	names := make([]string, 0, len(other.scen))
+	for name := range other.scen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := other.scen[name]
+		sc := inc.state(name)
+		sc.instances += o.instances
+		sc.impact.Merge(o.impact)
+		if sc.classed && o.classed {
+			sc.fastCount += o.fastCount
+			sc.slowCount += o.slowCount
+			sc.slow.Merge(o.slow.Partial())
+			sc.fast.Merge(o.fast.Partial())
+			sc.slowImpact.Merge(o.slowImpact)
+		}
+	}
+}
+
+// IngestSource folds every not-yet-ingested stream of src — indices
+// [NumStreams(), src.NumStreams()) — into the state as a parallel
+// shard-and-merge: workers build independent partial states, merged in
+// stream order. Results are bit-for-bit identical at any worker count.
+// This is the warm-up path for a daemon starting over an existing
+// corpus; it assumes the state was fed streams 0..NumStreams()-1 of the
+// same corpus (or nothing).
+func (inc *Incremental) IngestSource(src trace.Source) error {
+	start := inc.streams
+	n := src.NumStreams() - start
+	if n <= 0 {
+		return nil
+	}
+	sp := inc.rec.Start("ingest_warmup")
+	defer sp.End()
+
+	cfg := inc.cfg
+	cfg.Recorder = nil // partials are merged; counters recorded once below
+	type part struct {
+		inc *Incremental
+		err error
+	}
+	eng := engine.Options{Workers: cfg.Workers, Recorder: inc.cfg.Recorder, Label: "ingest_warmup"}
+	merged := engine.MapMerge(n, eng, func(i int) part {
+		s, err := src.Stream(start + i)
+		if err != nil {
+			return part{err: fmt.Errorf("core: warm-up stream %d: %w", start+i, err)}
+		}
+		p := NewIncremental(cfg)
+		p.Ingest(start+i, s)
+		return part{inc: p}
+	}, func(acc, next part) part {
+		if acc.err == nil {
+			acc.err = next.err
+		}
+		if next.inc != nil {
+			if acc.inc == nil {
+				acc.inc = next.inc
+			} else {
+				acc.inc.Merge(next.inc)
+			}
+		}
+		return acc
+	})
+	if merged.err != nil {
+		return merged.err
+	}
+	inc.Merge(merged.inc)
+	inc.rec.Add("core_streams_ingested_total", int64(n))
+	return nil
+}
+
+// Impact returns the impact metrics over every ingested instance of the
+// named scenario ("" means every instance), identical to the batch
+// Analyzer.Impact over the same streams.
+func (inc *Incremental) Impact(scenario string) impact.Metrics {
+	sp := inc.rec.Start("impact_analysis")
+	defer sp.End()
+	if scenario == "" {
+		return inc.global.Metrics
+	}
+	sc, ok := inc.scen[scenario]
+	if !ok {
+		return impact.Metrics{}
+	}
+	return sc.impact.Metrics
+}
+
+// Causality answers a causality query over everything ingested so far,
+// using the thresholds fixed at ingest time. The persistent forests are
+// cloned and only the clones reduced, so the state remains valid for
+// further ingestion and queries. Results are bit-for-bit identical to
+// the batch Analyzer.Causality over the same streams.
+func (inc *Incremental) Causality(scenario string, params mining.Params) (*CausalityResult, error) {
+	sc, ok := inc.scen[scenario]
+	if !ok || sc.instances == 0 {
+		return nil, fmt.Errorf("core: no instances of scenario %q", scenario)
+	}
+	if !sc.classed {
+		return nil, fmt.Errorf("core: no thresholds configured for scenario %q; causality needs contrast classes fixed at ingest time", scenario)
+	}
+	cfg := CausalityConfig{
+		Scenario:      scenario,
+		Tfast:         sc.tfast,
+		Tslow:         sc.tslow,
+		Filter:        inc.filter,
+		Mining:        params,
+		DisableReduce: inc.cfg.DisableReduce,
+		MaxAWGDepth:   inc.cfg.MaxAWGDepth,
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	total := inc.rec.Start("causality_analysis")
+	defer total.End()
+
+	inc.rec.Add("causality_instances_total", int64(sc.instances))
+	inc.rec.Add("causality_fast_total", int64(sc.fastCount))
+	inc.rec.Add("causality_slow_total", int64(sc.slowCount))
+	res := &CausalityResult{
+		Scenario:  scenario,
+		Tfast:     cfg.Tfast,
+		Tslow:     cfg.Tslow,
+		Instances: sc.instances,
+		FastCount: sc.fastCount,
+		SlowCount: sc.slowCount,
+	}
+	if sc.slowCount == 0 {
+		return res, nil
+	}
+
+	awgOpts := awg.Options{MaxDepth: cfg.MaxAWGDepth, Reduce: !cfg.DisableReduce}
+	slowAWG := finishClone(sc.slow, inc.filter, awgOpts)
+	fastAWG := finishClone(sc.fast, inc.filter, awgOpts)
+	finishCausality(inc.rec, cfg, res, slowAWG, fastAWG, sc.slowImpact.Metrics)
+	return res, nil
+}
+
+// finishClone clones an unreduced persistent forest and finishes the
+// clone under the query options — the exact counterpart of the batch
+// path's final merge-then-reduce aggregator, leaving the persistent
+// forest untouched.
+func finishClone(ag *awg.Aggregator, filter *trace.ComponentFilter, opts awg.Options) *awg.Graph {
+	final := awg.NewAggregator(filter, opts)
+	final.Merge(ag.Partial().Clone())
+	return final.Finish()
+}

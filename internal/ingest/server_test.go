@@ -1,0 +1,287 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tracescope/internal/core"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+func testCorpus(t *testing.T) *trace.Corpus {
+	t.Helper()
+	return scenario.Generate(scenario.Config{Seed: 5, Streams: 10, Episodes: 6})
+}
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(Config{
+		Dir:        t.TempDir(),
+		Filter:     trace.AllDrivers(),
+		Thresholds: scenario.Thresholds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// post uploads one stream and returns the response code and body.
+func post(t *testing.T, s *Server, stream *trace.Stream) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := stream.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/ingest", &buf)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String()
+}
+
+// get fetches one query endpoint and returns the response code and body.
+func get(t *testing.T, s *Server, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String()
+}
+
+// mustGet fetches a URL that must answer 200.
+func mustGet(t *testing.T, s *Server, url string) string {
+	t.Helper()
+	code, body := get(t, s, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, code, body)
+	}
+	return body
+}
+
+// feedAll uploads the corpus streams in the given order.
+func feedAll(t *testing.T, s *Server, corpus *trace.Corpus, order []int) {
+	t.Helper()
+	for _, si := range order {
+		code, body := post(t, s, corpus.Streams[si])
+		if code != http.StatusOK {
+			t.Fatalf("ingest stream %d: %d: %s", si, code, body)
+		}
+	}
+}
+
+func identityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// queryEndpoints are the endpoints whose responses must be identical
+// across arrival orders once the same streams are in.
+func queryEndpoints(scen string) []string {
+	return []string{
+		"/healthz",
+		"/corpus",
+		"/scenarios",
+		"/impact",
+		"/impact?scenario=" + scen,
+		"/causality?scenario=" + scen,
+		"/causality?scenario=" + scen + "&top=3",
+		"/awg?scenario=" + scen + "&maxdepth=64",
+		"/awg?scenario=" + scen + "&format=dot",
+	}
+}
+
+// TestServerIngestAndQuery drives the full daemon surface over one
+// corpus: ingest responses, health totals, and every query endpoint,
+// checking the AWG render against the batch analyzer's.
+func TestServerIngestAndQuery(t *testing.T) {
+	corpus := testCorpus(t)
+	s := newTestServer(t)
+	feedAll(t, s, corpus, identityOrder(len(corpus.Streams)))
+
+	var health struct {
+		Status    string `json:"status"`
+		Streams   int    `json:"streams"`
+		Events    int    `json:"events"`
+		Instances int    `json:"instances"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, s, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Streams != corpus.NumStreams() ||
+		health.Events != corpus.NumEvents() || health.Instances != corpus.NumInstances() {
+		t.Fatalf("healthz mismatch: %+v", health)
+	}
+
+	var scens []struct {
+		Scenario  string `json:"scenario"`
+		Instances int    `json:"instances"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, s, "/scenarios")), &scens); err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != len(corpus.Scenarios()) {
+		t.Fatalf("scenarios: got %d, want %d", len(scens), len(corpus.Scenarios()))
+	}
+
+	scen := scenario.BrowserTabCreate
+	var caus struct {
+		Scenario string           `json:"scenario"`
+		Slow     int              `json:"slow"`
+		Patterns []map[string]any `json:"patterns"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, s, "/causality?scenario="+scen)), &caus); err != nil {
+		t.Fatal(err)
+	}
+	if caus.Scenario != scen || caus.Slow == 0 || len(caus.Patterns) == 0 {
+		t.Fatalf("causality answered no patterns: %+v", caus)
+	}
+
+	// The served AWG must be byte-identical to the batch analyzer's.
+	a := core.NewAnalyzer(corpus)
+	tf, ts, _ := scenario.Thresholds(scen)
+	res, err := a.Causality(core.CausalityConfig{Scenario: scen, Tfast: tf, Tslow: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.SlowAWG.WriteText(&want, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustGet(t, s, "/awg?scenario="+scen+"&maxdepth=64"); got != want.String() {
+		t.Fatalf("served AWG differs from batch render:\n%s\n--- want ---\n%s", got, want.String())
+	}
+
+	if code, body := get(t, s, "/causality"); code != http.StatusBadRequest {
+		t.Fatalf("causality without scenario: %d: %s", code, body)
+	}
+	if code, body := get(t, s, "/causality?scenario=NoSuch"); code != http.StatusNotFound {
+		t.Fatalf("causality for unknown scenario: %d: %s", code, body)
+	}
+	if code, body := get(t, s, "/ingest"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest: %d: %s", code, body)
+	}
+}
+
+// TestServerRejectsGarbage checks a malformed upload is rejected
+// without disturbing the corpus.
+func TestServerRejectsGarbage(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader("not a stream"))
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %d: %s", rr.Code, rr.Body.String())
+	}
+	var health struct {
+		Streams int `json:"streams"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, s, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Streams != 0 {
+		t.Fatalf("rejected upload grew the corpus to %d streams", health.Streams)
+	}
+}
+
+// TestServerArrivalOrderDeterminism is the daemon-level half of the
+// determinism contract: two servers fed the same streams in different
+// arrival orders serve byte-identical query responses — including the
+// /metrics registry, since the default recorder is clockless.
+func TestServerArrivalOrderDeterminism(t *testing.T) {
+	corpus := testCorpus(t)
+	n := len(corpus.Streams)
+	shuffled := rand.New(rand.NewSource(3)).Perm(n)
+
+	a, b := newTestServer(t), newTestServer(t)
+	feedAll(t, a, corpus, identityOrder(n))
+	feedAll(t, b, corpus, shuffled)
+
+	endpoints := append(queryEndpoints(scenario.BrowserTabCreate),
+		"/metrics", "/metrics.json")
+	for _, url := range endpoints {
+		ra := mustGet(t, a, url)
+		rb := mustGet(t, b, url)
+		if ra != rb {
+			t.Errorf("GET %s differs across arrival orders:\n%s\n--- other ---\n%s", url, ra, rb)
+		}
+	}
+}
+
+// TestServerWarmupEqualsStreaming: a daemon restarted over the corpus
+// it accumulated (warm-up path) serves the same query responses as the
+// daemon that ingested every stream over HTTP.
+func TestServerWarmupEqualsStreaming(t *testing.T) {
+	corpus := testCorpus(t)
+	dir := t.TempDir()
+	if err := corpus.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewServer(Config{Dir: dir, Filter: trace.AllDrivers(), Thresholds: scenario.Thresholds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := newTestServer(t)
+	feedAll(t, live, corpus, identityOrder(len(corpus.Streams)))
+
+	for _, url := range queryEndpoints(scenario.BrowserTabCreate) {
+		rw := mustGet(t, warm, url)
+		rl := mustGet(t, live, url)
+		if rw != rl {
+			t.Errorf("GET %s differs between warm-up and streaming:\n%s\n--- other ---\n%s", url, rw, rl)
+		}
+	}
+}
+
+// TestServerSync: streams landed on disk by another appender are
+// discovered by Sync without re-decoding what is already in.
+func TestServerSync(t *testing.T) {
+	corpus := testCorpus(t)
+	dir := t.TempDir()
+	s, err := NewServer(Config{Dir: dir, Filter: trace.AllDrivers(), Thresholds: scenario.Thresholds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, s, corpus, []int{0, 1})
+
+	app, err := trace.OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Append(corpus.Streams[2]); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Sync discovered %d streams, want 1", n)
+	}
+	var health struct {
+		Streams int `json:"streams"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, s, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Streams != 3 {
+		t.Fatalf("healthz reports %d streams after sync, want 3", health.Streams)
+	}
+	// The HTTP path must keep working after an external append: the
+	// appender re-syncs to the grown index.
+	feedAll(t, s, corpus, []int{3})
+	if err := json.Unmarshal([]byte(mustGet(t, s, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Streams != 4 {
+		t.Fatalf("healthz reports %d streams after post-sync ingest, want 4", health.Streams)
+	}
+}

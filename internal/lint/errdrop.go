@@ -15,7 +15,7 @@ import (
 
 // ErrDrop reports call statements that discard an error result in the
 // hot-path packages internal/engine, internal/impact, internal/trace,
-// and internal/core.
+// internal/core, and internal/ingest.
 //
 // Flagged: an expression statement, defer, or go statement whose call
 // returns an error (alone or among other results) that nothing
@@ -48,6 +48,7 @@ var ErrDrop = &Analyzer{
 // error means a silently wrong result rather than a cosmetic leak.
 var errdropPackages = map[string]bool{
 	"engine": true, "impact": true, "trace": true, "core": true,
+	"ingest": true,
 }
 
 // inErrdropScope reports whether the file path is under one of the

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Appender grows a corpus directory one stream at a time without ever
+// rewriting what is already there: each Append writes one new stream
+// file and appends its metadata records to the version-3 corpus.index.
+// This is the continuous-ingestion write path — a DirSource opened over
+// the same directory picks the new streams up with Reload, reading only
+// the index, and every previously assigned stream index stays valid
+// because the index is append-only.
+//
+// Crash safety: the stream file is fully written and closed before its
+// index records are appended, so a crash between the two leaves an
+// orphan stream file (overwritten by the next append of that index)
+// but never an index entry pointing at a missing or partial file.
+//
+// An Appender is not safe for concurrent use, and exactly one Appender
+// must own a directory at a time; the ingest server serializes both.
+type Appender struct {
+	dir     string
+	n       int  // streams already indexed
+	fresh   bool // index does not exist yet; create with a v3 header
+	version int  // record format to append in (2 or 3)
+}
+
+// OpenAppender opens dir for append-only corpus growth, creating the
+// directory if needed. An existing corpus continues from its current
+// stream count in its own index version (2 or 3; legacy v1 indexes
+// carry no metadata and are rejected — rewrite them with WriteDir
+// first). A missing index starts an empty version-3 corpus.
+func OpenAppender(dir string) (*Appender, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	a := &Appender{dir: dir, version: indexVersion}
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if os.IsNotExist(err) {
+		a.fresh = true
+		return a, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	metas, version, err := parseIndex(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
+	}
+	if version < 2 {
+		return nil, fmt.Errorf("trace: %s: appending needs a version >= 2 index; rewrite the legacy corpus with WriteDir first", indexFile)
+	}
+	a.n = len(metas)
+	a.version = version
+	return a, nil
+}
+
+// NumStreams returns the number of streams currently indexed.
+func (a *Appender) NumStreams() int { return a.n }
+
+// Append validates s, writes it as the corpus's next stream file, and
+// appends its metadata records to the index. It returns the stream's
+// index in the corpus — the index a DirSource over the same directory
+// assigns it after Reload.
+func (a *Appender) Append(s *Stream) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, fmt.Errorf("trace: appending stream: %w", err)
+	}
+	idx := a.n
+	name := fmt.Sprintf("stream-%05d.tscp", idx)
+	if err := a.writeStreamFile(name, s); err != nil {
+		return 0, err
+	}
+	m := StreamMeta{
+		File:      name,
+		ID:        s.ID,
+		Events:    len(s.Events),
+		Duration:  s.Duration(),
+		Instances: s.Instances,
+	}
+	if err := a.appendIndexRecord(idx, m); err != nil {
+		return 0, err
+	}
+	a.n++
+	a.fresh = false
+	return idx, nil
+}
+
+// writeStreamFile writes one stream file, surfacing close errors (a
+// short write otherwise goes unnoticed until decode).
+func (a *Appender) writeStreamFile(name string, s *Stream) error {
+	f, err := os.Create(filepath.Join(a.dir, name))
+	if err != nil {
+		return err
+	}
+	err = s.WriteBinary(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", name, err)
+	}
+	return nil
+}
+
+// appendIndexRecord appends one stream's records to the index, writing
+// the version header first when the index is being created.
+func (a *Appender) appendIndexRecord(seq int, m StreamMeta) error {
+	f, err := os.OpenFile(filepath.Join(a.dir, indexFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if a.fresh {
+		fmt.Fprintf(bw, "%s %d\n", indexMagic, indexVersion)
+	}
+	if a.version >= 3 {
+		err = writeStreamRecord(bw, seq, m)
+	} else {
+		err = writeStreamRecordV2(bw, m)
+	}
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: appending to %s: %w", indexFile, err)
+	}
+	return nil
+}
+
+// writeStreamRecordV2 writes one version-2 stream record (no sequence
+// number) — used when appending to a corpus whose index predates v3.
+func writeStreamRecordV2(bw *bufio.Writer, m StreamMeta) error {
+	if _, err := fmt.Fprintf(bw, "s %q %q %d %d %d\n",
+		m.File, m.ID, m.Events, int64(m.Duration), len(m.Instances)); err != nil {
+		return err
+	}
+	for _, in := range m.Instances {
+		if _, err := fmt.Fprintf(bw, "i %q %d %d %d\n",
+			in.Scenario, in.TID, int64(in.Start), int64(in.End)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAppenderRoundTrip grows a fresh corpus one stream at a time and
+// checks that OpenDir sees exactly what was appended.
+func TestAppenderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*Stream{randomStream(1), randomStream(2), randomStream(3)}
+	for i, s := range want {
+		idx, err := a.Append(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("Append returned index %d, want %d", idx, i)
+		}
+	}
+	if a.NumStreams() != len(want) {
+		t.Fatalf("NumStreams = %d, want %d", a.NumStreams(), len(want))
+	}
+
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStreams() != len(want) {
+		t.Fatalf("OpenDir sees %d streams, want %d", d.NumStreams(), len(want))
+	}
+	for i, w := range want {
+		got, err := d.Stream(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !streamsEqual(got, w) {
+			t.Fatalf("stream %d round-trip mismatch", i)
+		}
+		m := d.StreamMeta(i)
+		if m.ID != w.ID || m.Events != len(w.Events) || !reflect.DeepEqual(m.Instances, w.Instances) {
+			t.Fatalf("stream %d metadata mismatch: %+v", i, m)
+		}
+	}
+}
+
+// TestAppenderContinuesExistingCorpus reopens a corpus written by
+// WriteDir and appends to it; numbering continues from the batch part.
+func TestAppenderContinuesExistingCorpus(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(randomStream(1), randomStream(2))
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStreams() != 2 {
+		t.Fatalf("NumStreams = %d, want 2", a.NumStreams())
+	}
+	idx, err := a.Append(randomStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("Append returned index %d, want 2", idx)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStreams() != 3 {
+		t.Fatalf("OpenDir sees %d streams, want 3", d.NumStreams())
+	}
+	if _, err := d.Stream(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppenderRejectsInvalidStream checks that a stream failing
+// validation is not written at all.
+func TestAppenderRejectsInvalidStream(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewStream("bad")
+	bad.Instances = append(bad.Instances, Instance{Scenario: "", TID: 0, Start: 0, End: 1})
+	if _, err := a.Append(bad); err == nil {
+		t.Fatal("Append accepted an invalid stream")
+	}
+	if a.NumStreams() != 0 {
+		t.Fatalf("NumStreams = %d after rejected append, want 0", a.NumStreams())
+	}
+	if _, err := os.Stat(filepath.Join(dir, indexFile)); !os.IsNotExist(err) {
+		t.Fatalf("rejected append created an index: %v", err)
+	}
+}
+
+// TestAppenderRejectsV1 checks legacy plain-filename indexes are not
+// appendable.
+func TestAppenderRejectsV1(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := randomStream(1).WriteBinary(nopWriteCloser{&buf}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stream-00000.tscp"), []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("stream-00000.tscp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenAppender(dir)
+	if err == nil || !strings.Contains(err.Error(), "version >= 2") {
+		t.Fatalf("OpenAppender on a v1 corpus: err = %v, want version >= 2 rejection", err)
+	}
+}
+
+type nopWriteCloser struct{ w *strings.Builder }
+
+func (n nopWriteCloser) Write(p []byte) (int, error) { return n.w.Write(p) }
+
+// TestAppenderKeepsV2Format checks that appending to a version-2 corpus
+// writes version-2 records (no sequence numbers), so the index stays
+// self-consistent.
+func TestAppenderKeepsV2Format(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(randomStream(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade the index to v2 by stripping the sequence numbers.
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := strings.ReplaceAll(string(data), "TSINDEX 3", "TSINDEX 2")
+	v2 = strings.ReplaceAll(v2, "s 0 ", "s ")
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte(v2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Append(randomStream(2)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStreams() != 2 {
+		t.Fatalf("OpenDir sees %d streams, want 2", d.NumStreams())
+	}
+}
+
+// TestDirSourceReload checks incremental discovery: a source opened over
+// a growing corpus picks up appended streams without disturbing the
+// metadata (or stream indices) of streams it already knows.
+func TestDirSourceReload(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(randomStream(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstances := d.NumInstances()
+	wantEvents := d.NumEvents()
+	wantDur := d.TotalDuration()
+
+	n, err := d.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Reload with nothing new discovered %d streams", n)
+	}
+
+	s2, s3 := randomStream(2), randomStream(3)
+	if _, err := a.Append(s2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(s3); err != nil {
+		t.Fatal(err)
+	}
+	n, err = d.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Reload discovered %d streams, want 2", n)
+	}
+	if d.NumStreams() != 3 {
+		t.Fatalf("NumStreams = %d after reload, want 3", d.NumStreams())
+	}
+	if got := d.NumInstances(); got != wantInstances+len(s2.Instances)+len(s3.Instances) {
+		t.Fatalf("NumInstances = %d after reload", got)
+	}
+	if got := d.NumEvents(); got != wantEvents+len(s2.Events)+len(s3.Events) {
+		t.Fatalf("NumEvents = %d after reload", got)
+	}
+	if got := d.TotalDuration(); got != wantDur+s2.Duration()+s3.Duration() {
+		t.Fatalf("TotalDuration = %d after reload", got)
+	}
+	got, err := d.Stream(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(got, s3) {
+		t.Fatal("reloaded stream 2 does not match appended stream")
+	}
+}
+
+// TestDirSourceReloadRejectsRewrite checks the append-only contract: a
+// reload over an index whose existing records changed (or shrank) fails
+// with ErrBadFormat instead of silently renumbering streams.
+func TestDirSourceReloadRejectsRewrite(t *testing.T) {
+	newCorpusDir := func(t *testing.T) (*DirSource, string) {
+		t.Helper()
+		dir := t.TempDir()
+		a, err := OpenAppender(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 2; seed++ {
+			if _, err := a.Append(randomStream(seed)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d, err := OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, filepath.Join(dir, indexFile)
+	}
+
+	t.Run("shrink", func(t *testing.T) {
+		d, index := newCorpusDir(t)
+		data, err := os.ReadFile(index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitAfter(string(data), "\n")
+		truncated := strings.Join(lines[:len(lines)/2], "")
+		if err := os.WriteFile(index, []byte(truncated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Reload(); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("Reload over a shrunk index: err = %v, want ErrBadFormat", err)
+		}
+	})
+
+	t.Run("rewrite", func(t *testing.T) {
+		d, index := newCorpusDir(t)
+		data, err := os.ReadFile(index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rewritten := strings.Replace(string(data), `"rnd"`, `"other"`, 1)
+		if rewritten == string(data) {
+			t.Fatal("test setup: stream ID not found in index")
+		}
+		if err := os.WriteFile(index, []byte(rewritten), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Reload(); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("Reload over a rewritten index: err = %v, want ErrBadFormat", err)
+		}
+	})
+}
+
+// TestParseIndexUnsupportedVersion checks that a future index version
+// produces an actionable error naming both the found and the supported
+// versions, not a bare mismatch.
+func TestParseIndexUnsupportedVersion(t *testing.T) {
+	_, _, err := parseIndex("TSINDEX 4\n")
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+	for _, want := range []string{"found index version 4", "supports versions 1 through 3", "upgrade"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestParseIndexSequenceMismatch checks v3 sequence validation: records
+// out of order (a truncated-then-regrown or hand-edited index) are
+// rejected.
+func TestParseIndexSequenceMismatch(t *testing.T) {
+	const idx = "TSINDEX 3\n" +
+		"s 1 \"stream-00000.tscp\" \"m0\" 0 0 0\n"
+	_, _, err := parseIndex(idx)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+	if !strings.Contains(err.Error(), "sequence number 1 at position 0") {
+		t.Fatalf("error %q does not name the bad sequence number", err)
+	}
+}

@@ -26,29 +26,56 @@ import (
 // where <file>, <id>, and <scenario> are Go-quoted strings. The index
 // records everything instance enumeration, scenario listing, and
 // fast/slow threshold classification need, so none of them decode event
-// payloads. Both versions are read; WriteDir writes version 2.
+// payloads.
+//
+// Version 3: the append-only form. Identical to version 2 except that
+// every stream record carries a leading sequence number that must equal
+// the record's zero-based position:
+//
+//	s <seq> <file> <id> <events> <duration_us> <ninstances>
+//
+// New streams are landed by appending one stream file plus its records
+// to the index (Appender), never by rewriting earlier entries; the
+// sequence numbers let Reload verify the append-only contract and
+// detect a truncated or rewritten index instead of silently renumbering
+// streams (EventIDs and InstanceRefs reference streams by index).
+//
+// All three versions are read; WriteDir and Appender write version 3.
 
 const (
 	indexFile    = "corpus.index"
 	indexMagic   = "TSINDEX"
-	indexVersion = 2
+	indexVersion = 3
 )
 
-// writeIndex writes a version-2 corpus index for the given stream
+// writeIndex writes a version-3 corpus index for the given stream
 // metadata.
 func writeIndex(w io.Writer, metas []StreamMeta) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s %d\n", indexMagic, indexVersion)
-	for _, m := range metas {
-		fmt.Fprintf(bw, "s %s %s %d %d %d\n",
-			strconv.Quote(m.File), strconv.Quote(m.ID),
-			m.Events, int64(m.Duration), len(m.Instances))
-		for _, in := range m.Instances {
-			fmt.Fprintf(bw, "i %s %d %d %d\n",
-				strconv.Quote(in.Scenario), in.TID, int64(in.Start), int64(in.End))
+	for seq, m := range metas {
+		if err := writeStreamRecord(bw, seq, m); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeStreamRecord writes one version-3 stream record (the "s" line
+// plus its "i" instance lines) to w.
+func writeStreamRecord(w io.Writer, seq int, m StreamMeta) error {
+	if _, err := fmt.Fprintf(w, "s %d %s %s %d %d %d\n",
+		seq, strconv.Quote(m.File), strconv.Quote(m.ID),
+		m.Events, int64(m.Duration), len(m.Instances)); err != nil {
+		return err
+	}
+	for _, in := range m.Instances {
+		if _, err := fmt.Fprintf(w, "i %s %d %d %d\n",
+			strconv.Quote(in.Scenario), in.TID, int64(in.Start), int64(in.End)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseIndex parses corpus.index contents (either version) and returns
@@ -79,8 +106,14 @@ func parseIndex(data string) ([]StreamMeta, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: index header %q", ErrBadFormat, lines[0])
 	}
-	if version != indexVersion {
-		return nil, 0, fmt.Errorf("%w: unsupported index version %d", ErrBadFormat, version)
+	if version < 2 || version > indexVersion {
+		// Name both the found and the supported versions so an operator
+		// pointing an old binary at a newer corpus (or vice versa) sees
+		// what to upgrade instead of a bare mismatch.
+		return nil, 0, fmt.Errorf(
+			"%w: found index version %d but this build supports versions 1 through %d; "+
+				"upgrade tracescope or regenerate the corpus with a matching tracegen",
+			ErrBadFormat, version, indexVersion)
 	}
 
 	var metas []StreamMeta
@@ -97,7 +130,7 @@ func parseIndex(data string) ([]StreamMeta, int, error) {
 		if len(metas) >= maxTableLen {
 			return nil, 0, fmt.Errorf("%w: index stream count too large", ErrBadFormat)
 		}
-		m, ninst, err := parseStreamRecord(line[2:])
+		m, ninst, err := parseStreamRecord(line[2:], version, len(metas))
 		if err != nil {
 			return nil, 0, fmt.Errorf("%w: index line %d: %v", ErrBadFormat, i, err)
 		}
@@ -122,13 +155,26 @@ func parseIndex(data string) ([]StreamMeta, int, error) {
 		}
 		metas = append(metas, m)
 	}
-	return metas, indexVersion, nil
+	return metas, version, nil
 }
 
 // parseStreamRecord parses the fields of one "s" line (after the tag).
-func parseStreamRecord(s string) (StreamMeta, int, error) {
+// Version-3 records carry a leading sequence number which must equal
+// seq, the record's zero-based position in the index.
+func parseStreamRecord(s string, version, seq int) (StreamMeta, int, error) {
 	var m StreamMeta
 	var err error
+	if version >= 3 {
+		field, rest, _ := strings.Cut(s, " ")
+		got, err := strconv.Atoi(field)
+		if err != nil {
+			return m, 0, fmt.Errorf("bad sequence number %q", field)
+		}
+		if got != seq {
+			return m, 0, fmt.Errorf("sequence number %d at position %d (index truncated or rewritten?)", got, seq)
+		}
+		s = rest
+	}
 	if m.File, s, err = cutQuoted(s); err != nil {
 		return m, 0, fmt.Errorf("stream file: %v", err)
 	}
@@ -232,10 +278,13 @@ func checkIndexFile(name string, seen map[string]bool) error {
 // it in a CachedSource to bound repeated decoding.
 //
 // DirSource is safe for concurrent use: its metadata is immutable after
-// OpenDir and Stream only reads files.
+// OpenDir and Stream only reads files. The one exception is Reload,
+// which appends metadata for newly landed streams; callers must
+// serialize Reload against all other methods (the tracescoped daemon
+// holds its state lock across it).
 type DirSource struct {
 	dir   string
-	v2    bool
+	rich  bool // version >= 2: instance metadata present in the index
 	metas []StreamMeta
 	rec   obs.Recorder
 
@@ -244,9 +293,9 @@ type DirSource struct {
 	totalDur     Duration
 }
 
-// OpenDir opens a corpus directory lazily. For a version-2 index this
-// reads only the index file; for a legacy version-1 index every stream
-// is decoded once to recover the metadata (and then released).
+// OpenDir opens a corpus directory lazily. For a version-2 or -3 index
+// this reads only the index file; for a legacy version-1 index every
+// stream is decoded once to recover the metadata (and then released).
 func OpenDir(dir string) (*DirSource, error) {
 	data, err := os.ReadFile(filepath.Join(dir, indexFile))
 	if err != nil {
@@ -256,8 +305,8 @@ func OpenDir(dir string) (*DirSource, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
 	}
-	d := &DirSource{dir: dir, v2: version >= indexVersion, metas: metas, rec: obs.Nop}
-	if !d.v2 {
+	d := &DirSource{dir: dir, rich: version >= 2, metas: metas, rec: obs.Nop}
+	if !d.rich {
 		for i := range d.metas {
 			s, err := d.Stream(i)
 			if err != nil {
@@ -275,6 +324,56 @@ func OpenDir(dir string) (*DirSource, error) {
 		d.totalDur += m.Duration
 	}
 	return d, nil
+}
+
+// Reload re-reads the corpus index and appends metadata for streams
+// that landed since the source was opened (or last reloaded), without
+// re-decoding — or even re-validating — any stream already known. It
+// enforces the append-only contract of the version-3 index: the new
+// index must contain every previously known stream record unchanged,
+// in order, or Reload fails with ErrBadFormat (a rewritten index would
+// silently renumber streams, and EventIDs and InstanceRefs reference
+// streams by index).
+//
+// Reload returns the number of newly discovered streams. It mutates the
+// source's metadata, so callers must serialize it against every other
+// method; see the type comment.
+func (d *DirSource) Reload() (int, error) {
+	if !d.rich {
+		return 0, fmt.Errorf("trace: %s: reload needs a version >= 2 index (legacy v1 corpora are not appendable)", indexFile)
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, indexFile))
+	if err != nil {
+		return 0, err
+	}
+	metas, version, err := parseIndex(string(data))
+	if err != nil {
+		return 0, fmt.Errorf("trace: %s: %w", indexFile, err)
+	}
+	if version < 2 {
+		return 0, fmt.Errorf("trace: %s: %w: index downgraded to version %d during reload", indexFile, ErrBadFormat, version)
+	}
+	if len(metas) < len(d.metas) {
+		return 0, fmt.Errorf("trace: %s: %w: index shrank from %d to %d streams (append-only contract broken)",
+			indexFile, ErrBadFormat, len(d.metas), len(metas))
+	}
+	for i, old := range d.metas {
+		if metas[i].File != old.File || metas[i].ID != old.ID ||
+			metas[i].Events != old.Events || len(metas[i].Instances) != len(old.Instances) {
+			return 0, fmt.Errorf("trace: %s: %w: stream record %d changed during reload (append-only contract broken)",
+				indexFile, ErrBadFormat, i)
+		}
+	}
+	fresh := metas[len(d.metas):]
+	for _, m := range fresh {
+		d.numInstances += len(m.Instances)
+		d.numEvents += m.Events
+		d.totalDur += m.Duration
+	}
+	d.metas = append(d.metas, fresh...)
+	d.rec.Add("trace_index_reloads_total", 1)
+	d.rec.Add("trace_index_streams_discovered_total", int64(len(fresh)))
+	return len(fresh), nil
 }
 
 // Dir returns the backing corpus directory.
@@ -351,7 +450,7 @@ func (d *DirSource) decode(i int) (*Stream, error) {
 	}
 	// A stale index whose instance table disagrees with the stream would
 	// let InstanceRefs index out of range downstream; fail loudly here.
-	if d.v2 && len(s.Instances) != len(d.metas[i].Instances) {
+	if d.rich && len(s.Instances) != len(d.metas[i].Instances) {
 		return nil, fmt.Errorf("%w: %s: stream has %d instances but index records %d",
 			ErrBadFormat, name, len(s.Instances), len(d.metas[i].Instances))
 	}

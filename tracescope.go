@@ -338,6 +338,42 @@ func NewCachedSource(src Source, limit int) *CachedSource {
 	return trace.NewCachedSource(src, limit)
 }
 
+// Continuous-ingestion types: the incremental layer behind the
+// cmd/tracescoped daemon. The contract throughout is that ingesting
+// streams in any arrival order yields bit-for-bit the same results as a
+// batch run over the same streams (DESIGN.md §9).
+type (
+	// CorpusAppender grows a directory corpus crash-safely: each stream
+	// file is fully written before its index record is appended.
+	CorpusAppender = trace.Appender
+	// Incremental accumulates resumable analysis state stream by
+	// stream; queries never consume it.
+	Incremental = core.Incremental
+	// IncrementalConfig parameterises NewIncremental.
+	IncrementalConfig = core.IncrementalConfig
+)
+
+// OpenCorpusAppender opens dir for appending streams, creating it (with
+// a fresh v3 index) if needed. Appending to an existing v2 corpus keeps
+// the v2 record format; v1 corpora must be rewritten with
+// WriteCorpusDir first. The appender assumes exclusive ownership of the
+// directory — after another writer appends, re-open (as
+// ingest.Server.Sync does) before appending again.
+func OpenCorpusAppender(dir string) (*CorpusAppender, error) {
+	return trace.OpenAppender(dir)
+}
+
+// NewIncremental builds empty incremental analysis state. Feed it with
+// Ingest (one stream at a time, e.g. as uploads arrive) or IngestSource
+// (parallel warm-up over an existing corpus); query it at any point
+// with Impact and Causality. Set IncrementalConfig.Thresholds — the
+// developer thresholds function, typically tracescope.Thresholds — to
+// classify instances into contrast classes at ingest time; with a nil
+// Thresholds the state answers impact queries only.
+func NewIncremental(cfg IncrementalConfig) *Incremental {
+	return core.NewIncremental(cfg)
+}
+
 // CallGraphProfile computes a gprof-style CPU profile of the source: the
 // call-dependency baseline of §6 (sees CPU only, never waiting). Streams
 // are decoded one at a time, so out-of-core sources run within bounded
