@@ -1,0 +1,85 @@
+// Command benchgate compares a freshly measured benchmark report
+// against the committed snapshot and exits non-zero on regressions, so
+// the perf trajectory recorded in BENCH_engine.json/BENCH_corpus.json
+// stays monotone instead of decaying silently.
+//
+// A row regresses when its ns_per_op exceeds the committed value by
+// more than the tolerance (15% by default; override with the
+// BENCH_GATE_TOLERANCE environment variable, e.g. 0.25). On top of the
+// row-by-row comparison, the fresh corpus report must satisfy the v4
+// decode invariants — columnar decode at >= 2x the v3 row format's
+// throughput and near-zero allocations per event on the pooled path —
+// which are machine-relative ratios and therefore hold on any runner.
+// The paper section is never compared: it is refreshed deliberately
+// with benchjson -mode paper, not per commit.
+//
+// Usage:
+//
+//	benchgate -kind engine -committed BENCH_engine.json -fresh /tmp/engine.json
+//	benchgate -kind corpus -committed BENCH_corpus.json -fresh /tmp/corpus.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracescope/internal/benchfmt"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "", "report kind: engine or corpus (required)")
+		committed = flag.String("committed", "", "committed snapshot path (required)")
+		fresh     = flag.String("fresh", "", "fresh report path (required)")
+	)
+	flag.Parse()
+	if *kind == "" || *committed == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -kind, -committed, and -fresh are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tol, err := benchfmt.Tolerance()
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []benchfmt.Finding
+	switch *kind {
+	case "engine":
+		var old, now benchfmt.Report
+		if err := benchfmt.ReadFile(*committed, &old); err != nil {
+			fatal(err)
+		}
+		if err := benchfmt.ReadFile(*fresh, &now); err != nil {
+			fatal(err)
+		}
+		findings = benchfmt.CompareEngine(&old, &now, tol)
+	case "corpus":
+		var old, now benchfmt.CorpusReport
+		if err := benchfmt.ReadFile(*committed, &old); err != nil {
+			fatal(err)
+		}
+		if err := benchfmt.ReadFile(*fresh, &now); err != nil {
+			fatal(err)
+		}
+		findings = benchfmt.CompareCorpus(&old, &now, tol)
+	default:
+		fatal(fmt.Errorf("unknown -kind %q (want engine or corpus)", *kind))
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %d finding(s) vs %s (tolerance %.0f%%):\n",
+			*kind, len(findings), *committed, tol*100)
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s: %s within %.0f%% of %s\n", *kind, *fresh, tol*100, *committed)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

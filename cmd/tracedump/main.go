@@ -10,6 +10,7 @@
 // Usage:
 //
 //	tracedump -corpus DIR                              # corpus summary
+//	tracedump -corpus DIR -stats                       # on-disk format/storage stats
 //	tracedump -corpus DIR -stream 3                    # one stream's threads + instances
 //	tracedump -corpus DIR -scenario WebPageNavigation  # latency histogram
 //	tracedump -corpus DIR -stream 3 -instance 2        # wait graph + snapshot
@@ -37,6 +38,7 @@ func main() {
 		depth    = flag.Int("depth", 6, "wait-graph render depth")
 		csvOut   = flag.String("csv", "", "export: 'instances' for the corpus, 'events' with -stream")
 		catalog  = flag.Bool("catalog", false, "print the scenario catalogue and exit")
+		stats    = flag.Bool("stats", false, "print on-disk format and storage stats (intern tables, event blocks)")
 	)
 	flag.Parse()
 	if *catalog {
@@ -47,6 +49,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracedump: -corpus is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *stats {
+		dumpStats(*dir)
+		return
 	}
 	src, err := tracescope.OpenCorpusDir(*dir)
 	if err != nil {
@@ -91,6 +97,34 @@ func dumpCatalog() {
 		d, _ := scenario.Lookup(name)
 		fmt.Printf("%-20s %-10s %-22s %10v %10v\n", d.Name, d.Process, d.EntryFrame, d.Tfast, d.Tslow)
 	}
+}
+
+// dumpStats skims the corpus container (index, intern table, stream-file
+// block framing) without decoding any event payloads, so it runs at I/O
+// speed even on paper-scale corpora.
+func dumpStats(dir string) {
+	st, err := tracescope.CollectCorpusStats(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("format:      v%d\n", st.Version)
+	fmt.Printf("streams:     %d (%d instances, %d events)\n", st.Streams, st.Instances, st.Events)
+	fmt.Printf("index:       %d bytes\n", st.IndexBytes)
+	if st.Version >= 4 {
+		fmt.Printf("intern:      %d frames, %d stacks, %d bytes (shared across all streams)\n",
+			st.Frames, st.Stacks, st.InternBytes)
+		fmt.Printf("blocks:      %d (%d flate-compressed)\n", st.Blocks, st.CompressedBlocks)
+		ratio := 100.0
+		if st.EventBytesRaw > 0 {
+			ratio = 100 * float64(st.EventBytesStored) / float64(st.EventBytesRaw)
+		}
+		fmt.Printf("event bytes: %d stored / %d raw (%.1f%%)\n", st.EventBytesStored, st.EventBytesRaw, ratio)
+	}
+	fmt.Printf("streams on disk: %d bytes", st.StreamBytes)
+	if st.Events > 0 {
+		fmt.Printf(" (%.2f bytes/event)", float64(st.StreamBytes)/float64(st.Events))
+	}
+	fmt.Println()
 }
 
 func dumpCorpus(src tracescope.Source) {

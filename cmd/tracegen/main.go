@@ -6,7 +6,14 @@
 // Usage:
 //
 //	tracegen -out DIR [-seed N] [-streams N] [-episodes N] [-storm P]
+//	tracegen -out DIR -paper [-scale N]
 //	tracegen -stream URL [-order N] [-delay D] [generation flags]
+//
+// With -paper, tracegen writes the paper-scale corpus — ~19.5k streams
+// and ~505k scenario instances, the volume of the source paper's §5
+// evaluation — streaming each stream through the corpus appender so the
+// corpus never exists in memory. -scale N divides the stream count for
+// cheaper variants (-paper -scale 10 is a ~1.95k-stream corpus).
 //
 // With -stream, each generated stream is POSTed to URL/ingest one at a
 // time. -order shuffles the arrival order with the given seed (0 keeps
@@ -39,12 +46,29 @@ func main() {
 		stream   = flag.String("stream", "", "feed the corpus to a tracescoped base URL (e.g. http://127.0.0.1:8754)")
 		order    = flag.Int64("order", 0, "arrival-order shuffle seed for -stream (0 = generation order)")
 		delay    = flag.Duration("delay", 0, "pause between -stream uploads")
+		paper    = flag.Bool("paper", false, "paper-scale corpus (~19.5k streams, ~505k instances), streamed to -out")
+		scale    = flag.Int("scale", 1, "downscale divisor for -paper (10 = a tenth of the streams)")
 	)
 	flag.Parse()
 	if *out == "" && *stream == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: one of -out or -stream is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *paper {
+		if *out == "" || *stream != "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -paper writes a directory; use it with -out only")
+			os.Exit(2)
+		}
+		if *scale < 1 {
+			fmt.Fprintf(os.Stderr, "tracegen: bad -scale %d\n", *scale)
+			os.Exit(2)
+		}
+		if err := writePaper(*out, *seed, *scale, *storm); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	corpus := tracescope.Generate(tracescope.GenerateConfig{
@@ -73,6 +97,51 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// Paper-scale corpus shape: the source paper's §5 evaluation analyzed
+// 19,500 traces holding 505,500 scenario instances; six episodes per
+// stream lands the generator's instance density at the paper's ~26 per
+// trace.
+const (
+	paperStreams  = 19500
+	paperEpisodes = 6
+)
+
+// writePaper streams the paper-scale corpus into dir through the corpus
+// appender: each stream is generated, appended, and dropped, so memory
+// stays bounded by the generation window regardless of corpus size.
+func writePaper(dir string, seed int64, scale int, storm float64) error {
+	cfg := tracescope.GenerateConfig{
+		Seed: seed, Streams: paperStreams / scale, Episodes: paperEpisodes, StormProb: storm,
+	}
+	app, err := tracescope.OpenCorpusAppender(dir)
+	if err != nil {
+		return err
+	}
+	if app.NumStreams() > 0 {
+		return fmt.Errorf("%s already holds %d streams; -paper wants an empty directory", dir, app.NumStreams())
+	}
+	start := time.Now()
+	var instances, events int
+	err = tracescope.GenerateEachStream(cfg, func(i int, s *tracescope.Stream) error {
+		if _, err := app.Append(s); err != nil {
+			return err
+		}
+		instances += len(s.Instances)
+		events += len(s.Events)
+		if (i+1)%1000 == 0 {
+			fmt.Printf("  %6d/%d streams (%d instances, %d events, %.0fs)\n",
+				i+1, cfg.Streams, instances, events, time.Since(start).Seconds())
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d streams (%d instances, %d events) to %s in %.1fs\n",
+		cfg.Streams, instances, events, dir, time.Since(start).Seconds())
+	return nil
 }
 
 // feed POSTs each stream to the daemon's /ingest endpoint, one at a

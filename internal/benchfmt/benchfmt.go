@@ -1,0 +1,145 @@
+// Package benchfmt defines the schemas of the committed benchmark
+// snapshots (BENCH_engine.json, BENCH_corpus.json) and the comparison
+// rules the bench-regression gate enforces over them.
+//
+// cmd/benchjson produces reports in these schemas; cmd/benchgate reads
+// a committed snapshot and a fresh run and fails on regressions. The
+// two sides sharing one package is the point: a schema change that
+// would silently break the gate breaks the build instead.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one engine-pipeline measurement at a fixed worker count.
+type Result struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// CorpusInfo describes the generated corpus under measurement.
+type CorpusInfo struct {
+	Seed      int64 `json:"seed"`
+	Streams   int   `json:"streams"`
+	Episodes  int   `json:"episodes"`
+	Instances int   `json:"instances"`
+	Events    int   `json:"events"`
+}
+
+// Report is the BENCH_engine.json schema.
+type Report struct {
+	GeneratedBy string     `json:"generated_by"`
+	GoMaxProcs  int        `json:"go_max_procs"`
+	Corpus      CorpusInfo `json:"corpus"`
+	Results     []Result   `json:"results"`
+}
+
+// CacheCounters are a CachedSource's counters accumulated over one
+// benchmark run. Rows without a stream cache (in-memory analysis) carry
+// no counters at all rather than misleading zeros.
+type CacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// HighWater is the maximum number of decoded streams held at once —
+	// the peak-memory proxy, bounded by cache_limit + workers.
+	HighWater int `json:"high_water"`
+}
+
+// CorpusResult is one out-of-core analysis measurement.
+type CorpusResult struct {
+	Name       string         `json:"name"`
+	CacheLimit int            `json:"cache_limit"`
+	Workers    int            `json:"workers"`
+	Iterations int            `json:"iterations"`
+	NsPerOp    int64          `json:"ns_per_op"`
+	Cache      *CacheCounters `json:"cache,omitempty"`
+}
+
+// DecodeResult is one stream-decode throughput measurement: a full
+// DirSource.Stream sweep over the corpus in the named on-disk format.
+type DecodeResult struct {
+	// Format names the corpus layout: "v3", "v4", or "v4-pooled"
+	// (v4 with decoded streams recycled back to the buffer pool).
+	Format     string `json:"format"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"` // one full corpus sweep
+	// MBPerSec is decoded stream-file bytes per second (raw on-disk
+	// size of all stream files over the sweep time).
+	MBPerSec float64 `json:"mb_per_sec"`
+	// AllocsPerStream and AllocsPerEvent are heap allocations per
+	// decoded stream / per decoded event, from testing.AllocsPerOp.
+	AllocsPerStream float64 `json:"allocs_per_stream"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	// StreamBytes is the total on-disk size of the stream files.
+	StreamBytes int64 `json:"stream_bytes"`
+}
+
+// PaperResult records the paper-scale run: corpus dimensions, the fixed
+// cache limit the analysis ran under, and wall-clock phase timings. It
+// is measured once per refresh (benchjson -mode paper), not compared by
+// the gate — paper-scale numbers are machine-bound statements of
+// feasibility, not per-commit trajectory points.
+type PaperResult struct {
+	Streams    int   `json:"streams"`
+	Instances  int   `json:"instances"`
+	Events     int   `json:"events"`
+	CacheLimit int   `json:"cache_limit"`
+	Workers    int   `json:"workers"`
+	GenerateNs int64 `json:"generate_ns"` // generate + append all streams
+	ImpactNs   int64 `json:"impact_ns"`   // headline impact, out of core
+	CausalNs   int64 `json:"causality_ns"`
+	// Patterns is the causality pass's ranked-pattern count — a
+	// non-degeneracy check that the timed run did real work.
+	Patterns  int `json:"patterns"`
+	HighWater int `json:"high_water"`
+}
+
+// CorpusReport is the BENCH_corpus.json schema.
+type CorpusReport struct {
+	GeneratedBy string     `json:"generated_by"`
+	GoMaxProcs  int        `json:"go_max_procs"`
+	Corpus      CorpusInfo `json:"corpus"`
+	// LoadEagerNs is ReadDir (decode everything up front); LoadLazyNs is
+	// OpenDir (metadata only, from the corpus.index).
+	LoadEagerNs int64          `json:"load_eager_ns"`
+	LoadLazyNs  int64          `json:"load_lazy_ns"`
+	Decode      []DecodeResult `json:"decode,omitempty"`
+	Results     []CorpusResult `json:"results"`
+	Paper       *PaperResult   `json:"paper,omitempty"`
+}
+
+// ReadFile decodes a JSON report file into v (a *Report or
+// *CorpusReport), rejecting unknown fields so a drifted schema fails
+// the gate loudly instead of comparing against zero values.
+func ReadFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("benchfmt: reading %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFile writes a report as indented JSON with a trailing newline.
+func WriteFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

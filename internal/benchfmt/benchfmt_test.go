@@ -1,0 +1,134 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rep := &CorpusReport{
+		GeneratedBy: "test",
+		GoMaxProcs:  1,
+		Corpus:      CorpusInfo{Seed: 1, Streams: 2, Episodes: 3, Instances: 4, Events: 5},
+		Decode: []DecodeResult{
+			{Format: "v3", NsPerOp: 100, MBPerSec: 50, StreamBytes: 5000},
+		},
+		Results: []CorpusResult{
+			{Name: "impact-inmemory", CacheLimit: -1, Workers: 1, NsPerOp: 10},
+			{Name: "impact-dirsource", CacheLimit: 2, Workers: 4, NsPerOp: 20,
+				Cache: &CacheCounters{Hits: 1, Misses: 2, Evictions: 3, HighWater: 4}},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	var got CorpusReport
+	if err := ReadFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Cache != nil {
+		t.Error("in-memory row grew cache counters on round trip")
+	}
+	if c := got.Results[1].Cache; c == nil || *c != (CacheCounters{1, 2, 3, 4}) {
+		t.Errorf("cache counters did not round-trip: %+v", c)
+	}
+	if len(got.Decode) != 1 || got.Decode[0] != rep.Decode[0] {
+		t.Errorf("decode rows did not round-trip: %+v", got.Decode)
+	}
+}
+
+func TestReadFileRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteFile(path, map[string]any{"generated_by": "x", "surprise": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := ReadFile(path, &rep); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestCompareEngine(t *testing.T) {
+	committed := &Report{Results: []Result{
+		{Name: "headline-impact", Workers: 1, NsPerOp: 1000},
+		{Name: "headline-impact", Workers: 4, NsPerOp: 400},
+	}}
+	fresh := &Report{Results: []Result{
+		{Name: "headline-impact", Workers: 1, NsPerOp: 1100}, // +10%: within tolerance
+		{Name: "headline-impact", Workers: 4, NsPerOp: 600},  // +50%: regression
+	}}
+	got := CompareEngine(committed, fresh, 0.15)
+	if len(got) != 1 || got[0].Row != "headline-impact/workers=4" {
+		t.Fatalf("want one finding on workers=4, got %v", got)
+	}
+	if !strings.Contains(got[0].String(), "regressed") {
+		t.Errorf("finding text: %s", got[0])
+	}
+
+	if got := CompareEngine(committed, &Report{}, 0.15); len(got) != 2 {
+		t.Errorf("missing rows must be findings, got %v", got)
+	}
+}
+
+func TestCompareCorpusDecodeInvariants(t *testing.T) {
+	fresh := &CorpusReport{Decode: []DecodeResult{
+		{Format: "v3", NsPerOp: 1000, MBPerSec: 50},
+		{Format: "v4", NsPerOp: 700, MBPerSec: 80},
+		{Format: "v4-pooled", NsPerOp: 600, AllocsPerEvent: 0.2}, // < 2x v3 sweep AND too many allocs
+	}}
+	got := CompareCorpus(&CorpusReport{}, fresh, 0.15)
+	if len(got) != 2 {
+		t.Fatalf("want 2 invariant findings, got %v", got)
+	}
+	for _, f := range got {
+		if f.OldNs != 0 {
+			t.Errorf("invariant finding carries regression fields: %+v", f)
+		}
+	}
+
+	ok := &CorpusReport{Decode: []DecodeResult{
+		{Format: "v3", NsPerOp: 1000, MBPerSec: 50},
+		{Format: "v4", NsPerOp: 450, MBPerSec: 120},
+		{Format: "v4-pooled", NsPerOp: 400, MBPerSec: 130, AllocsPerEvent: 0.001},
+	}}
+	if got := CompareCorpus(&CorpusReport{}, ok, 0.15); len(got) != 0 {
+		t.Errorf("clean report produced findings: %v", got)
+	}
+}
+
+func TestCompareCorpusRows(t *testing.T) {
+	committed := &CorpusReport{
+		Results: []CorpusResult{
+			{Name: "impact-dirsource", CacheLimit: 2, Workers: 1, NsPerOp: 1000},
+		},
+		Decode: []DecodeResult{{Format: "v4", NsPerOp: 500, MBPerSec: 100}},
+		Paper:  &PaperResult{Streams: 19500, ImpactNs: 1}, // never compared
+	}
+	fresh := &CorpusReport{
+		Results: []CorpusResult{
+			{Name: "impact-dirsource", CacheLimit: 2, Workers: 1, NsPerOp: 2000},
+		},
+		Decode: []DecodeResult{{Format: "v4", NsPerOp: 900, MBPerSec: 100}},
+	}
+	got := CompareCorpus(committed, fresh, 0.15)
+	if len(got) != 2 {
+		t.Fatalf("want analysis + decode regressions, got %v", got)
+	}
+}
+
+func TestTolerance(t *testing.T) {
+	t.Setenv("BENCH_GATE_TOLERANCE", "")
+	if tol, err := Tolerance(); err != nil || tol != DefaultTolerance {
+		t.Errorf("default tolerance: %v, %v", tol, err)
+	}
+	t.Setenv("BENCH_GATE_TOLERANCE", "0.30")
+	if tol, err := Tolerance(); err != nil || tol != 0.30 {
+		t.Errorf("override tolerance: %v, %v", tol, err)
+	}
+	t.Setenv("BENCH_GATE_TOLERANCE", "lots")
+	if _, err := Tolerance(); err == nil {
+		t.Error("bad tolerance accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package benchfmt
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// DefaultTolerance is the relative ns_per_op slowdown the gate accepts
+// before calling a row a regression. Benchmarks on shared CI runners
+// are noisy; 15% separates real decode/analysis regressions from
+// scheduler jitter at the committed corpus sizes.
+const DefaultTolerance = 0.15
+
+// Decode invariants (acceptance criteria of the v4 format, checked on
+// the fresh report alone — they are machine-relative ratios, so they
+// hold on any hardware):
+const (
+	// MinV4SpeedupVsV3 is the required decode-throughput ratio of the
+	// columnar format's hot path (v4-pooled: decode into recycled
+	// buffers, the steady state of a bounded out-of-core run) over the
+	// v3 row format. Compared on sweep time over the same corpus —
+	// ns_per_op, not MB/s, since the formats' on-disk sizes differ.
+	MinV4SpeedupVsV3 = 2.0
+	// MaxPooledAllocsPerEvent bounds the pooled decode path's heap
+	// allocations per decoded event — "near zero": a handful of
+	// per-stream header allocations amortised over thousands of
+	// events, never per-event churn.
+	MaxPooledAllocsPerEvent = 0.05
+)
+
+// Tolerance returns the gate tolerance: BENCH_GATE_TOLERANCE when set
+// (a fraction, e.g. "0.25"), DefaultTolerance otherwise.
+func Tolerance() (float64, error) {
+	s := os.Getenv("BENCH_GATE_TOLERANCE")
+	if s == "" {
+		return DefaultTolerance, nil
+	}
+	tol, err := strconv.ParseFloat(s, 64)
+	if err != nil || tol < 0 {
+		return 0, fmt.Errorf("benchfmt: bad BENCH_GATE_TOLERANCE %q", s)
+	}
+	return tol, nil
+}
+
+// Finding is one gate violation.
+type Finding struct {
+	// Row identifies the measurement, e.g. "headline-impact/workers=4"
+	// or "decode/v4-pooled".
+	Row string
+	// OldNs and NewNs are set for regressions (zero for invariant
+	// violations, which judge the fresh report alone).
+	OldNs, NewNs int64
+	Msg          string
+}
+
+func (f Finding) String() string {
+	if f.OldNs > 0 {
+		return fmt.Sprintf("%s: %s (%d -> %d ns/op)", f.Row, f.Msg, f.OldNs, f.NewNs)
+	}
+	return fmt.Sprintf("%s: %s", f.Row, f.Msg)
+}
+
+// regressed reports whether fresh ns/op exceeds the committed ns/op by
+// more than the tolerance.
+func regressed(oldNs, newNs int64, tol float64) bool {
+	return oldNs > 0 && float64(newNs) > float64(oldNs)*(1+tol)
+}
+
+// CompareEngine gates a fresh engine report against the committed one:
+// every committed row must reappear (same name and worker count) and
+// stay within tolerance.
+func CompareEngine(committed, fresh *Report, tol float64) []Finding {
+	byKey := make(map[string]Result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		byKey[fmt.Sprintf("%s/workers=%d", r.Name, r.Workers)] = r
+	}
+	var out []Finding
+	for _, old := range committed.Results {
+		key := fmt.Sprintf("%s/workers=%d", old.Name, old.Workers)
+		r, ok := byKey[key]
+		if !ok {
+			out = append(out, Finding{Row: key, Msg: "row missing from fresh report"})
+			continue
+		}
+		if regressed(old.NsPerOp, r.NsPerOp, tol) {
+			out = append(out, Finding{
+				Row: key, OldNs: old.NsPerOp, NewNs: r.NsPerOp,
+				Msg: fmt.Sprintf("ns_per_op regressed %.0f%% (tolerance %.0f%%)",
+					(float64(r.NsPerOp)/float64(old.NsPerOp)-1)*100, tol*100),
+			})
+		}
+	}
+	return out
+}
+
+// CompareCorpus gates a fresh corpus report: committed analysis and
+// decode rows must reappear within tolerance, and the fresh report must
+// satisfy the v4 decode invariants. The paper section is informational
+// and never compared — it is refreshed deliberately, not per commit.
+func CompareCorpus(committed, fresh *CorpusReport, tol float64) []Finding {
+	byKey := make(map[string]CorpusResult, len(fresh.Results))
+	for _, r := range fresh.Results {
+		byKey[corpusKey(r)] = r
+	}
+	var out []Finding
+	for _, old := range committed.Results {
+		key := corpusKey(old)
+		r, ok := byKey[key]
+		if !ok {
+			out = append(out, Finding{Row: key, Msg: "row missing from fresh report"})
+			continue
+		}
+		if regressed(old.NsPerOp, r.NsPerOp, tol) {
+			out = append(out, Finding{
+				Row: key, OldNs: old.NsPerOp, NewNs: r.NsPerOp,
+				Msg: fmt.Sprintf("ns_per_op regressed %.0f%% (tolerance %.0f%%)",
+					(float64(r.NsPerOp)/float64(old.NsPerOp)-1)*100, tol*100),
+			})
+		}
+	}
+
+	decNew := make(map[string]DecodeResult, len(fresh.Decode))
+	for _, d := range fresh.Decode {
+		decNew[d.Format] = d
+	}
+	for _, old := range committed.Decode {
+		format := old.Format
+		d, ok := decNew[format]
+		if !ok {
+			out = append(out, Finding{Row: "decode/" + format, Msg: "row missing from fresh report"})
+			continue
+		}
+		if regressed(old.NsPerOp, d.NsPerOp, tol) {
+			out = append(out, Finding{
+				Row: "decode/" + format, OldNs: old.NsPerOp, NewNs: d.NsPerOp,
+				Msg: fmt.Sprintf("ns_per_op regressed %.0f%% (tolerance %.0f%%)",
+					(float64(d.NsPerOp)/float64(old.NsPerOp)-1)*100, tol*100),
+			})
+		}
+	}
+	out = append(out, DecodeInvariants(fresh.Decode)...)
+	return out
+}
+
+// DecodeInvariants checks the v4 acceptance ratios on one report's
+// decode rows: the pooled columnar path sweeps the corpus in at most
+// 1/MinV4SpeedupVsV3 of v3's time, and allocates at most
+// MaxPooledAllocsPerEvent per event. Rows may be absent (a report
+// predating the decode section gates nothing), but a present-yet-
+// failing row is a finding.
+func DecodeInvariants(decode []DecodeResult) []Finding {
+	byFormat := make(map[string]DecodeResult, len(decode))
+	for _, d := range decode {
+		byFormat[d.Format] = d
+	}
+	var out []Finding
+	v3, okV3 := byFormat["v3"]
+	pooled, okPooled := byFormat["v4-pooled"]
+	if okV3 && okPooled && v3.NsPerOp > 0 &&
+		float64(pooled.NsPerOp)*MinV4SpeedupVsV3 > float64(v3.NsPerOp) {
+		out = append(out, Finding{
+			Row: "decode/v4-pooled",
+			Msg: fmt.Sprintf("corpus sweep %d ns/op is not %.1fx faster than v3's %d ns/op (%.2fx)",
+				pooled.NsPerOp, MinV4SpeedupVsV3, v3.NsPerOp,
+				float64(v3.NsPerOp)/float64(pooled.NsPerOp)),
+		})
+	}
+	if okPooled && pooled.AllocsPerEvent > MaxPooledAllocsPerEvent {
+		out = append(out, Finding{
+			Row: "decode/v4-pooled",
+			Msg: fmt.Sprintf("allocs_per_event %.4f exceeds %.2f", pooled.AllocsPerEvent, MaxPooledAllocsPerEvent),
+		})
+	}
+	return out
+}
+
+func corpusKey(r CorpusResult) string {
+	return fmt.Sprintf("%s/cache=%d/workers=%d", r.Name, r.CacheLimit, r.Workers)
+}

@@ -406,13 +406,12 @@ func (a *Analyzer) aggregateClass(label string, refs []trace.InstanceRef, filter
 			p = impact.NewPartial()
 			fc = trace.NewFilterCache(filter)
 		}
-		for _, ref := range shards[i].Refs {
-			g := a.imp.Graph(ref)
+		a.imp.GraphsOver(shards[i].Refs, func(_ trace.InstanceRef, g *waitgraph.Graph) {
 			ag.Add(g)
 			if withImpact {
 				p.AddGraph(g, fc)
 			}
-		}
+		})
 		return classPartial{awg: ag.Partial(), imp: p}
 	})
 

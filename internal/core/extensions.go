@@ -75,17 +75,22 @@ func (a *Analyzer) LocatePattern(res *CausalityResult, p mining.Pattern, filter 
 	if filter == nil {
 		filter = trace.AllDrivers()
 	}
-	var out []PatternOccurrence
+	// Classify on metadata first, then pin each stream only while its
+	// slow instances' graphs are in use.
+	var slowRefs []trace.InstanceRef
 	for _, ref := range a.src.InstancesOf(res.Scenario) {
-		in := a.src.InstanceMeta(ref)
-		if in.Duration() <= res.Tslow {
-			continue
-		}
-		g := a.imp.Graph(ref)
-		if matched, waits := graphExhibits(g, p.Tuple, filter); matched {
-			out = append(out, PatternOccurrence{Ref: ref, Instance: in, MatchedWait: waits})
+		if a.src.InstanceMeta(ref).Duration() > res.Tslow {
+			slowRefs = append(slowRefs, ref)
 		}
 	}
+	var out []PatternOccurrence
+	a.imp.GraphsOver(slowRefs, func(ref trace.InstanceRef, g *waitgraph.Graph) {
+		if matched, waits := graphExhibits(g, p.Tuple, filter); matched {
+			out = append(out, PatternOccurrence{
+				Ref: ref, Instance: a.src.InstanceMeta(ref), MatchedWait: waits,
+			})
+		}
+	})
 	// Equal durations are real (quantised simulated time), so a plain
 	// duration sort would order tied occurrences run-dependently; the
 	// instance reference is the total-order tie-break.
@@ -181,8 +186,7 @@ func (a *Analyzer) ImpactByComponent(filter *trace.ComponentFilter, refs []trace
 		}
 		return ci
 	}
-	for _, ref := range refs {
-		g := a.imp.Graph(ref)
+	a.imp.GraphsOver(refs, func(ref trace.InstanceRef, g *waitgraph.Graph) {
 		seen := make(map[trace.EventID]bool)
 		var walk func(n *waitgraph.Node, covered bool)
 		walk = func(n *waitgraph.Node, covered bool) {
@@ -209,7 +213,7 @@ func (a *Analyzer) ImpactByComponent(filter *trace.ComponentFilter, refs []trace
 		for _, r := range g.Roots {
 			walk(r, false)
 		}
-	}
+	})
 	out := make([]ComponentImpact, 0, len(byModule))
 	for _, ci := range byModule {
 		out = append(out, *ci)

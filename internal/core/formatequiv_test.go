@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+// TestFormatEquivalence is the corpus-format acceptance test: the full
+// pipeline (impact + causality) over the same corpus stored as v3 (TSCP
+// row files), v4 (columnar), and v4-compressed must be bit-for-bit
+// identical to the in-memory reference at every combination of worker
+// count, cache limit, and buffer recycling. CI runs this under -race,
+// which also exercises the pin/release protocol concurrently.
+func TestFormatEquivalence(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	formats := []struct {
+		name  string
+		write func(*trace.Corpus, string) error
+	}{
+		{"v3", func(c *trace.Corpus, dir string) error { return c.WriteDirVersion(dir, 3) }},
+		{"v4", (*trace.Corpus).WriteDir},
+		{"v4-compressed", (*trace.Corpus).WriteDirCompressed},
+	}
+	dirs := make(map[string]string, len(formats))
+	for _, f := range formats {
+		dir := t.TempDir()
+		if err := f.write(corpus, dir); err != nil {
+			t.Fatal(err)
+		}
+		dirs[f.name] = dir
+	}
+
+	// In-memory reference, sequential.
+	ref := NewAnalyzer(corpus, WithWorkers(1))
+	wantImpact := ref.Impact(trace.AllDrivers(), "")
+	causalityScenario := scenario.BrowserTabCreate
+	tf, ts, ok := scenario.Thresholds(causalityScenario)
+	if !ok {
+		t.Fatalf("no thresholds for %q", causalityScenario)
+	}
+	cfg := CausalityConfig{Scenario: causalityScenario, Tfast: tf, Tslow: ts}
+	wantCaus, err := ref.Causality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAWG := renderAWG(t, wantCaus.SlowAWG)
+
+	for _, f := range formats {
+		for _, workers := range []int{1, 4} {
+			for _, limit := range []int{1, 0} {
+				for _, recycle := range []bool{false, true} {
+					if recycle && limit == 0 {
+						continue // nothing ever evicts, so nothing recycles
+					}
+					name := fmt.Sprintf("%s/workers=%d/limit=%d/recycle=%v", f.name, workers, limit, recycle)
+					t.Run(name, func(t *testing.T) {
+						src, err := trace.OpenDir(dirs[f.name])
+						if err != nil {
+							t.Fatal(err)
+						}
+						cached := trace.NewCachedSource(src, limit)
+						if recycle && !cached.EnableRecycling() {
+							t.Fatal("EnableRecycling reported unsupported for a DirSource")
+						}
+						an := NewAnalyzer(cached, WithWorkers(workers))
+						if got := an.Impact(trace.AllDrivers(), ""); got != wantImpact {
+							t.Errorf("impact differs:\n  got  %v\n  want %v", got, wantImpact)
+						}
+						got, err := an.Causality(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got.Patterns, wantCaus.Patterns) {
+							t.Errorf("ranked patterns differ (%d vs %d)", len(got.Patterns), len(wantCaus.Patterns))
+						}
+						if gotAWG := renderAWG(t, got.SlowAWG); gotAWG != wantAWG {
+							t.Error("slow-class AWG differs")
+						}
+						if err := an.Err(); err != nil {
+							t.Errorf("deferred fetch error: %v", err)
+						}
+						if recycle && f.name != "v3" {
+							// The whole point of recycling on a bounded v4 run:
+							// evicted streams feed later decodes.
+							if ps := src.PoolStats(); ps.Recycles == 0 || ps.Reuses == 0 {
+								t.Errorf("recycling run never reused buffers: %+v", ps)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

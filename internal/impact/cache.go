@@ -73,6 +73,30 @@ func (c *graphCache) put(ref trace.InstanceRef, g *waitgraph.Graph) int64 {
 	return evicted
 }
 
+// dropStream evicts every cached graph belonging to one stream. Called
+// from the source's eviction hook: once the decoded stream leaves the
+// source cache its graphs must not be served — with buffer recycling
+// their nodes would dangle into reused memory, and without it they
+// would keep the whole decoded stream resident past the cache bound.
+// Returns the number of entries dropped.
+func (c *graphCache) dropStream(stream int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int64
+	kept := c.fifo[:0]
+	for _, ref := range c.fifo {
+		if ref.Stream == stream {
+			delete(c.m, ref)
+			c.stats.Evictions++
+			dropped++
+			continue
+		}
+		kept = append(kept, ref)
+	}
+	c.fifo = kept
+	return dropped
+}
+
 func (c *graphCache) setLimit(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -46,6 +46,8 @@ var ErrDrop = &Analyzer{
 // errdropPackages are the directory names under internal/ the analyzer
 // applies to — the packages on the analysis hot path, where a dropped
 // error means a silently wrong result rather than a cosmetic leak.
+// Subpackages inherit the scope: internal/trace/colfmt (the v4 columnar
+// block codec) is covered through its trace parent.
 var errdropPackages = map[string]bool{
 	"engine": true, "impact": true, "trace": true, "core": true,
 	"ingest": true,

@@ -115,6 +115,73 @@ func Generate(cfg Config) *trace.Corpus {
 	return &trace.Corpus{Streams: streams}
 }
 
+// GenerateStream produces stream index of Generate(cfg)'s corpus on its
+// own: every stream derives from its own seeded generator, so
+// GenerateStream(cfg, i) is byte-identical to Generate(cfg).Streams[i]
+// without materialising the other streams.
+func GenerateStream(cfg Config, index int) *trace.Stream {
+	cfg.applyDefaults()
+	if index < 0 || index >= cfg.Streams {
+		panic(fmt.Sprintf("scenario: stream index %d out of range (%d streams)", index, cfg.Streams))
+	}
+	return generateStream(cfg, index)
+}
+
+// GenerateEach generates the corpus stream by stream, delivering each
+// to fn in index order. At most Parallelism streams are in flight at
+// once, so paper-scale corpora (tens of thousands of streams) never
+// coexist in memory — the caller typically appends each stream to a
+// directory corpus and drops it. Generation of stream i+Parallelism
+// overlaps fn(i), so an I/O-bound fn pipelines with CPU-bound
+// generation. A non-nil error from fn stops generation and is returned.
+func GenerateEach(cfg Config, fn func(index int, s *trace.Stream) error) error {
+	cfg.applyDefaults()
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > cfg.Streams {
+		par = cfg.Streams
+	}
+	if par <= 1 {
+		for i := 0; i < cfg.Streams; i++ {
+			if err := fn(i, generateStream(cfg, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// A fixed window of par single-use result slots: stream i lands in
+	// slot i%par, and the slot is relaunched with stream i+par the
+	// moment it is consumed — bounded, ordered, and deadlock-free.
+	win := make([]chan *trace.Stream, par)
+	launch := func(i int) chan *trace.Stream {
+		ch := make(chan *trace.Stream, 1)
+		go func() { ch <- generateStream(cfg, i) }()
+		return ch
+	}
+	next := 0
+	for ; next < par; next++ {
+		win[next] = launch(next)
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		s := <-win[i%par]
+		if next < cfg.Streams {
+			win[next%par] = launch(next)
+			next++
+		}
+		if err := fn(i, s); err != nil {
+			// Drain the in-flight generators before returning so none
+			// outlive the call.
+			for j := i + 1; j < next; j++ {
+				<-win[j%par]
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 func generateStream(cfg Config, index int) *trace.Stream {
 	rng := stats.NewRand(cfg.Seed + int64(index)*1_000_003 + 17)
 	mcfg := drivers.Config{

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"tracescope/internal/trace"
@@ -151,5 +153,72 @@ func TestEntryFramesAppearInGeneratedTraces(t *testing.T) {
 				seen[in.Scenario] = true // report once
 			}
 		}
+	}
+}
+
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{Seed: 3, Streams: 6, Episodes: 4}
+	corpus := Generate(cfg)
+	for _, i := range []int{0, 3, 5} {
+		var want, got bytes.Buffer
+		if err := corpus.Streams[i].WriteBinary(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := GenerateStream(cfg, i).WriteBinary(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("GenerateStream(%d) differs from Generate's stream %d", i, i)
+		}
+	}
+}
+
+func TestGenerateEachOrderAndBytes(t *testing.T) {
+	cfg := Config{Seed: 3, Streams: 9, Episodes: 3, Parallelism: 4}
+	corpus := Generate(cfg)
+	var got []int
+	err := GenerateEach(cfg, func(i int, s *trace.Stream) error {
+		got = append(got, i)
+		var a, b bytes.Buffer
+		if err := corpus.Streams[i].WriteBinary(&a); err != nil {
+			return err
+		}
+		if err := s.WriteBinary(&b); err != nil {
+			return err
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("stream %d differs under GenerateEach", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery out of order: %v", got)
+		}
+	}
+	if len(got) != cfg.Streams {
+		t.Fatalf("delivered %d of %d streams", len(got), cfg.Streams)
+	}
+}
+
+func TestGenerateEachStopsOnError(t *testing.T) {
+	cfg := Config{Seed: 1, Streams: 12, Episodes: 2, Parallelism: 3}
+	calls := 0
+	sentinel := errors.New("stop")
+	err := GenerateEach(cfg, func(i int, s *trace.Stream) error {
+		calls++
+		if i == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+	if calls != 5 {
+		t.Fatalf("fn called %d times after early stop, want 5", calls)
 	}
 }

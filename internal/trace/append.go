@@ -2,9 +2,12 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"tracescope/internal/trace/colfmt"
 )
 
 // Appender grows a corpus directory one stream at a time without ever
@@ -15,25 +18,33 @@ import (
 // the index, and every previously assigned stream index stays valid
 // because the index is append-only.
 //
-// Crash safety: the stream file is fully written and closed before its
-// index records are appended, so a crash between the two leaves an
-// orphan stream file (overwritten by the next append of that index)
-// but never an index entry pointing at a missing or partial file.
+// Crash safety: new intern records land in corpus.intern first, the
+// stream file is fully written and closed second, and the index records
+// are appended last. A crash at any point leaves at worst orphan intern
+// records or an orphan stream file (overwritten by the next append of
+// that index), never an index entry pointing at a missing or partial
+// file or a stream file referencing unflushed intern records.
 //
 // An Appender is not safe for concurrent use, and exactly one Appender
 // must own a directory at a time; the ingest server serializes both.
 type Appender struct {
 	dir     string
 	n       int  // streams already indexed
-	fresh   bool // index does not exist yet; create with a v3 header
-	version int  // record format to append in (2 or 3)
+	fresh   bool // index does not exist yet; create with a header
+	version int  // record format to append in (2, 3, or 4)
+
+	// v4 state: the corpus intern table (source of truth while this
+	// appender owns the directory) and the reusable block encoder.
+	intern   *InternTable
+	enc      *colfmt.Encoder
+	compress bool
 }
 
 // OpenAppender opens dir for append-only corpus growth, creating the
 // directory if needed. An existing corpus continues from its current
-// stream count in its own index version (2 or 3; legacy v1 indexes
+// stream count in its own index version (2, 3, or 4; legacy v1 indexes
 // carry no metadata and are rejected — rewrite them with WriteDir
-// first). A missing index starts an empty version-3 corpus.
+// first). A missing index starts an empty version-4 corpus.
 func OpenAppender(dir string) (*Appender, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -42,6 +53,7 @@ func OpenAppender(dir string) (*Appender, error) {
 	data, err := os.ReadFile(filepath.Join(dir, indexFile))
 	if os.IsNotExist(err) {
 		a.fresh = true
+		a.intern = NewInternTable()
 		return a, nil
 	}
 	if err != nil {
@@ -56,8 +68,23 @@ func OpenAppender(dir string) (*Appender, error) {
 	}
 	a.n = len(metas)
 	a.version = version
+	if version >= 4 {
+		idata, err := os.ReadFile(filepath.Join(dir, internFile))
+		if err != nil {
+			return nil, fmt.Errorf("trace: version-%d corpus: %w", version, err)
+		}
+		a.intern, err = readInternTable(idata)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return a, nil
 }
+
+// SetCompression toggles flate compression of event blocks for
+// subsequent v4 appends (off by default; decode throughput beats size
+// on the analysis path).
+func (a *Appender) SetCompression(on bool) { a.compress = on }
 
 // NumStreams returns the number of streams currently indexed.
 func (a *Appender) NumStreams() int { return a.n }
@@ -71,8 +98,12 @@ func (a *Appender) Append(s *Stream) (int, error) {
 		return 0, fmt.Errorf("trace: appending stream: %w", err)
 	}
 	idx := a.n
-	name := fmt.Sprintf("stream-%05d.tscp", idx)
-	if err := a.writeStreamFile(name, s); err != nil {
+	name := streamFileName(idx, a.version)
+	if a.version >= 4 {
+		if err := a.writeStreamFileV4(name, s); err != nil {
+			return 0, err
+		}
+	} else if err := a.writeStreamFile(name, s); err != nil {
 		return 0, err
 	}
 	m := StreamMeta{
@@ -107,6 +138,70 @@ func (a *Appender) writeStreamFile(name string, s *Stream) error {
 	return nil
 }
 
+// writeStreamFileV4 encodes s against the corpus intern table, flushes
+// any new intern records to corpus.intern, and only then writes the
+// stream file — so no stream file on disk ever references an unflushed
+// intern record.
+func (a *Appender) writeStreamFileV4(name string, s *Stream) error {
+	if a.enc == nil {
+		a.enc = colfmt.NewEncoder(eventColumns)
+	}
+	var buf bytes.Buffer
+	if err := s.writeBinaryV4(&buf, a.intern, a.enc, a.compress); err != nil {
+		return fmt.Errorf("trace: encoding %s: %w", name, err)
+	}
+	if err := a.appendInternRecords(); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(a.dir, name))
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(buf.Bytes())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", name, err)
+	}
+	return nil
+}
+
+// appendInternRecords lands intern records added since the last flush,
+// creating corpus.intern with its header on first use. On failure the
+// flushed cursors are rolled back so the records retry on the next
+// append.
+func (a *Appender) appendInternRecords() error {
+	if a.intern.flushedFrames == len(a.intern.frames) &&
+		a.intern.flushedStacks == len(a.intern.stacks) {
+		return nil
+	}
+	path := filepath.Join(a.dir, internFile)
+	_, serr := os.Stat(path)
+	freshIntern := os.IsNotExist(serr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	ff, fs := a.intern.flushedFrames, a.intern.flushedStacks
+	bw := bufio.NewWriter(f)
+	if freshIntern {
+		bw.WriteString(colfmt.InternMagic) //nolint:errcheck // bufio defers errors to Flush
+	}
+	err = a.intern.appendRecordsSince(bw)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		a.intern.flushedFrames, a.intern.flushedStacks = ff, fs
+		return fmt.Errorf("trace: appending to %s: %w", internFile, err)
+	}
+	return nil
+}
+
 // appendIndexRecord appends one stream's records to the index, writing
 // the version header first when the index is being created.
 func (a *Appender) appendIndexRecord(seq int, m StreamMeta) error {
@@ -117,7 +212,7 @@ func (a *Appender) appendIndexRecord(seq int, m StreamMeta) error {
 	}
 	bw := bufio.NewWriter(f)
 	if a.fresh {
-		fmt.Fprintf(bw, "%s %d\n", indexMagic, indexVersion)
+		fmt.Fprintf(bw, "%s %d\n", indexMagic, a.version)
 	}
 	if a.version >= 3 {
 		err = writeStreamRecord(bw, seq, m)

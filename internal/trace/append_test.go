@@ -137,21 +137,8 @@ func (n nopWriteCloser) Write(p []byte) (int, error) { return n.w.Write(p) }
 // self-consistent.
 func TestAppenderKeepsV2Format(t *testing.T) {
 	dir := t.TempDir()
-	a, err := OpenAppender(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := a.Append(randomStream(1)); err != nil {
-		t.Fatal(err)
-	}
-	// Downgrade the index to v2 by stripping the sequence numbers.
-	data, err := os.ReadFile(filepath.Join(dir, indexFile))
-	if err != nil {
-		t.Fatal(err)
-	}
-	v2 := strings.ReplaceAll(string(data), "TSINDEX 3", "TSINDEX 2")
-	v2 = strings.ReplaceAll(v2, "s 0 ", "s ")
-	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte(v2), 0o644); err != nil {
+	c := NewCorpus(randomStream(1))
+	if err := c.WriteDirVersion(dir, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -296,11 +283,11 @@ func TestDirSourceReloadRejectsRewrite(t *testing.T) {
 // produces an actionable error naming both the found and the supported
 // versions, not a bare mismatch.
 func TestParseIndexUnsupportedVersion(t *testing.T) {
-	_, _, err := parseIndex("TSINDEX 4\n")
+	_, _, err := parseIndex("TSINDEX 5\n")
 	if !errors.Is(err, ErrBadFormat) {
 		t.Fatalf("err = %v, want ErrBadFormat", err)
 	}
-	for _, want := range []string{"found index version 4", "supports versions 1 through 3", "upgrade"} {
+	for _, want := range []string{"found index version 5", "supports versions 1 through 4", "upgrade"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not mention %q", err, want)
 		}

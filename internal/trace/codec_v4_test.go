@@ -1,0 +1,485 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracescope/internal/trace/colfmt"
+)
+
+// TestV4RoundTrip checks that a v4 corpus decodes to streams
+// indistinguishable from the in-memory originals — same local frame and
+// stack ID spaces, events, instances, and threads — with and without
+// block compression. Bit-for-bit analysis equivalence across formats
+// rests on this.
+func TestV4RoundTrip(t *testing.T) {
+	streams := []*Stream{randomStream(1), randomStream(2), randomStream(3)}
+	c := NewCorpus(streams...)
+	for _, tc := range []struct {
+		name  string
+		write func(dir string) error
+	}{
+		{"plain", func(dir string) error { return c.WriteDir(dir) }},
+		{"compressed", func(dir string) error { return c.WriteDirCompressed(dir) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := tc.write(dir); err != nil {
+				t.Fatal(err)
+			}
+			d, err := OpenDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Version() != indexVersion {
+				t.Fatalf("Version = %d, want %d", d.Version(), indexVersion)
+			}
+			if d.Intern() == nil {
+				t.Fatal("v4 corpus has no intern table")
+			}
+			for i, want := range streams {
+				got, err := d.Stream(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !streamsEqual(got, want) {
+					t.Fatalf("stream %d round-trip mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestV4DecodeMatchesV3 writes the same corpus in v3 (TSCP streams) and
+// v4 (columnar) and checks the decoded streams are equal field for
+// field — the format-equivalence contract at the trace layer.
+func TestV4DecodeMatchesV3(t *testing.T) {
+	c := NewCorpus(randomStream(10), randomStream(11))
+	dir3, dir4 := t.TempDir(), t.TempDir()
+	if err := c.WriteDirVersion(dir3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteDir(dir4); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := OpenDir(dir3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := OpenDir(dir4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d3.NumStreams(); i++ {
+		s3, err := d3.Stream(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s4, err := d4.Stream(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !streamsEqual(s3, s4) {
+			t.Fatalf("stream %d differs between v3 and v4 decode", i)
+		}
+	}
+}
+
+// TestV4InternSharing checks that streams sharing frames share intern
+// table entries: the corpus-level table holds each distinct frame once.
+func TestV4InternSharing(t *testing.T) {
+	// randomStream draws from the same 5-frame universe for every seed.
+	c := NewCorpus(randomStream(1), randomStream(2), randomStream(3), randomStream(4))
+	dir := t.TempDir()
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Intern().NumFrames(); n > 5 {
+		t.Fatalf("intern table holds %d frames for a 5-frame universe", n)
+	}
+	sum := 0
+	for i := 0; i < c.NumStreams(); i++ {
+		sum += c.Streams[i].NumFrames()
+	}
+	if d.Intern().NumFrames() >= sum && sum > 5 {
+		t.Fatalf("intern table (%d frames) shows no cross-stream sharing (per-stream sum %d)", d.Intern().NumFrames(), sum)
+	}
+}
+
+// TestV4AppendReloadInternTail checks the incremental path: an open
+// DirSource picks up appended streams — including brand-new frames and
+// stacks that land in the corpus.intern tail — via Reload alone.
+func TestV4AppendReloadInternTail(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(randomStream(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framesBefore := d.Intern().NumFrames()
+
+	// A stream with frames no prior stream interned.
+	fresh := NewStream("fresh")
+	st := fresh.InternStackStrings("newmod.sys!Entry", "newmod.sys!Worker")
+	fresh.AppendEvent(Event{Type: Running, Time: 0, Cost: 10, TID: 0, WTID: NoThread, Stack: st})
+	fresh.SetThread(0, "App", "T0")
+	fresh.Instances = append(fresh.Instances, Instance{Scenario: "S1", TID: 0, Start: 0, End: 50})
+	if err := fresh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := d.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Reload discovered %d streams, want 1", n)
+	}
+	if d.Intern().NumFrames() != framesBefore+2 {
+		t.Fatalf("intern table has %d frames after reload, want %d", d.Intern().NumFrames(), framesBefore+2)
+	}
+	got, err := d.Stream(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(got, fresh) {
+		t.Fatal("appended stream does not round-trip through the intern tail")
+	}
+}
+
+// TestV4ReloadRejectsShrunkIntern checks the append-only contract on
+// corpus.intern: a truncated file fails Reload with ErrBadFormat.
+func TestV4ReloadRejectsShrunkIntern(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Append(randomStream(1)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, internFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Reload(); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("Reload over a shrunk intern table: err = %v, want ErrBadFormat", err)
+	}
+}
+
+// TestStreamPoolRecycle checks the zero-alloc decode loop: recycling a
+// decoded stream lets the next decode reuse its buffers, and a double
+// Recycle of the same stream is a no-op (the buffers detach on the
+// first call).
+func TestStreamPoolRecycle(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(randomStream(1), randomStream(2))
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := d.Stream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Recycle(s0)
+	d.Recycle(s0) // must be a no-op, not a double free
+	s1, err := d.Stream(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s1, c.Streams[1]) {
+		t.Fatal("stream decoded into recycled buffers mismatches the original")
+	}
+	st := d.PoolStats()
+	if st.Gets != 2 || st.Reuses != 1 || st.Recycles != 1 {
+		t.Fatalf("PoolStats = %+v, want Gets 2, Reuses 1, Recycles 1", st)
+	}
+}
+
+// TestV4DecodedStreamCanIntern checks that a pooled-decode stream still
+// supports interning new frames and stacks (index maps rebuild lazily)
+// without disturbing existing IDs.
+func TestV4DecodedStreamCanIntern(t *testing.T) {
+	dir := t.TempDir()
+	orig := randomStream(1)
+	if err := NewCorpus(orig).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Stream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-interning an existing frame must return its existing ID.
+	want := s.Frame(0)
+	if got := s.InternFrame(want); got != 0 {
+		t.Fatalf("InternFrame(%q) = %d, want 0", want, got)
+	}
+	// A fresh frame gets the next ID.
+	n := s.NumFrames()
+	if got := s.InternFrame("brandnew.sys!F"); int(got) != n {
+		t.Fatalf("InternFrame(new) = %d, want %d", got, n)
+	}
+	// Same for stacks.
+	existing := s.Stack(0)
+	if got := s.InternStack(existing); got != 0 {
+		t.Fatalf("InternStack(existing) = %d, want 0", got)
+	}
+}
+
+// TestCachedSourcePinning checks the recycling protocol end to end:
+// eviction hooks fire before release hooks, a pinned stream parks as a
+// zombie until its last Unpin, and unpinned evictions recycle
+// immediately.
+func TestCachedSourcePinning(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(randomStream(1), randomStream(2), randomStream(3))
+	if err := c.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCachedSource(d, 1)
+	if !cs.EnableRecycling() {
+		t.Fatal("EnableRecycling reported unsupported for a v4 DirSource")
+	}
+	var order []string
+	cs.AddEvictionHook(func(i int) { order = append(order, "evict") })
+	cs.AddReleaseHook(func(i int) { order = append(order, "release") })
+
+	// Pinned eviction: stream 0 survives as a zombie until Unpin.
+	cs.Pin(0)
+	if _, err := cs.Stream(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Stream(1); err != nil { // evicts 0, still pinned
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != "evict" {
+		t.Fatalf("hook order after pinned eviction = %v, want [evict]", order)
+	}
+	if got := d.PoolStats().Recycles; got != 0 {
+		t.Fatalf("pinned stream recycled early: Recycles = %d", got)
+	}
+	cs.Unpin(0)
+	if len(order) != 2 || order[1] != "release" {
+		t.Fatalf("hook order after Unpin = %v, want [evict release]", order)
+	}
+	if got := d.PoolStats().Recycles; got != 1 {
+		t.Fatalf("Recycles = %d after last Unpin, want 1", got)
+	}
+
+	// Unpinned eviction: recycled as part of the eviction itself.
+	if _, err := cs.Stream(2); err != nil { // evicts 1, no pins
+		t.Fatal(err)
+	}
+	if got := d.PoolStats().Recycles; got != 2 {
+		t.Fatalf("Recycles = %d after unpinned eviction, want 2", got)
+	}
+	if len(order) != 4 || order[2] != "evict" || order[3] != "release" {
+		t.Fatalf("hook order after unpinned eviction = %v", order)
+	}
+}
+
+// TestCachedSourceUnpinWithoutPin checks the misuse guard.
+func TestCachedSourceUnpinWithoutPin(t *testing.T) {
+	cs := NewCachedSource(NewCorpus(randomStream(1)), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin without Pin did not panic")
+		}
+	}()
+	cs.Unpin(0)
+}
+
+// TestV4CorruptInputs mutates a valid v4 stream file in targeted ways;
+// every mutation must fail decode with ErrBadFormat, never panic.
+func TestV4CorruptInputs(t *testing.T) {
+	dir := t.TempDir()
+	if err := NewCorpus(randomStream(1)).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := d.StreamMeta(0).File
+	valid, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 9; return b }},
+		{"truncated half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF, 0xFF) }},
+		{"frame ref out of range", func(b []byte) []byte {
+			// The first frame-table entry follows magic(4) + version(2) +
+			// ID string + table length. Blow up the referenced global ID.
+			c := &byteCursor{data: b, off: 6}
+			if _, err := c.string(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.uvarint(); err != nil { // table length
+				t.Fatal(err)
+			}
+			b[c.off] = 0x7F // global frame 127 in a 5-frame table
+			return b
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := d.pool.get()
+			defer d.pool.put(b)
+			mutated := tc.mutate(append([]byte(nil), valid...))
+			if _, err := readBinaryV4(mutated, d.intern, b); !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("decode of %s input: err = %v, want ErrBadFormat", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestCollectDirStats checks the skim path agrees with the index and
+// with block-level expectations for plain and compressed corpora.
+func TestCollectDirStats(t *testing.T) {
+	streams := []*Stream{randomStream(1), randomStream(2)}
+	wantEvents := 0
+	for _, s := range streams {
+		wantEvents += len(s.Events)
+	}
+	c := NewCorpus(streams...)
+
+	t.Run("v4", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := c.WriteDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		st, err := CollectDirStats(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version != indexVersion || st.Streams != 2 || st.Events != wantEvents {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.Blocks != 2 { // each stream has < DefaultBlockRows events
+			t.Fatalf("Blocks = %d, want 2", st.Blocks)
+		}
+		if st.CompressedBlocks != 0 {
+			t.Fatalf("CompressedBlocks = %d in an uncompressed corpus", st.CompressedBlocks)
+		}
+		if st.EventBytesStored != st.EventBytesRaw {
+			t.Fatalf("stored %d != raw %d for raw blocks", st.EventBytesStored, st.EventBytesRaw)
+		}
+		if st.Frames == 0 || st.Stacks == 0 || st.InternBytes == 0 {
+			t.Fatalf("intern accounting missing: %+v", st)
+		}
+		if st.StreamBytes == 0 || st.IndexBytes == 0 {
+			t.Fatalf("file accounting missing: %+v", st)
+		}
+	})
+
+	t.Run("compressed", func(t *testing.T) {
+		dir := t.TempDir()
+		// Use a repetitive stream so flate actually engages.
+		rep := NewStream("rep")
+		stk := rep.InternStackStrings("mod!F")
+		for i := 0; i < 5000; i++ {
+			rep.AppendEvent(Event{Type: Running, Time: Time(i * 10), Cost: 5, TID: 0, WTID: NoThread, Stack: stk})
+		}
+		rep.SetThread(0, "App", "T0")
+		rep.Instances = append(rep.Instances, Instance{Scenario: "S1", TID: 0, Start: 0, End: 50001})
+		if err := NewCorpus(rep).WriteDirCompressed(dir); err != nil {
+			t.Fatal(err)
+		}
+		st, err := CollectDirStats(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CompressedBlocks == 0 {
+			t.Fatal("no compressed blocks in a compressed repetitive corpus")
+		}
+		if st.EventBytesStored >= st.EventBytesRaw {
+			t.Fatalf("stored %d >= raw %d despite compression", st.EventBytesStored, st.EventBytesRaw)
+		}
+	})
+
+	t.Run("v3", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := c.WriteDirVersion(dir, 3); err != nil {
+			t.Fatal(err)
+		}
+		st, err := CollectDirStats(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version != 3 || st.Streams != 2 || st.Events != wantEvents {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.Blocks != 0 || st.Frames != 0 || st.InternBytes != 0 {
+			t.Fatalf("v3 corpus reports v4-only fields: %+v", st)
+		}
+	})
+}
+
+// TestV4StreamFileSmaller sanity-checks the columnar encoding pays for
+// itself on a repetitive stream (the common shape after interning).
+func TestV4StreamFileSmaller(t *testing.T) {
+	s := NewStream("rep")
+	stk := s.InternStackStrings("fs.sys!Read", "kernel!Wait", "App!Main")
+	for i := 0; i < 10000; i++ {
+		s.AppendEvent(Event{Type: Running, Time: Time(i * 10), Cost: 7, TID: 1, WTID: NoThread, Stack: stk})
+	}
+	s.SetThread(1, "App", "T1")
+	s.Instances = append(s.Instances, Instance{Scenario: "S1", TID: 1, Start: 0, End: 100001})
+
+	var v1 bytes.Buffer
+	if err := s.WriteBinary(&v1); err != nil {
+		t.Fatal(err)
+	}
+	var v4 bytes.Buffer
+	it := NewInternTable()
+	enc := colfmt.NewEncoder(eventColumns)
+	if err := s.writeBinaryV4(&v4, it, enc, false); err != nil {
+		t.Fatal(err)
+	}
+	if v4.Len() >= v1.Len() {
+		t.Fatalf("v4 encoding (%d bytes) not smaller than v1 (%d bytes) on a repetitive stream", v4.Len(), v1.Len())
+	}
+}

@@ -1,0 +1,121 @@
+package colfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The corpus-level intern container (`corpus.intern`) is an appendable
+// record stream: a text header line followed by binary records, each
+// either a frame string or a stack of previously defined frame IDs.
+// Appenders only ever add records at the end — IDs are assigned in
+// record order — so a crashed writer leaves at worst trailing orphan
+// records that no stream file references, never a corrupt table.
+//
+// Record wire format:
+//
+//	'F' uvarint len | len bytes          frame string (next frame ID)
+//	'S' uvarint n | n × uvarint frameID  stack (next stack ID)
+
+// InternMagic is the first line of a corpus.intern file.
+const InternMagic = "TSINTERN 1\n"
+
+const (
+	recFrame = 'F'
+	recStack = 'S'
+	// maxInternString bounds a frame string read from untrusted input.
+	maxInternString = 1 << 20
+	// maxInternStack bounds a stack's frame count.
+	maxInternStack = 1 << 16
+)
+
+// AppendFrame writes one frame record.
+func AppendFrame(w io.Writer, frame string) error {
+	if len(frame) > maxInternString {
+		return fmt.Errorf("colfmt: frame string of %d bytes exceeds limit", len(frame))
+	}
+	var buf [1 + binary.MaxVarintLen64]byte
+	buf[0] = recFrame
+	n := 1 + binary.PutUvarint(buf[1:], uint64(len(frame)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, frame)
+	return err
+}
+
+// AppendStack writes one stack record referencing frame IDs that must
+// already have been appended.
+func AppendStack(w io.Writer, frames []uint32) error {
+	if len(frames) > maxInternStack {
+		return fmt.Errorf("colfmt: stack of %d frames exceeds limit", len(frames))
+	}
+	buf := make([]byte, 0, 1+(len(frames)+1)*binary.MaxVarintLen32)
+	var vbuf [binary.MaxVarintLen64]byte
+	buf = append(buf, recStack)
+	n := binary.PutUvarint(vbuf[:], uint64(len(frames)))
+	buf = append(buf, vbuf[:n]...)
+	for _, f := range frames {
+		n = binary.PutUvarint(vbuf[:], uint64(f))
+		buf = append(buf, vbuf[:n]...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadInternRecords parses every record in data (the file body after
+// the header line), invoking frame for each frame record and stack for
+// each stack record, in file order. The slice passed to stack is
+// scratch reused across calls — callers must copy what they keep. Frame
+// IDs inside stack records are validated against the number of frames
+// seen so far plus base (the frame count already loaded by a previous
+// incremental read).
+func ReadInternRecords(data []byte, base int, frame func(string) error, stack func([]uint32) error) error {
+	nFrames := base
+	var scratch []uint32
+	for off := 0; off < len(data); {
+		rec := data[off]
+		off++
+		switch rec {
+		case recFrame:
+			v, n := binary.Uvarint(data[off:])
+			if n <= 0 || v > maxInternString {
+				return fmt.Errorf("%w: frame record length", ErrCorrupt)
+			}
+			off += n
+			if uint64(len(data)-off) < v {
+				return fmt.Errorf("%w: truncated frame record", ErrCorrupt)
+			}
+			if err := frame(string(data[off : off+int(v)])); err != nil {
+				return err
+			}
+			off += int(v)
+			nFrames++
+		case recStack:
+			v, n := binary.Uvarint(data[off:])
+			if n <= 0 || v > maxInternStack {
+				return fmt.Errorf("%w: stack record length", ErrCorrupt)
+			}
+			off += n
+			scratch = scratch[:0]
+			for i := uint64(0); i < v; i++ {
+				f, n := binary.Uvarint(data[off:])
+				if n <= 0 {
+					return fmt.Errorf("%w: stack record frame id", ErrCorrupt)
+				}
+				if f >= uint64(nFrames) {
+					return fmt.Errorf("%w: stack references frame %d of %d", ErrCorrupt, f, nFrames)
+				}
+				off += n
+				scratch = append(scratch, uint32(f))
+			}
+			if err := stack(scratch); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown intern record %#x", ErrCorrupt, rec)
+		}
+	}
+	return nil
+}

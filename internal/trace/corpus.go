@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tracescope/internal/trace/colfmt"
 )
 
 // Corpus is a collection of trace streams, the unit over which impact and
@@ -116,22 +118,62 @@ func (c *Corpus) Validate() error {
 	return nil
 }
 
-// WriteDir persists the corpus as one binary file per stream plus a
-// version-2 corpus.index recording per-stream and per-instance metadata,
-// creating dir if needed. The index lets OpenDir enumerate scenarios and
-// instances without decoding any stream.
+// WriteDir persists the corpus in the current format (v4): one
+// columnar binary file per stream, the corpus.intern frame/stack
+// container, and a corpus.index recording per-stream and per-instance
+// metadata, creating dir if needed. The index lets OpenDir enumerate
+// scenarios and instances without decoding any stream.
 func (c *Corpus) WriteDir(dir string) error {
+	return c.writeDir(dir, indexVersion, false)
+}
+
+// WriteDirCompressed is WriteDir with flate compression on every event
+// block — smaller files at decode-throughput cost.
+func (c *Corpus) WriteDirCompressed(dir string) error {
+	return c.writeDir(dir, indexVersion, true)
+}
+
+// WriteDirVersion persists the corpus in an older on-disk format
+// (versions 2 and 3 write v1 stream files behind the corresponding
+// index header), for conversion tooling and compatibility tests.
+func (c *Corpus) WriteDirVersion(dir string, version int) error {
+	return c.writeDir(dir, version, false)
+}
+
+// streamFileName names stream i's file: columnar .tsc4 containers from
+// format v4 on, v1 .tscp containers before.
+func streamFileName(i, version int) string {
+	if version >= 4 {
+		return fmt.Sprintf("stream-%05d.tsc4", i)
+	}
+	return fmt.Sprintf("stream-%05d.tscp", i)
+}
+
+func (c *Corpus) writeDir(dir string, version int, compress bool) error {
+	if version < 2 || version > indexVersion {
+		return fmt.Errorf("trace: cannot write corpus version %d (supported: 2 through %d)", version, indexVersion)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	var it *InternTable
+	var enc *colfmt.Encoder
+	if version >= 4 {
+		it = NewInternTable()
+		enc = colfmt.NewEncoder(eventColumns)
+	}
 	metas := make([]StreamMeta, 0, len(c.Streams))
 	for i, s := range c.Streams {
-		name := fmt.Sprintf("stream-%05d.tscp", i)
+		name := streamFileName(i, version)
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
-		err = s.WriteBinary(f)
+		if version >= 4 {
+			err = s.writeBinaryV4(f, it, enc, compress)
+		} else {
+			err = s.WriteBinary(f)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -142,11 +184,24 @@ func (c *Corpus) WriteDir(dir string) error {
 		m.File = name
 		metas = append(metas, m)
 	}
+	if version >= 4 {
+		f, err := os.Create(filepath.Join(dir, internFile))
+		if err != nil {
+			return err
+		}
+		err = it.writeInternFile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: writing %s: %w", internFile, err)
+		}
+	}
 	index, err := os.Create(filepath.Join(dir, indexFile))
 	if err != nil {
 		return err
 	}
-	err = writeIndex(index, metas)
+	err = writeIndex(index, metas, version)
 	if cerr := index.Close(); err == nil {
 		err = cerr
 	}
@@ -154,36 +209,15 @@ func (c *Corpus) WriteDir(dir string) error {
 }
 
 // ReadDir loads a corpus previously written with WriteDir eagerly into
-// memory. Both index versions are accepted; index entries are validated
-// (no duplicate or path-escaping file names) before any file is opened.
-// For lazy, out-of-core access use OpenDir instead.
+// memory. Every on-disk version is accepted; index entries are
+// validated (no duplicate or path-escaping file names) before any file
+// is opened. For lazy, out-of-core access use OpenDir instead.
 func ReadDir(dir string) (*Corpus, error) {
-	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	d, err := OpenDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	metas, _, err := parseIndex(string(data))
-	if err != nil {
-		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
-	}
-	c := &Corpus{}
-	for _, m := range metas {
-		f, err := os.Open(filepath.Join(dir, filepath.FromSlash(m.File)))
-		if err != nil {
-			return nil, err
-		}
-		s, err := ReadBinary(f)
-		if cerr := f.Close(); err == nil {
-			// A close error on a fully decoded stream still means the
-			// underlying read may have been short; surface it.
-			err = cerr
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading %s: %w", m.File, err)
-		}
-		c.Add(s)
-	}
-	return c, nil
+	return d.Materialize()
 }
 
 // WriteTo streams every trace in the corpus to w, concatenated with a

@@ -40,21 +40,33 @@ import (
 // detect a truncated or rewritten index instead of silently renumbering
 // streams (EventIDs and InstanceRefs reference streams by index).
 //
-// All three versions are read; WriteDir and Appender write version 3.
+// Version 4: the columnar form. Index records are identical to version
+// 3; the header version marks that stream files are TSC4 columnar
+// containers (codec_v4.go) referencing the corpus-level corpus.intern
+// frame/stack table, which sits next to the index and is itself
+// append-only (Reload reads only its new tail).
+//
+// All four versions are read; WriteDir and Appender write version 4.
 
 const (
 	indexFile    = "corpus.index"
 	indexMagic   = "TSINDEX"
-	indexVersion = 3
+	indexVersion = 4
 )
 
-// writeIndex writes a version-3 corpus index for the given stream
-// metadata.
-func writeIndex(w io.Writer, metas []StreamMeta) error {
+// writeIndex writes a corpus index for the given stream metadata in the
+// requested version (2, 3, or 4).
+func writeIndex(w io.Writer, metas []StreamMeta, version int) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "%s %d\n", indexMagic, indexVersion)
+	fmt.Fprintf(bw, "%s %d\n", indexMagic, version)
 	for seq, m := range metas {
-		if err := writeStreamRecord(bw, seq, m); err != nil {
+		var err error
+		if version >= 3 {
+			err = writeStreamRecord(bw, seq, m)
+		} else {
+			err = writeStreamRecordV2(bw, m)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -283,19 +295,29 @@ func checkIndexFile(name string, seen map[string]bool) error {
 // serialize Reload against all other methods (the tracescoped daemon
 // holds its state lock across it).
 type DirSource struct {
-	dir   string
-	rich  bool // version >= 2: instance metadata present in the index
-	metas []StreamMeta
-	rec   obs.Recorder
+	dir     string
+	rich    bool // version >= 2: instance metadata present in the index
+	version int
+	metas   []StreamMeta
+	rec     obs.Recorder
+
+	// v4 state: the corpus intern table, the byte offset up to which
+	// corpus.intern has been loaded (Reload reads only the new tail), and
+	// the decode-buffer pool.
+	intern     *InternTable
+	internSize int64
+	pool       *StreamPool
 
 	numInstances int
 	numEvents    int
 	totalDur     Duration
 }
 
-// OpenDir opens a corpus directory lazily. For a version-2 or -3 index
-// this reads only the index file; for a legacy version-1 index every
-// stream is decoded once to recover the metadata (and then released).
+// OpenDir opens a corpus directory lazily. For a version >= 2 index
+// this reads only the index file (plus, from version 4, the
+// corpus.intern frame/stack container); for a legacy version-1 index
+// every stream is decoded once to recover the metadata (and then
+// released).
 func OpenDir(dir string) (*DirSource, error) {
 	data, err := os.ReadFile(filepath.Join(dir, indexFile))
 	if err != nil {
@@ -305,7 +327,20 @@ func OpenDir(dir string) (*DirSource, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", indexFile, err)
 	}
-	d := &DirSource{dir: dir, rich: version >= 2, metas: metas, rec: obs.Nop}
+	d := &DirSource{dir: dir, rich: version >= 2, version: version, metas: metas, rec: obs.Nop}
+	if version >= 4 {
+		idata, err := os.ReadFile(filepath.Join(dir, internFile))
+		if err != nil {
+			return nil, fmt.Errorf("trace: version-%d corpus: %w", version, err)
+		}
+		it, err := readInternTable(idata)
+		if err != nil {
+			return nil, err
+		}
+		d.intern = it
+		d.internSize = int64(len(idata))
+		d.pool = NewStreamPool()
+	}
 	if !d.rich {
 		for i := range d.metas {
 			s, err := d.Stream(i)
@@ -341,6 +376,14 @@ func OpenDir(dir string) (*DirSource, error) {
 func (d *DirSource) Reload() (int, error) {
 	if !d.rich {
 		return 0, fmt.Errorf("trace: %s: reload needs a version >= 2 index (legacy v1 corpora are not appendable)", indexFile)
+	}
+	// The intern table is append-only too; load its new tail before the
+	// index so every stream the reloaded index names can resolve its
+	// global IDs (the Appender lands intern records before index records).
+	if d.version >= 4 {
+		if err := d.reloadIntern(); err != nil {
+			return 0, err
+		}
 	}
 	data, err := os.ReadFile(filepath.Join(d.dir, indexFile))
 	if err != nil {
@@ -434,6 +477,9 @@ func (d *DirSource) Stream(i int) (*Stream, error) {
 
 // decode reads and decodes stream i's backing file.
 func (d *DirSource) decode(i int) (*Stream, error) {
+	if d.version >= 4 {
+		return d.decodeV4(i)
+	}
 	name := d.metas[i].File
 	f, err := os.Open(filepath.Join(d.dir, filepath.FromSlash(name)))
 	if err != nil {
@@ -455,6 +501,109 @@ func (d *DirSource) decode(i int) (*Stream, error) {
 			ErrBadFormat, name, len(s.Instances), len(d.metas[i].Instances))
 	}
 	return s, nil
+}
+
+// decodeV4 decodes stream i's columnar file into pooled buffers. The
+// buffer set rides on the returned stream (Stream.bufs) and comes back
+// via Recycle; decode failures return it to the pool immediately.
+func (d *DirSource) decodeV4(i int) (*Stream, error) {
+	name := d.metas[i].File
+	b := d.pool.get()
+	s, err := d.readFileV4(name, b)
+	if err != nil {
+		d.pool.put(b)
+		return nil, fmt.Errorf("trace: reading %s: %w", name, err)
+	}
+	if len(s.Instances) != len(d.metas[i].Instances) {
+		d.pool.put(b)
+		return nil, fmt.Errorf("%w: %s: stream has %d instances but index records %d",
+			ErrBadFormat, name, len(s.Instances), len(d.metas[i].Instances))
+	}
+	return s, nil
+}
+
+// readFileV4 reads one stream file into b.raw and decodes it in place.
+func (d *DirSource) readFileV4(name string, b *decodeBufs) (*Stream, error) {
+	f, err := os.Open(filepath.Join(d.dir, filepath.FromSlash(name)))
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err == nil {
+		size := int(st.Size())
+		if cap(b.raw) < size {
+			b.raw = make([]byte, size)
+		}
+		b.raw = b.raw[:size]
+		_, err = io.ReadFull(f, b.raw)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return readBinaryV4(b.raw, d.intern, b)
+}
+
+// reloadIntern reads the corpus.intern records appended since the last
+// load. A shrunken file breaks the append-only contract.
+func (d *DirSource) reloadIntern() (err error) {
+	path := filepath.Join(d.dir, internFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < d.internSize {
+		return fmt.Errorf("trace: %s: %w: intern table shrank from %d to %d bytes (append-only contract broken)",
+			internFile, ErrBadFormat, d.internSize, st.Size())
+	}
+	if st.Size() == d.internSize {
+		return nil
+	}
+	tail := make([]byte, st.Size()-d.internSize)
+	if _, err := f.ReadAt(tail, d.internSize); err != nil {
+		return err
+	}
+	if err := d.intern.addRecords(tail); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadFormat, internFile, err)
+	}
+	d.internSize = st.Size()
+	return nil
+}
+
+// Version returns the corpus's on-disk index version.
+func (d *DirSource) Version() int { return d.version }
+
+// Intern returns the corpus-level intern table, or nil for corpora
+// before format v4. Read-only between Reloads.
+func (d *DirSource) Intern() *InternTable { return d.intern }
+
+// Recycle returns a stream previously decoded by this source to its
+// buffer pool. Callers must guarantee no references to the stream
+// remain (see StreamPool); streams from pre-v4 corpora are ignored.
+func (d *DirSource) Recycle(s *Stream) {
+	if d.pool != nil {
+		d.pool.Recycle(s)
+	}
+}
+
+// PoolStats reports decode-buffer pool counters (zero for pre-v4
+// corpora).
+func (d *DirSource) PoolStats() StreamPoolStats {
+	if d.pool == nil {
+		return StreamPoolStats{}
+	}
+	return d.pool.Stats()
 }
 
 // Materialize decodes every stream into an in-memory Corpus (the eager

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tracescope/internal/trace/colfmt"
+)
+
+// DirStats summarizes a corpus directory's on-disk footprint without
+// decoding any event payloads: index metadata plus, for version-4
+// corpora, per-block storage accounting skimmed from the columnar
+// stream files (tracedump -stats renders it).
+type DirStats struct {
+	Version   int // index version on disk
+	Streams   int
+	Events    int
+	Instances int
+
+	// Corpus-level intern table (version >= 4; zero before).
+	Frames int
+	Stacks int
+
+	// Event-block accounting (version >= 4; zero before).
+	Blocks           int
+	CompressedBlocks int
+	EventBytesStored int64 // block payload bytes as stored on disk
+	EventBytesRaw    int64 // block payload bytes after decompression
+
+	// File sizes.
+	StreamBytes int64
+	IndexBytes  int64
+	InternBytes int64 // corpus.intern (version >= 4)
+}
+
+// CollectDirStats opens dir's index and skims every stream file for the
+// stats above. For a version >= 4 corpus this parses stream headers and
+// block framing only — event payloads are never decompressed or
+// decoded — so it runs at I/O speed even on paper-scale corpora.
+func CollectDirStats(dir string) (DirStats, error) {
+	var st DirStats
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		return st, err
+	}
+	metas, version, err := parseIndex(string(data))
+	if err != nil {
+		return st, fmt.Errorf("trace: %s: %w", indexFile, err)
+	}
+	st.Version = version
+	st.Streams = len(metas)
+	st.IndexBytes = int64(len(data))
+	for _, m := range metas {
+		st.Events += m.Events
+		st.Instances += len(m.Instances)
+	}
+	if version >= 4 {
+		idata, err := os.ReadFile(filepath.Join(dir, internFile))
+		if err != nil {
+			return st, fmt.Errorf("trace: version-%d corpus: %w", version, err)
+		}
+		it, err := readInternTable(idata)
+		if err != nil {
+			return st, err
+		}
+		st.Frames = it.NumFrames()
+		st.Stacks = it.NumStacks()
+		st.InternBytes = int64(len(idata))
+	}
+	for _, m := range metas {
+		fdata, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(m.File)))
+		if err != nil {
+			return st, err
+		}
+		st.StreamBytes += int64(len(fdata))
+		if version >= 4 {
+			if err := skimStreamV4(fdata, &st); err != nil {
+				return st, fmt.Errorf("trace: %s: %w", m.File, err)
+			}
+		}
+	}
+	return st, nil
+}
+
+// skimStreamV4 walks one TSC4 file's header and block framing,
+// accumulating block counts and payload sizes into st. It reads table
+// lengths and string bounds but no event payloads.
+func skimStreamV4(data []byte, st *DirStats) error {
+	c := &byteCursor{data: data}
+	if len(data) < len(binaryMagicV4)+2 || string(data[:len(binaryMagicV4)]) != binaryMagicV4 {
+		return fmt.Errorf("%w: bad v4 magic", ErrBadFormat)
+	}
+	c.off = len(binaryMagicV4) + 2
+	if _, err := c.string(); err != nil { // stream ID
+		return err
+	}
+	for t := 0; t < 2; t++ { // frame then stack reference tables
+		n, err := c.tableLen()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := c.uvarint(); err != nil {
+				return err
+			}
+		}
+	}
+	nThreads, err := c.tableLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nThreads; i++ {
+		if _, err := c.varint(); err != nil {
+			return err
+		}
+		if _, err := c.string(); err != nil {
+			return err
+		}
+		if _, err := c.string(); err != nil {
+			return err
+		}
+	}
+	nInst, err := c.tableLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nInst; i++ {
+		if _, err := c.string(); err != nil {
+			return err
+		}
+		for f := 0; f < 3; f++ {
+			if _, err := c.varint(); err != nil {
+				return err
+			}
+		}
+	}
+	nEvents, err := c.tableLen()
+	if err != nil {
+		return err
+	}
+	for consumed := 0; consumed < nEvents; {
+		bi, n, err := colfmt.SkimBlock(data[c.off:])
+		if err != nil {
+			return fmt.Errorf("%w: event block at offset %d: %v", ErrBadFormat, c.off, err)
+		}
+		c.off += n
+		consumed += bi.Rows
+		st.Blocks++
+		if bi.Compressed {
+			st.CompressedBlocks++
+		}
+		st.EventBytesStored += int64(bi.StoredLen)
+		st.EventBytesRaw += int64(bi.RawLen)
+	}
+	if c.off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes after events", ErrBadFormat, len(data)-c.off)
+	}
+	return nil
+}

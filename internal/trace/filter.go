@@ -124,8 +124,9 @@ type FilterCache struct {
 }
 
 type filterCacheKey struct {
-	s  *Stream
-	id StackID
+	s   *Stream
+	gen uint64 // pooled streams reuse allocations; see Stream.gen
+	id  StackID
 }
 
 type filterCacheVal struct {
@@ -143,7 +144,7 @@ func (c *FilterCache) Filter() *ComponentFilter { return c.f }
 
 // TopSignature is a memoised ComponentFilter.TopSignature.
 func (c *FilterCache) TopSignature(s *Stream, stack StackID) (string, bool) {
-	key := filterCacheKey{s: s, id: stack}
+	key := filterCacheKey{s: s, gen: s.gen, id: stack}
 	if v, ok := c.m[key]; ok {
 		return v.sig, v.ok
 	}

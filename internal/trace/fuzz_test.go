@@ -3,8 +3,12 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tracescope/internal/trace/colfmt"
 )
 
 // FuzzReadBinary feeds arbitrary bytes to the binary decoder: it must
@@ -39,7 +43,7 @@ func FuzzParseIndex(f *testing.F) {
 		{File: "stream-00000.tscp", ID: "m0", Events: 10, Duration: 500,
 			Instances: []Instance{{Scenario: "S1", TID: 3, Start: 0, End: 100}}},
 		{File: "stream-00001.tscp", ID: "m1"},
-	}); err != nil {
+	}, indexVersion); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(v2.String())
@@ -97,6 +101,71 @@ func FuzzCorpusReadFrom(f *testing.F) {
 		}
 		if !strings.HasPrefix(string(data), "TSCORPUS ") {
 			t.Fatal("accepted corpus without header")
+		}
+	})
+}
+
+// FuzzReadV4Index lays arbitrary intern-table and stream-file bytes
+// into a corpus directory under a well-formed v4 index: OpenDir and
+// Stream must never panic, and anything they accept must validate. This
+// covers the full v4 open path — index, corpus.intern, and the TSC4
+// container — against mutually inconsistent inputs (a stream file
+// referencing intern records that do not exist, and vice versa).
+func FuzzReadV4Index(f *testing.F) {
+	// Seed with a genuine corpus, then with torn variants.
+	dir := f.TempDir()
+	if err := NewCorpus(randomStream(1)).WriteDir(dir); err != nil {
+		f.Fatal(err)
+	}
+	intern, err := os.ReadFile(filepath.Join(dir, internFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	stream, err := os.ReadFile(filepath.Join(dir, "stream-00000.tsc4"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(intern, stream)
+	f.Add(intern[:len(intern)/2], stream)
+	f.Add(intern, stream[:len(stream)/2])
+	f.Add([]byte(nil), stream)
+	f.Add([]byte("TSINTERN 1\n"), []byte("TSC4"))
+	meta := func() StreamMeta {
+		d, err := OpenDir(dir)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return d.StreamMeta(0)
+	}()
+	f.Fuzz(func(t *testing.T, intern, stream []byte) {
+		fdir := t.TempDir()
+		var index bytes.Buffer
+		m := meta
+		if err := writeIndex(&index, []StreamMeta{m}, indexVersion); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range map[string][]byte{
+			indexFile:  index.Bytes(),
+			internFile: intern,
+			m.File:     stream,
+		} {
+			if err := os.WriteFile(filepath.Join(fdir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d, err := OpenDir(fdir)
+		if err != nil {
+			return
+		}
+		s, err := d.Stream(0)
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, colfmt.ErrCorrupt) {
+				t.Fatalf("decode rejection is not ErrBadFormat: %v", err)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted invalid stream: %v", verr)
 		}
 	})
 }

@@ -126,7 +126,8 @@ func TestDirSourceMatchesCorpus(t *testing.T) {
 func TestOpenDirV1Compat(t *testing.T) {
 	c := sourceTestCorpus(3)
 	dir := t.TempDir()
-	if err := c.WriteDir(dir); err != nil {
+	// A v1 index points at v1 (TSCP) stream files; version 2 writes those.
+	if err := c.WriteDirVersion(dir, 2); err != nil {
 		t.Fatal(err)
 	}
 	var names []string

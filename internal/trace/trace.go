@@ -172,6 +172,18 @@ type Stream struct {
 	Instances []Instance
 	// Threads maps thread IDs to descriptive metadata. Optional.
 	Threads map[ThreadID]ThreadInfo
+
+	// bufs is non-nil for streams decoded from a pooled v4 source: the
+	// buffer set backing every slice above, recoverable via
+	// StreamPool.Recycle once no references to the stream remain.
+	bufs *decodeBufs
+
+	// gen distinguishes successive streams decoded into the same pooled
+	// buffer set: recycling reuses the Stream allocation, so caches keyed
+	// by stream identity must key on (pointer, generation), not the
+	// pointer alone (FilterCache does). Always zero for non-pooled
+	// streams.
+	gen uint64
 }
 
 // NewStream returns an empty stream with the given ID.
@@ -188,7 +200,13 @@ func NewStream(id string) *Stream {
 // adding it to the frame table if new.
 func (s *Stream) InternFrame(frame string) FrameID {
 	if s.frameIndex == nil {
-		s.frameIndex = make(map[string]FrameID)
+		// Streams decoded from the zero-alloc v4 path carry populated
+		// tables but no index maps; rebuild before the first new intern so
+		// existing IDs stay stable.
+		s.frameIndex = make(map[string]FrameID, len(s.frames))
+		for i, f := range s.frames {
+			s.frameIndex[f] = FrameID(i)
+		}
 	}
 	if id, ok := s.frameIndex[frame]; ok {
 		return id
@@ -207,7 +225,11 @@ func (s *Stream) InternStack(frames []FrameID) StackID {
 		return NoStack
 	}
 	if s.stackIndex == nil {
-		s.stackIndex = make(map[string]StackID)
+		// See InternFrame: rebuild the index for v4-decoded streams.
+		s.stackIndex = make(map[string]StackID, len(s.stacks))
+		for i, st := range s.stacks {
+			s.stackIndex[stackKey(st)] = StackID(i)
+		}
 	}
 	key := stackKey(frames)
 	if id, ok := s.stackIndex[key]; ok {

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_gate.sh — regenerate the engine and corpus benchmark reports
+# and gate them against the committed BENCH_engine.json and
+# BENCH_corpus.json snapshots. Fails (non-zero exit) when any row's
+# ns_per_op regresses more than the tolerance (15% default; override
+# with BENCH_GATE_TOLERANCE=0.25 etc.) or when the fresh corpus report
+# violates the v4 decode invariants (>= 2x v3 decode throughput,
+# near-zero allocs/event on the pooled path).
+#
+# The fresh reports land in a temp directory, never overwriting the
+# committed snapshots; refresh those deliberately with
+#   make bench-json bench-corpus
+# and commit the diff alongside the change that caused it.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/bench_gate.XXXXXX")"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== fresh engine report"
+"$GO" run ./cmd/benchjson -out "$tmp/engine.json"
+echo "== fresh corpus report"
+"$GO" run ./cmd/benchjson -mode corpus -out "$tmp/corpus.json"
+
+echo "== gate"
+"$GO" run ./cmd/benchgate -kind engine -committed BENCH_engine.json -fresh "$tmp/engine.json"
+"$GO" run ./cmd/benchgate -kind corpus -committed BENCH_corpus.json -fresh "$tmp/corpus.json"

@@ -251,6 +251,22 @@ const (
 // the configured fleet. Equal seeds yield identical corpora.
 func Generate(cfg GenerateConfig) *Corpus { return scenario.Generate(cfg) }
 
+// GenerateCorpusStream produces stream index of Generate(cfg)'s corpus
+// on its own — byte-identical to Generate(cfg).Streams[index] without
+// materialising the rest of the corpus.
+func GenerateCorpusStream(cfg GenerateConfig, index int) *Stream {
+	return scenario.GenerateStream(cfg, index)
+}
+
+// GenerateEachStream generates the corpus stream by stream, delivering
+// each to fn in index order with at most cfg.Parallelism streams in
+// flight. This is the paper-scale path: tracegen -paper appends each
+// stream to a directory corpus and drops it, so ~19.5k streams never
+// coexist in memory. A non-nil error from fn stops generation.
+func GenerateEachStream(cfg GenerateConfig, fn func(index int, s *Stream) error) error {
+	return scenario.GenerateEach(cfg, fn)
+}
+
 // MotivatingCase deterministically replays the three-driver
 // cost-propagation case of the paper's §2.2 (Figure 1) as a single
 // stream.
@@ -330,6 +346,16 @@ func ReadCorpusDir(dir string) (*Corpus, error) { return trace.ReadDir(dir) }
 // an analysis touches them. Wrap the result with NewCachedSource to
 // bound decoded-stream memory during analysis.
 func OpenCorpusDir(dir string) (*DirSource, error) { return trace.OpenDir(dir) }
+
+// CorpusStats summarises a corpus directory's on-disk footprint:
+// stream/instance/event counts, the corpus intern table's frame and
+// stack counts (format v4), and per-block storage accounting.
+type CorpusStats = trace.DirStats
+
+// CollectCorpusStats skims a corpus directory for CorpusStats without
+// decoding any event payloads, so it runs at I/O speed even on
+// paper-scale corpora (tracedump -stats renders it).
+func CollectCorpusStats(dir string) (CorpusStats, error) { return trace.CollectDirStats(dir) }
 
 // NewCachedSource wraps a source with a bounded LRU of at most limit
 // decoded streams (limit <= 0 means unbounded). Safe for concurrent use
