@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-json test test-short test-race \
+.PHONY: all build vet lint lint-fix lint-json lint-sarif metrics-doc \
+	metrics-doc-update test test-short test-race \
 	bench bench-json bench-corpus bench-gate bench-paper bench-smoke \
 	daemon-smoke experiments experiments-md report fuzz clean
 
@@ -18,7 +19,12 @@ vet:
 # under internal/ are loaded whole and type-checked (stdlib go/types),
 # arming the type-aware analyzers: mapiter, walltime, unstablesort,
 # detertaint (cross-function map-order taint), copylock, spanend,
-# errdrop. CI gates on this; findings exit non-zero.
+# errdrop — plus the CFG/dataflow-backed concurrency analyzers:
+# lockorder (package-global lock-acquisition graph, cycles = deadlock),
+# lockheld (blocking calls on paths where a mutex is held), goroleak
+# (goroutines parked forever on channels nothing else touches), and
+# obsreg (metric-name registry: format, _total discipline, kind
+# conflicts). CI gates on this; findings exit non-zero.
 # Silence a deliberate site with:  //lint:ignore <analyzer> <reason>
 lint:
 	$(GO) run ./cmd/tracelint -tests ./...
@@ -33,6 +39,24 @@ lint-fix:
 # build artifact on every run.
 lint-json:
 	$(GO) run ./cmd/tracelint -tests -json ./... > tracelint.json
+
+# SARIF 2.1.0 findings log; CI uploads tracelint.sarif so code review
+# shows findings inline.
+lint-sarif:
+	$(GO) run ./cmd/tracelint -tests -sarif tracelint.sarif ./...
+
+# Metric-registry doc gate (CI gates on this): regenerate the registry
+# the obsreg analyzer harvests from every obs.Recorder call site and
+# fail if the committed METRICS.md has drifted from the code.
+metrics-doc:
+	$(GO) run ./cmd/tracelint -metricsdoc /tmp/METRICS.md.gen ./internal/...
+	cmp METRICS.md /tmp/METRICS.md.gen || \
+		{ echo "METRICS.md is stale; run 'make metrics-doc-update' and commit the diff" >&2; exit 1; }
+	rm -f /tmp/METRICS.md.gen
+
+# Refresh the committed METRICS.md after adding or renaming a metric.
+metrics-doc-update:
+	$(GO) run ./cmd/tracelint -metricsdoc METRICS.md ./internal/...
 
 test:
 	$(GO) test ./...
@@ -118,9 +142,10 @@ fuzz:
 	$(GO) test ./internal/lint/ -fuzz FuzzDirectiveText -fuzztime 15s
 	$(GO) test ./internal/lint/ -fuzz FuzzSplitQuoted -fuzztime 15s
 	$(GO) test ./internal/lint/ -fuzz FuzzLoadDir -fuzztime 30s
+	$(GO) test ./internal/lint/cfg/ -fuzz FuzzCFGBuild -fuzztime 30s
 
 # BENCH_engine.json and BENCH_corpus.json are committed snapshots
 # (regenerated by bench-json/bench-corpus), so clean leaves them alone
 # and removes only the transient bench-smoke outputs.
 clean:
-	rm -f report.html test_output.txt bench_output.txt BENCH_metrics_*.json *.dot tracelint.json
+	rm -f report.html test_output.txt bench_output.txt BENCH_metrics_*.json *.dot tracelint.json tracelint.sarif

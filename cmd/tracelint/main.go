@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracelint [-json] [-tests] [-fix] [-pkg name] [path ...]
+//	tracelint [-json] [-tests] [-fix] [-pkg name] [-sarif file] [-metricsdoc file] [path ...]
 //
 // Each path is a directory (analyzed recursively when suffixed with
 // /...), a single .go file, or defaults to ./... — dirs named testdata
@@ -23,6 +23,13 @@
 // applies the safe rewrites some analyzers attach (sort.Slice →
 // sort.SliceStable on single-key comparators; defer sp.End() insertion
 // for never-ended spans) and reports only what remains.
+//
+// -sarif writes the findings (after -fix, when given) as a SARIF 2.1.0
+// log to the named file ("-" for stdout) in addition to the normal
+// output; CI uploads it so code review shows findings inline. -metricsdoc
+// renders the metric-name registry the obsreg analyzer harvests from the
+// type-checked packages as a markdown table to the named file ("-" for
+// stdout) — the source of the committed METRICS.md.
 //
 // Findings are silenced per-site with
 //
@@ -64,8 +71,10 @@ func run(argv []string) int {
 	list := fs.Bool("analyzers", false, "list the analyzers and exit")
 	fix := fs.Bool("fix", false, "apply the safe rewrites analyzers attach and report what remains")
 	pkgFilter := fs.String("pkg", "", "restrict to packages matching this name (package name, dir base, or import-path suffix)")
+	sarifOut := fs.String("sarif", "", "also write findings as a SARIF 2.1.0 log to this file (- for stdout)")
+	metricsDoc := fs.String("metricsdoc", "", "write the harvested metric registry as markdown to this file (- for stdout)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: tracelint [-json] [-tests] [-fix] [-pkg name] [path ...]\n")
+		fmt.Fprintf(fs.Output(), "usage: tracelint [-json] [-tests] [-fix] [-pkg name] [-sarif file] [-metricsdoc file] [path ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -118,6 +127,7 @@ func run(argv []string) int {
 	var (
 		diags     []lint.Diagnostic
 		parseFail bool
+		loaded    []*lint.Package
 	)
 
 	if len(typedDirs) > 0 {
@@ -135,6 +145,7 @@ func run(argv []string) int {
 			if !pkgMatch(*pkgFilter, dir, pkg.Name, pkg.Path) {
 				continue
 			}
+			loaded = append(loaded, pkg)
 			for _, d := range lint.RunPkg(pkg, analyzers) {
 				// RunPkg covers the whole package; keep only what was
 				// asked for (a single-file argument must not surface its
@@ -172,6 +183,23 @@ func run(argv []string) int {
 		}
 	}
 
+	if *sarifOut != "" {
+		if err := writeTo(*sarifOut, func(w *os.File) error {
+			return lint.WriteSARIF(w, diags, analyzers)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: -sarif: %v\n", err)
+			return 2
+		}
+	}
+	if *metricsDoc != "" {
+		if err := writeTo(*metricsDoc, func(w *os.File) error {
+			return lint.WriteMetricsDoc(w, lint.CollectMetrics(loaded))
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: -metricsdoc: %v\n", err)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {
@@ -202,6 +230,23 @@ func run(argv []string) int {
 		return 1
 	}
 	return 0
+}
+
+// writeTo opens the named file ("-" for stdout) and hands it to emit,
+// closing and surfacing errors afterwards.
+func writeTo(path string, emit func(*os.File) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // absPath normalises a path for set membership; on failure the cleaned

@@ -1,0 +1,533 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// statements, using the standard library only. It exists because the
+// concurrency analyzers in internal/lint (lockorder, lockheld,
+// goroleak) need path sensitivity — "is this blocking call reached
+// between Lock and Unlock?" is a question about edges, not statements —
+// and the usual answer, golang.org/x/tools/go/ssa, lives outside the
+// stdlib and is therefore off-limits to this module.
+//
+// The graph is deliberately simple: basic blocks hold the leaf
+// statements and controlling expressions executed in them, in source
+// order, and edges follow Go's structured control flow — if/else, for
+// (init/cond/post), range, switch (with fallthrough), type switch,
+// select (per comm clause), labeled break/continue, goto, return, and
+// panic. Deferred statements appear both in their block (where the
+// closure's arguments are evaluated) and on Graph.Defers (where the
+// call runs, at function exit). Function literals are opaque: a nested
+// closure's body belongs to its own graph, built separately.
+//
+// Precision notes, for analyzer authors:
+//
+//   - A block's Nodes never contain nested statements of a control
+//     construct — only the construct's controlling parts (an if's
+//     init/cond, a range's X, a switch's tag and case expressions, a
+//     select clause's comm statement). Walking every block therefore
+//     visits each executable node exactly once.
+//   - Ctrl points at the construct a head or clause block belongs to
+//     (the ForStmt on a loop head, the CommClause on a select arm), so
+//     analyzers can special-case "this receive is a select arm" or
+//     "this is a range over a channel" without re-walking the AST.
+//   - Unreachable code is kept: blocks that cannot be reached from
+//     Entry simply have no incoming path (see Graph.Reachable), so
+//     "every statement is placed, reachable or dead-flagged" holds by
+//     construction — the fuzzer enforces it.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line sequence of leaf
+// nodes with a single entry at the top.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, stable across
+	// builds of the same function — blocks are numbered in the order
+	// the builder first needs them, which follows source order.
+	Index int
+	// Kind labels the block's role for debugging and tests: "entry",
+	// "exit", "body", "if.then", "if.else", "if.done", "for.head",
+	// "for.body", "for.post", "for.done", "range.head", "range.body",
+	// "range.done", "switch.case", "switch.done", "select.comm",
+	// "select.done", "label", "unreachable".
+	Kind string
+	// Nodes are the leaf statements and controlling expressions
+	// executed in this block, in source order. Nested statements of
+	// control constructs are never included; nested function literal
+	// bodies are opaque.
+	Nodes []ast.Node
+	// Ctrl is the control construct this block heads or serves (the
+	// *ast.ForStmt of a "for.head", the *ast.CommClause of a
+	// "select.comm"), or nil for plain blocks.
+	Ctrl ast.Stmt
+	// Succs are the possible successors, in deterministic order.
+	Succs []*Block
+	// Preds are the possible predecessors, in deterministic order.
+	Preds []*Block
+}
+
+// addSucc wires b -> s once; duplicate edges are collapsed.
+func (b *Block) addSucc(s *Block) {
+	for _, t := range b.Succs {
+		if t == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is Blocks[0]; execution starts here.
+	Entry *Block
+	// Exit is Blocks[1]; every return, panic, and normal fall-through
+	// edge leads here, and deferred calls run on the way.
+	Exit *Block
+	// Blocks lists every block, indexed by Block.Index.
+	Blocks []*Block
+	// Defers are the defer statements of the body in source order. The
+	// deferred calls execute at Exit (in reverse order); each statement
+	// also appears in the block where its arguments were evaluated.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of one function body. A nil body (declaration
+// without implementation) yields a two-block graph with entry wired to
+// exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*labelInfo),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.cur.addSucc(b.g.Exit)
+	}
+	b.resolveGotos()
+	return b.g
+}
+
+// Reachable reports, per block index, whether the block is reachable
+// from Entry. Exit may be unreachable too (a function that cannot
+// return normally, e.g. an infinite accept loop).
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the graph compactly for tests and debugging:
+// one "index[kind] -> succ,succ" line per block, in index order.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d[%s]", b.Index, b.Kind)
+		if len(b.Succs) > 0 {
+			succs := make([]int, len(b.Succs))
+			for i, s := range b.Succs {
+				succs[i] = s.Index
+			}
+			sort.Ints(succs)
+			sb.WriteString(" ->")
+			for i, s := range succs {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, " %d", s)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// labelInfo tracks one label's targets: the block the labeled statement
+// starts in (goto), and — once the labeled construct is built — its
+// break and continue targets.
+type labelInfo struct {
+	start *Block
+	brk   *Block
+	cont  *Block
+}
+
+// loopTargets is one entry of the break/continue stack.
+type loopTargets struct {
+	brk  *Block // break target; nil on select/switch entries pushed for continue-transparency
+	cont *Block // continue target; nil for switch/select
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil after a terminator, until the next statement lands
+
+	loops  []loopTargets // innermost last; switch/select push {brk, nil}
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+
+	// pendingLabel carries a just-seen label into the construct it
+	// names, so `L: for { continue L }` resolves.
+	pendingLabel *labelInfo
+
+	// fallTarget is the next clause block of the switch clause under
+	// construction — where a `fallthrough` lands. Saved and restored
+	// around nested switches.
+	fallTarget *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// current returns the block under construction, materialising a fresh
+// unreachable block when the previous statement terminated control
+// flow — dead code still gets placed, it just has no incoming edge.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+// add appends a leaf node to the current block.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	cur := b.current()
+	cur.Nodes = append(cur.Nodes, n)
+}
+
+// jump wires the current block to target and terminates it.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.addSucc(target)
+	}
+	b.cur = nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct now being
+// built, returning nil when the construct is unlabeled.
+func (b *builder) takeLabel() *labelInfo {
+	l := b.pendingLabel
+	b.pendingLabel = nil
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than the one directly following its label
+	// clears the pending label (e.g. `L: x()`: the label names a plain
+	// statement, not a loop).
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		b.pendingLabel = nil
+	}
+
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto can land on
+		// it; break/continue targets are filled in by the construct.
+		li := b.labels[st.Label.Name]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[st.Label.Name] = li
+		}
+		start := b.newBlock("label")
+		li.start = start
+		b.jump(start)
+		b.cur = start
+		b.pendingLabel = li
+		b.stmt(st.Stmt)
+
+	case *ast.IfStmt:
+		b.add(st.Init)
+		b.add(st.Cond)
+		cond := b.current()
+		then := b.newBlock("if.then")
+		cond.addSucc(then)
+		b.cur = then
+		b.stmtList(st.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := st.Else != nil
+		if hasElse {
+			els := b.newBlock("if.else")
+			cond.addSucc(els)
+			b.cur = els
+			b.stmt(st.Else)
+			elseEnd = b.cur
+		}
+		after := b.newBlock("if.done")
+		if thenEnd != nil {
+			thenEnd.addSucc(after)
+		}
+		if hasElse {
+			if elseEnd != nil {
+				elseEnd.addSucc(after)
+			}
+		} else {
+			cond.addSucc(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.add(st.Init)
+		head := b.newBlock("for.head")
+		head.Ctrl = st
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, st.Cond)
+		}
+		b.jump(head)
+		after := b.newBlock("for.done")
+		cont := head
+		var post *Block
+		if st.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, st.Post)
+			post.addSucc(head)
+			cont = post
+		}
+		if st.Cond != nil {
+			head.addSucc(after)
+		}
+		if label != nil {
+			label.brk, label.cont = after, cont
+		}
+		body := b.newBlock("for.body")
+		head.addSucc(body)
+		b.loops = append(b.loops, loopTargets{brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.jump(cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		head.Ctrl = st
+		head.Nodes = append(head.Nodes, st.X)
+		b.jump(head)
+		after := b.newBlock("range.done")
+		head.addSucc(after)
+		if label != nil {
+			label.brk, label.cont = after, head
+		}
+		body := b.newBlock("range.body")
+		head.addSucc(body)
+		b.loops = append(b.loops, loopTargets{brk: after, cont: head})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.add(st.Init)
+		b.add(st.Tag)
+		b.switchClauses(st, st.Body.List, label, func(c *ast.CaseClause) {
+			for _, e := range c.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.add(st.Init)
+		b.add(st.Assign)
+		b.switchClauses(st, st.Body.List, label, func(c *ast.CaseClause) {})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		dispatch := b.current()
+		dispatch.Ctrl = st
+		after := b.newBlock("select.done")
+		if label != nil {
+			label.brk = after
+		}
+		b.loops = append(b.loops, loopTargets{brk: after})
+		for _, c := range st.Body.List {
+			comm := c.(*ast.CommClause)
+			cb := b.newBlock("select.comm")
+			cb.Ctrl = comm
+			dispatch.addSucc(cb)
+			if comm.Comm != nil {
+				cb.Nodes = append(cb.Nodes, comm.Comm)
+			}
+			b.cur = cb
+			b.stmtList(comm.Body)
+			b.jump(after)
+		}
+		// A `select {}` has no arms: nothing reaches after — the block
+		// parks forever, and after stays dead. That is the graph shape
+		// goroleak keys on.
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.BranchStmt:
+		b.branch(st)
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.add(st)
+		b.g.Defers = append(b.g.Defers, st)
+
+	case *ast.ExprStmt:
+		b.add(st)
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.jump(b.g.Exit)
+			}
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go, empty: leaves.
+		b.add(st)
+	}
+}
+
+// switchClauses builds the shared clause structure of switch and type
+// switch: dispatch evaluates the case expressions, every clause is an
+// alternative successor, fallthrough chains to the next clause.
+func (b *builder) switchClauses(ctrl ast.Stmt, clauses []ast.Stmt, label *labelInfo, caseExprs func(*ast.CaseClause)) {
+	dispatch := b.current()
+	dispatch.Ctrl = ctrl
+	after := b.newBlock("switch.done")
+	if label != nil {
+		label.brk = after
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		caseExprs(cc)
+		blocks[i] = b.newBlock("switch.case")
+		blocks[i].Ctrl = cc
+		dispatch.addSucc(blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		dispatch.addSucc(after)
+	}
+	b.loops = append(b.loops, loopTargets{brk: after})
+	savedFall := b.fallTarget
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = blocks[i]
+		// `fallthrough` lands on the next clause block; in the last
+		// clause it is a compile error the builder need not model.
+		b.fallTarget = nil
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.fallTarget = savedFall
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *builder) branch(st *ast.BranchStmt) {
+	switch st.Tok.String() {
+	case "break":
+		if st.Label != nil {
+			if li := b.labels[st.Label.Name]; li != nil && li.brk != nil {
+				b.jump(li.brk)
+				return
+			}
+			b.jump(b.g.Exit) // unresolvable label: conservative
+			return
+		}
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].brk != nil {
+				b.jump(b.loops[i].brk)
+				return
+			}
+		}
+		b.jump(b.g.Exit)
+	case "continue":
+		if st.Label != nil {
+			if li := b.labels[st.Label.Name]; li != nil && li.cont != nil {
+				b.jump(li.cont)
+				return
+			}
+			b.jump(b.g.Exit)
+			return
+		}
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].cont != nil {
+				b.jump(b.loops[i].cont)
+				return
+			}
+		}
+		b.jump(b.g.Exit)
+	case "goto":
+		if st.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: b.current(), label: st.Label.Name})
+		}
+		b.cur = nil
+	case "fallthrough":
+		if b.fallTarget != nil {
+			b.jump(b.fallTarget)
+			return
+		}
+		b.cur = nil
+	}
+}
+
+// resolveGotos wires goto edges once every label's start block is
+// known. A goto to a label that never materialised (malformed source —
+// the parser accepts it, the type checker rejects it) conservatively
+// edges to exit.
+func (b *builder) resolveGotos() {
+	for _, pg := range b.gotos {
+		if li := b.labels[pg.label]; li != nil && li.start != nil {
+			pg.from.addSucc(li.start)
+			continue
+		}
+		pg.from.addSucc(b.g.Exit)
+	}
+}

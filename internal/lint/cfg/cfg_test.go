@@ -1,0 +1,538 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFirstFunc parses src and builds the graph of the first function
+// declaration's body.
+func buildFirstFunc(t testing.TB, src string) (*Graph, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return New(fn.Body), fn
+		}
+	}
+	t.Fatalf("no function in source")
+	return nil, nil
+}
+
+// TestGraphShapes pins the block/edge structure the builder produces
+// for each control construct. The expected strings are Graph.String()
+// output: one "index[kind] -> succs" line per block.
+func TestGraphShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "straight-line",
+			src: `package p
+func f() { x := 1; _ = x }`,
+			want: `0[entry] -> 1
+1[exit]
+`,
+		},
+		{
+			name: "if-without-else",
+			src: `package p
+func f(c bool) {
+	if c {
+		println("then")
+	}
+	println("after")
+}`,
+			want: `0[entry] -> 2, 3
+1[exit]
+2[if.then] -> 3
+3[if.done] -> 1
+`,
+		},
+		{
+			name: "if-else-both-return",
+			src: `package p
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`,
+			want: `0[entry] -> 2, 3
+1[exit]
+2[if.then] -> 1
+3[if.else] -> 1
+4[if.done] -> 1
+`,
+		},
+		{
+			name: "for-cond-post-break-continue",
+			src: `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		if i == 4 {
+			break
+		}
+	}
+	println("done")
+}`,
+			want: `0[entry] -> 2
+1[exit]
+2[for.head] -> 3, 5
+3[for.done] -> 1
+4[for.post] -> 2
+5[for.body] -> 6, 7
+6[if.then] -> 4
+7[if.done] -> 8, 9
+8[if.then] -> 3
+9[if.done] -> 4
+`,
+		},
+		{
+			name: "infinite-for-unreachable-after",
+			src: `package p
+func f() {
+	for {
+		println("spin")
+	}
+}`,
+			want: `0[entry] -> 2
+1[exit]
+2[for.head] -> 4
+3[for.done] -> 1
+4[for.body] -> 2
+`,
+		},
+		{
+			name: "range",
+			src: `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`,
+			want: `0[entry] -> 2
+1[exit]
+2[range.head] -> 3, 4
+3[range.done] -> 1
+4[range.body] -> 2
+`,
+		},
+		{
+			name: "switch-with-default-and-fallthrough",
+			src: `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println("one")
+		fallthrough
+	case 2:
+		println("two")
+	default:
+		println("other")
+	}
+}`,
+			want: `0[entry] -> 3, 4, 5
+1[exit]
+2[switch.done] -> 1
+3[switch.case] -> 4
+4[switch.case] -> 2
+5[switch.case] -> 2
+`,
+		},
+		{
+			name: "switch-no-default-falls-past",
+			src: `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println("one")
+	}
+	println("after")
+}`,
+			want: `0[entry] -> 2, 3
+1[exit]
+2[switch.done] -> 1
+3[switch.case] -> 2
+`,
+		},
+		{
+			name: "type-switch",
+			src: `package p
+func f(x interface{}) {
+	switch x.(type) {
+	case int:
+		println("int")
+	case string:
+		println("string")
+	}
+}`,
+			want: `0[entry] -> 2, 3, 4
+1[exit]
+2[switch.done] -> 1
+3[switch.case] -> 2
+4[switch.case] -> 2
+`,
+		},
+		{
+			name: "select-with-default",
+			src: `package p
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+		println("empty")
+	}
+}`,
+			want: `0[entry] -> 3, 4
+1[exit]
+2[select.done] -> 1
+3[select.comm] -> 2
+4[select.comm] -> 2
+`,
+		},
+		{
+			name: "select-empty-blocks-forever",
+			src: `package p
+func f() {
+	select {}
+	println("never")
+}`,
+			want: `0[entry]
+1[exit]
+2[select.done] -> 1
+`,
+		},
+		{
+			name: "labeled-break-from-inner-loop",
+			src: `package p
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				break outer
+			}
+		}
+	}
+	println("done")
+}`,
+			want: `0[entry] -> 2
+1[exit]
+2[label] -> 3
+3[for.head] -> 4, 6
+4[for.done] -> 1
+5[for.post] -> 3
+6[for.body] -> 7
+7[for.head] -> 8, 10
+8[for.done] -> 5
+9[for.post] -> 7
+10[for.body] -> 11, 12
+11[if.then] -> 4
+12[if.done] -> 9
+`,
+		},
+		{
+			name: "labeled-continue",
+			src: `package p
+func f(xs []int) {
+loop:
+	for _, x := range xs {
+		if x < 0 {
+			continue loop
+		}
+		println(x)
+	}
+}`,
+			want: `0[entry] -> 2
+1[exit]
+2[label] -> 3
+3[range.head] -> 4, 5
+4[range.done] -> 1
+5[range.body] -> 6, 7
+6[if.then] -> 3
+7[if.done] -> 3
+`,
+		},
+		{
+			name: "goto-backward",
+			src: `package p
+func f() {
+retry:
+	if try() {
+		return
+	}
+	goto retry
+}
+func try() bool { return true }`,
+			want: `0[entry] -> 2
+1[exit]
+2[label] -> 3, 4
+3[if.then] -> 1
+4[if.done] -> 2
+`,
+		},
+		{
+			name: "dead-code-after-return",
+			src: `package p
+func f() int {
+	return 1
+	println("dead")
+	return 2
+}`,
+			want: `0[entry] -> 1
+1[exit]
+2[unreachable] -> 1
+`,
+		},
+		{
+			name: "panic-terminates",
+			src: `package p
+func f(c bool) {
+	if !c {
+		panic("no")
+	}
+	println("ok")
+}`,
+			want: `0[entry] -> 2, 3
+1[exit]
+2[if.then] -> 1
+3[if.done] -> 1
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, _ := buildFirstFunc(t, tt.src)
+			got := strings.ReplaceAll(g.String(), " ->  ", " -> ")
+			want := normalizeShape(tt.want)
+			if normalizeShape(got) != want {
+				t.Errorf("graph shape mismatch\n got:\n%s\nwant:\n%s", got, tt.want)
+			}
+		})
+	}
+}
+
+// normalizeShape canonicalises spacing so the expected strings can be
+// written readably.
+func normalizeShape(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i, l := range lines {
+		l = strings.TrimSpace(l)
+		l = strings.ReplaceAll(l, ", ", ",")
+		l = strings.ReplaceAll(l, " ,", ",")
+		lines[i] = l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestDefersCollected checks defer statements land both in their block
+// and on Graph.Defers, in source order.
+func TestDefersCollected(t *testing.T) {
+	g, _ := buildFirstFunc(t, `package p
+func f() {
+	defer println("a")
+	if true {
+		defer println("b")
+	}
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(g.Defers))
+	}
+	placed := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				placed++
+			}
+		}
+	}
+	if placed != 2 {
+		t.Fatalf("defer statements placed in blocks = %d, want 2", placed)
+	}
+}
+
+// TestEveryLeafStmtPlaced is the invariant the fuzzer generalises:
+// every leaf statement of a body appears in exactly one block.
+func TestEveryLeafStmtPlaced(t *testing.T) {
+	src := `package p
+func f(n int, ch chan int) {
+	x := 0
+	defer println(x)
+L:
+	for i := 0; i < n; i++ {
+		switch {
+		case i > 2:
+			x += i
+			continue L
+		default:
+			x--
+		}
+		select {
+		case v := <-ch:
+			x += v
+		case ch <- x:
+		default:
+		}
+		go func() { x := 9; _ = x }()
+	}
+	if x > 3 {
+		return
+	}
+	println(x)
+}`
+	g, fn := buildFirstFunc(t, src)
+	checkAllLeavesPlaced(t, g, fn.Body)
+}
+
+// checkAllLeavesPlaced verifies each leaf statement of body is placed
+// in exactly one block of g.
+func checkAllLeavesPlaced(t testing.TB, g *Graph, body *ast.BlockStmt) {
+	t.Helper()
+	placed := make(map[ast.Node]int)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			placed[n]++
+		}
+	}
+	for _, s := range leafStmts(body) {
+		if placed[s] != 1 {
+			t.Errorf("leaf statement at %v placed %d times, want 1", s.Pos(), placed[s])
+		}
+	}
+}
+
+// leafStmts collects the statements the builder must place: everything
+// except control-construct shells, branch statements (pure edges), and
+// statements inside nested function literals.
+func leafStmts(body *ast.BlockStmt) []ast.Stmt {
+	var leaves []ast.Stmt
+	var walk func(s ast.Stmt)
+	walkList := func(list []ast.Stmt) {
+		for _, s := range list {
+			walk(s)
+		}
+	}
+	walk = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			walkList(st.List)
+		case *ast.LabeledStmt:
+			walk(st.Stmt)
+		case *ast.IfStmt:
+			walkList(st.Body.List)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *ast.ForStmt:
+			walkList(st.Body.List)
+		case *ast.RangeStmt:
+			walkList(st.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					leaves = append(leaves, cc.Comm)
+				}
+				walkList(cc.Body)
+			}
+		case *ast.BranchStmt, *ast.EmptyStmt:
+			// edges only
+		default:
+			leaves = append(leaves, s)
+		}
+	}
+	walkList(body.List)
+	return leaves
+}
+
+// TestForwardDataflow runs a tiny reaching-definitions-style analysis:
+// "the set of println argument strings on some path so far" — enough to
+// prove join/transfer plumbing and loop convergence.
+func TestForwardDataflow(t *testing.T) {
+	g, _ := buildFirstFunc(t, `package p
+func f(c bool) {
+	println("a")
+	for c {
+		println("b")
+	}
+	println("c")
+}`)
+	type fact = string // sorted comma-joined set
+	join := func(a, b fact) fact {
+		set := map[string]bool{}
+		for _, s := range strings.Split(a+","+b, ",") {
+			if s != "" {
+				set[s] = true
+			}
+		}
+		keys := make([]string, 0, len(set))
+		for _, k := range []string{"a", "b", "c"} {
+			if set[k] {
+				keys = append(keys, k)
+			}
+		}
+		return strings.Join(keys, ",")
+	}
+	transfer := func(b *Block, in fact) fact {
+		out := in
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				continue
+			}
+			out = join(out, strings.Trim(lit.Value, `"`))
+		}
+		return out
+	}
+	in, out := Forward(g, "", "", join, transfer, func(a, b fact) bool { return a == b })
+	if got := out[g.Exit.Index]; got != "a,b,c" && got != "a,c" {
+		// exit joins the loop-taken and loop-skipped paths: both include
+		// a and c; b flows in through the loop body.
+	}
+	// The loop head must have seen "b" flowing around the back edge.
+	var headIn fact
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			headIn = in[b.Index]
+		}
+	}
+	if headIn != "a,b" {
+		t.Errorf("loop head in-fact = %q, want %q (back edge must carry b)", headIn, "a,b")
+	}
+	if exitIn := in[g.Exit.Index]; exitIn != "a,b,c" {
+		t.Errorf("exit in-fact = %q, want %q", exitIn, "a,b,c")
+	}
+}

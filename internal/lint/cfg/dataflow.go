@@ -1,0 +1,75 @@
+// dataflow is the small forward-analysis engine the concurrency
+// analyzers share: a classic iterative fixpoint over the block graph.
+// Facts are caller-defined (lockorder and lockheld use held-lock sets);
+// the runner only needs join, transfer, and equality. Iteration order
+// is block-index order — deterministic by construction, matching the
+// suite's own output contract.
+package cfg
+
+// Forward computes a forward dataflow fixpoint over g.
+//
+//   - entry is the fact at function entry.
+//   - bottom is the "no information yet" fact seeded everywhere else;
+//     it must be join's identity (join(bottom, x) == x).
+//   - join merges facts across predecessors.
+//   - transfer applies one block's effect to its incoming fact. It must
+//     not mutate the input fact: return a fresh value (or the input
+//     itself when nothing changed).
+//   - equal reports fact equality, the convergence test.
+//
+// The result holds the converged fact at each block's entry (In) and
+// exit (Out), indexed by Block.Index. Blocks unreachable from Entry
+// keep bottom. For a monotone transfer over a finite lattice the loop
+// terminates on its own; a safety cap on passes guards against
+// non-monotone callers, so Forward always returns.
+func Forward[F any](g *Graph, entry, bottom F,
+	join func(a, b F) F,
+	transfer func(b *Block, in F) F,
+	equal func(a, b F) bool,
+) (in, out []F) {
+	n := len(g.Blocks)
+	in = make([]F, n)
+	out = make([]F, n)
+	for i := range in {
+		in[i] = bottom
+		out[i] = bottom
+	}
+	in[g.Entry.Index] = entry
+	out[g.Entry.Index] = transfer(g.Entry, entry)
+
+	reachable := g.Reachable()
+	// Pass cap: a monotone analysis over k blocks converges in at most
+	// k+1 sweeps (facts flow at most one edge per sweep); the extra
+	// headroom only matters for buggy callers.
+	maxPasses := 2*n + 8
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range g.Blocks {
+			if !reachable[b.Index] {
+				continue
+			}
+			f := bottom
+			if b == g.Entry {
+				f = entry
+			}
+			for _, p := range b.Preds {
+				if reachable[p.Index] {
+					f = join(f, out[p.Index])
+				}
+			}
+			if !equal(f, in[b.Index]) {
+				in[b.Index] = f
+				changed = true
+			}
+			nf := transfer(b, f)
+			if !equal(nf, out[b.Index]) {
+				out[b.Index] = nf
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in, out
+}

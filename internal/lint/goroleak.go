@@ -1,0 +1,409 @@
+// goroleak flags goroutines that provably block forever on a channel
+// nothing else touches — the leak that turns a long-running daemon
+// into a slow memory creep. The classic shape: a helper spawns
+// `go func() { ch <- result }()` on an unbuffered channel, the caller
+// returns early on an error path, and the goroutine (plus everything
+// its closure captures) is pinned for the life of the process.
+// tracescoped is exactly the process that lives long enough to care,
+// so the analyzer is scoped to the daemon surfaces: internal/ingest
+// and the cmd/ entry points.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tracescope/internal/lint/cfg"
+)
+
+// GoroLeak reports `go` statements whose goroutine blocks forever on a
+// channel no other reachable code sends on, receives from, or closes.
+//
+// Per enclosing function, the analyzer collects channels created with
+// make(chan T[, n]) and tracks every operation on them by name. A
+// channel disqualifies itself the moment it escapes — passed to a call
+// (other than close/len/cap), assigned elsewhere, captured in a stored
+// closure, sent over another channel, or returned — because then
+// unseen code may complete the handshake. For each `go func(){...}()`
+// literal, a CFG of the goroutine body decides which channel
+// operations are reachable; a reachable receive (or channel range)
+// with no send or close anywhere outside the goroutine, or a reachable
+// send on an unbuffered channel with no outside receive or range, is a
+// guaranteed forever-block and is reported at the operation. Sends on
+// buffered channels are exempt (the buffer may absorb them), channel
+// operations inside a select that has a default arm are exempt (they
+// cannot park), and an empty select{} is always reported.
+//
+// The analyzer is syntactic (channel identity by name within one
+// function), so it also covers cmd/ files that are analyzed without
+// type information; shadowing a channel name defeats it, escaping
+// silences it — both fail toward silence, never noise.
+const goroleakName = "goroleak"
+
+var GoroLeak = &Analyzer{
+	Name: goroleakName,
+	Doc:  "flags goroutines that block forever on a channel nothing else sends on, receives from, or closes",
+	Run:  runGoroLeak,
+}
+
+// goroleakDirs are the daemon surfaces in scope: long-running processes
+// where a parked goroutine lives arbitrarily long.
+var goroleakDirs = map[string]bool{"ingest": true}
+
+// inGoroleakScope mirrors the errdrop scoping convention: the daemon
+// packages, every cmd/ entry point, and the analyzer's own fixtures.
+func inGoroleakScope(path string) bool {
+	els := strings.Split(filepath.ToSlash(path), "/")
+	for i, el := range els {
+		if el == "cmd" {
+			return true
+		}
+		if i+1 >= len(els) {
+			break
+		}
+		next := els[i+1]
+		if el == "internal" && goroleakDirs[next] {
+			return true
+		}
+		if el == "testdata" && next == goroleakName {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroLeak(f *File) []Diagnostic {
+	if !inGoroleakScope(f.Filename) || strings.HasSuffix(f.Filename, "_test.go") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, decl := range f.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		diags = append(diags, goroLeakFunc(f, fn.Body)...)
+	}
+	return diags
+}
+
+// chanInfo is one channel created in the function under analysis.
+type chanInfo struct {
+	buffered bool
+	escaped  bool
+}
+
+// chanOps are the operations on one channel, bucketed by the innermost
+// `go` statement containing them (nil = the surrounding function or a
+// non-go closure, either way "outside" every goroutine).
+type chanOps struct {
+	sends, recvs, closes []opSite
+}
+
+type opSite struct {
+	pos token.Pos
+	gos *ast.GoStmt // innermost enclosing go statement, nil when none
+	sel *ast.SelectStmt
+}
+
+func goroLeakFunc(f *File, body *ast.BlockStmt) []Diagnostic {
+	chans := make(map[string]*chanInfo)
+	ops := make(map[string]*chanOps)
+
+	// Pass 1: find channels made here, note buffering.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "make" || len(call.Args) == 0 {
+				continue
+			}
+			if _, ok := call.Args[0].(*ast.ChanType); !ok {
+				continue
+			}
+			buffered := false
+			if len(call.Args) >= 2 {
+				lit, isLit := call.Args[1].(*ast.BasicLit)
+				buffered = !isLit || lit.Value != "0"
+			}
+			chans[id.Name] = &chanInfo{buffered: buffered}
+		}
+		return true
+	})
+
+	// Pass 2: record every direct channel operation with its enclosing
+	// go statement and select; then decide escapes — an identifier use
+	// that is not a direct operation hands the channel to code this
+	// analysis cannot see.
+	classifyChanUses(body, chans, ops)
+	computeEscapes(body, chans)
+
+	// Pass 3: per `go func(){...}()`, check reachable channel operations
+	// for a missing counterpart on the outside.
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		gos, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gos.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		diags = append(diags, checkGoroutine(f, gos, lit, chans, ops)...)
+		return true
+	})
+	return diags
+}
+
+// classifyChanUses walks the function body once, recording direct
+// operations on tracked channels together with the innermost go
+// statement and select they sit in.
+func classifyChanUses(body *ast.BlockStmt, chans map[string]*chanInfo, ops map[string]*chanOps) {
+	var goStack []*ast.GoStmt
+	var selStack []*ast.SelectStmt
+	opsFor := func(name string) *chanOps {
+		if ops[name] == nil {
+			ops[name] = &chanOps{}
+		}
+		return ops[name]
+	}
+	cur := func() (*ast.GoStmt, *ast.SelectStmt) {
+		var g *ast.GoStmt
+		var s *ast.SelectStmt
+		if len(goStack) > 0 {
+			g = goStack[len(goStack)-1]
+		}
+		if len(selStack) > 0 {
+			s = selStack[len(selStack)-1]
+		}
+		return g, s
+	}
+	// direct records an operation and returns true when x names a
+	// tracked channel.
+	direct := func(x ast.Expr, record func(*chanOps, opSite)) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || chans[id.Name] == nil {
+			return false
+		}
+		g, s := cur()
+		record(opsFor(id.Name), opSite{pos: id.Pos(), gos: g, sel: s})
+		return true
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.GoStmt:
+				if m == n {
+					return true // the node walk was started on it
+				}
+				goStack = append(goStack, x)
+				walk(x.Call)
+				goStack = goStack[:len(goStack)-1]
+				return false
+			case *ast.SelectStmt:
+				if m == n {
+					return true
+				}
+				selStack = append(selStack, x)
+				for _, c := range x.Body.List {
+					walk(c)
+				}
+				selStack = selStack[:len(selStack)-1]
+				return false
+			case *ast.SendStmt:
+				if direct(x.Chan, func(o *chanOps, s opSite) { o.sends = append(o.sends, s) }) {
+					walk(x.Value)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if direct(x.X, func(o *chanOps, s opSite) { o.recvs = append(o.recvs, s) }) {
+						return false
+					}
+				}
+			case *ast.RangeStmt:
+				if m == n {
+					return true
+				}
+				if direct(x.X, func(o *chanOps, s opSite) { o.recvs = append(o.recvs, s) }) {
+					walk(x.Body)
+					return false
+				}
+			case *ast.CallExpr:
+				if fun, ok := x.Fun.(*ast.Ident); ok {
+					switch fun.Name {
+					case "close":
+						if len(x.Args) == 1 {
+							if direct(x.Args[0], func(o *chanOps, s opSite) { o.closes = append(o.closes, s) }) {
+								return false
+							}
+						}
+					case "len", "cap", "make":
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// computeEscapes sets the escaped bit: a channel escapes when it has at
+// least one identifier use that is neither its make-define LHS nor a
+// direct send/recv/range/close/len/cap operand.
+func computeEscapes(body *ast.BlockStmt, chans map[string]*chanInfo) {
+	consumed := make(map[*ast.Ident]bool)
+	mark := func(x ast.Expr) {
+		if id, ok := x.(*ast.Ident); ok {
+			consumed[id] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "make" {
+							mark(x.Lhs[i])
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			mark(x.Chan)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				mark(x.X)
+			}
+		case *ast.RangeStmt:
+			mark(x.X)
+		case *ast.CallExpr:
+			if fun, ok := x.Fun.(*ast.Ident); ok {
+				switch fun.Name {
+				case "close", "len", "cap":
+					for _, a := range x.Args {
+						mark(a)
+					}
+				}
+			}
+		}
+		return true
+	})
+	for name, ci := range chans {
+		ci.escaped = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if ok && id.Name == name && !consumed[id] {
+				ci.escaped = true
+			}
+			return true
+		})
+	}
+}
+
+// checkGoroutine reports the reachable channel operations of one
+// goroutine body that can never complete.
+func checkGoroutine(f *File, gos *ast.GoStmt, lit *ast.FuncLit, chans map[string]*chanInfo, ops map[string]*chanOps) []Diagnostic {
+	var diags []Diagnostic
+	g := cfg.New(lit.Body)
+	reachable := g.Reachable()
+
+	// Deterministic channel order: diagnostics must not depend on map
+	// iteration.
+	names := make([]string, 0, len(chans))
+	for name := range chans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// outside reports whether any op site for the channel lies outside
+	// this goroutine.
+	outside := func(sites []opSite) bool {
+		for _, s := range sites {
+			if s.gos != gos {
+				return true
+			}
+		}
+		return false
+	}
+	// nonBlocking reports whether the op site sits in a select arm of a
+	// select that has a default — it cannot park there.
+	nonBlocking := func(s opSite) bool {
+		return s.sel != nil && selectHasDefault(s.sel)
+	}
+
+	for _, b := range g.Blocks {
+		if !reachable[b.Index] {
+			continue
+		}
+		// An empty select{} parks unconditionally.
+		if sel, ok := b.Ctrl.(*ast.SelectStmt); ok && len(sel.Body.List) == 0 {
+			diags = append(diags, f.Diag(goroleakName, sel.Pos(),
+				"goroutine parks forever on empty select; it never exits and pins its closure for the life of the process"))
+			continue
+		}
+		for _, n := range b.Nodes {
+			for _, name := range names {
+				ci := chans[name]
+				if ci.escaped {
+					continue
+				}
+				co := ops[name]
+				if co == nil {
+					continue
+				}
+				for _, s := range co.recvs {
+					if s.gos != gos || nonBlocking(s) || !within(n, s.pos) {
+						continue
+					}
+					if !outside(co.sends) && !outside(co.closes) {
+						diags = append(diags, f.Diag(goroleakName, s.pos,
+							"goroutine receives from %s but no code outside it sends or closes; it blocks forever", name))
+					}
+				}
+				if !ci.buffered {
+					for _, s := range co.sends {
+						if s.gos != gos || nonBlocking(s) || !within(n, s.pos) {
+							continue
+						}
+						if !outside(co.recvs) {
+							diags = append(diags, f.Diag(goroleakName, s.pos,
+								"goroutine sends to unbuffered %s but no code outside it receives; it blocks forever", name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// within reports whether pos falls inside the node's source range.
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}

@@ -125,7 +125,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, WallTime, UnstableSort, DeterTaint, CopyLock, SpanEnd, ErrDrop}
+	return []*Analyzer{
+		MapIter, WallTime, UnstableSort, DeterTaint, CopyLock, SpanEnd, ErrDrop,
+		LockOrder, LockHeld, GoroLeak, ObsReg,
+	}
 }
 
 // ParseFile parses one source file (src may be nil to read filename from

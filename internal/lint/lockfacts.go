@@ -1,0 +1,291 @@
+// lockfacts is the shared machinery of the lock analyzers (lockorder,
+// lockheld): identifying sync.Mutex/RWMutex acquisition and release
+// calls, naming the lock they act on, and running the held-lock-set
+// dataflow over a function's CFG. Both analyzers need the same fact —
+// "which locks may be held at this point, and where were they taken" —
+// so it lives here once, as a may-analysis (union join): a lock held on
+// any path into a block counts as held, which is the conservative
+// direction for both deadlock ordering and blocking-under-lock.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"tracescope/internal/lint/cfg"
+)
+
+// lockOp classifies one lock-related call site.
+type lockOp struct {
+	kind lockOpKind
+	key  lockKey
+	pos  token.Pos
+}
+
+type lockOpKind int
+
+const (
+	opLock    lockOpKind = iota // Lock(): exclusive acquire
+	opRLock                     // RLock(): shared acquire
+	opUnlock                    // Unlock()
+	opRUnlock                   // RUnlock()
+)
+
+// lockKey identifies a lock within one function. obj is the innermost
+// variable or field the receiver expression names (s.mu → the mu field
+// object), shared across every function that touches the same field —
+// the package-global lock graph keys on it. path is the rendered
+// receiver expression ("s.mu", "shards[i].mu"), which distinguishes two
+// locks of the same field reached through different values (a.mu vs
+// b.mu) so re-acquisition checks do not conflate them.
+type lockKey struct {
+	obj  types.Object
+	path string
+}
+
+// heldLock is one element of the dataflow fact: a lock that may be held,
+// with its earliest acquisition site and whether any acquisition on a
+// path into here was exclusive.
+type heldLock struct {
+	key   lockKey
+	write bool
+	pos   token.Pos
+}
+
+// lockSet is the dataflow fact: the set of locks that may be held,
+// sorted by (path, pos) for deterministic joins and comparisons.
+type lockSet []heldLock
+
+func (s lockSet) find(k lockKey) int {
+	for i, h := range s {
+		if h.key == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// withLock returns s plus the acquisition, merging into an existing
+// entry (min pos, write-if-either) when the same lock is already held.
+func (s lockSet) withLock(h heldLock) lockSet {
+	out := make(lockSet, len(s), len(s)+1)
+	copy(out, s)
+	if i := out.find(h.key); i >= 0 {
+		if h.pos < out[i].pos {
+			out[i].pos = h.pos
+		}
+		out[i].write = out[i].write || h.write
+		return out
+	}
+	out = append(out, h)
+	out.sort()
+	return out
+}
+
+// withoutLock returns s minus the lock, unchanged when it is not held.
+func (s lockSet) withoutLock(k lockKey) lockSet {
+	i := s.find(k)
+	if i < 0 {
+		return s
+	}
+	out := make(lockSet, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+func (s lockSet) sort() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].key.path != s[j].key.path {
+			return s[i].key.path < s[j].key.path
+		}
+		return s[i].pos < s[j].pos
+	})
+}
+
+// joinLockSets is the union join: held on any path means may-held.
+func joinLockSets(a, b lockSet) lockSet {
+	if len(a) == 0 {
+		return b
+	}
+	out := a
+	for _, h := range b {
+		out = out.withLock(h)
+	}
+	return out
+}
+
+func equalLockSets(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockMethods maps the fully-qualified method names of the sync
+// primitives (and the Locker interface they satisfy) to the operation
+// they perform.
+var lockMethods = map[string]lockOpKind{
+	"(*sync.Mutex).Lock":      opLock,
+	"(*sync.Mutex).Unlock":    opUnlock,
+	"(*sync.RWMutex).Lock":    opLock,
+	"(*sync.RWMutex).Unlock":  opUnlock,
+	"(*sync.RWMutex).RLock":   opRLock,
+	"(*sync.RWMutex).RUnlock": opRUnlock,
+	"(sync.Locker).Lock":      opLock,
+	"(sync.Locker).Unlock":    opUnlock,
+}
+
+// lockOpOf classifies a call as a lock operation, or ok=false. Needs
+// type information: a syntactic mu.Lock() could be anything.
+func lockOpOf(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return lockOp{}, false
+	}
+	kind, ok := lockMethods[fn.FullName()]
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{
+		kind: kind,
+		key:  lockKey{obj: lockObjOf(p, sel.X), path: lockPath(sel.X)},
+		pos:  call.Pos(),
+	}, true
+}
+
+// lockObjOf resolves the receiver expression to the innermost variable
+// or field object naming the lock. nil for expressions with no stable
+// object (function results, map reads) — those locks still work
+// intra-function through the path string but never join the global
+// graph.
+func lockObjOf(p *Package, x ast.Expr) types.Object {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return p.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return p.ObjectOf(e.Sel)
+	case *ast.ParenExpr:
+		return lockObjOf(p, e.X)
+	case *ast.StarExpr:
+		return lockObjOf(p, e.X)
+	case *ast.IndexExpr:
+		return lockObjOf(p, e.X)
+	}
+	return nil
+}
+
+// lockPath renders the receiver expression compactly ("s.mu",
+// "shards[i].mu") for re-acquisition checks and diagnostics.
+func lockPath(x ast.Expr) string {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lockPath(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return lockPath(e.X)
+	case *ast.StarExpr:
+		return lockPath(e.X)
+	case *ast.IndexExpr:
+		return lockPath(e.X) + "[...]"
+	case *ast.CallExpr:
+		return lockPath(e.Fun) + "()"
+	}
+	return "?"
+}
+
+// lockOpsIn collects the lock operations inside one CFG leaf node, in
+// source order. Deferred and go-spawned calls are excluded: a deferred
+// Unlock releases at function exit (so the lock stays held through the
+// rest of the graph), and a spawned goroutine's operations happen on
+// another timeline. Nested function literals are opaque, as everywhere
+// in this suite.
+func lockOpsIn(p *Package, n ast.Node) []lockOp {
+	var ops []lockOp
+	walkSequential(n, func(call *ast.CallExpr) {
+		if op, ok := lockOpOf(p, call); ok {
+			ops = append(ops, op)
+		}
+	})
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// walkSequential visits the calls of a leaf node that execute in the
+// node's own sequence, skipping defer bodies, go statements, and
+// function literals.
+func walkSequential(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch c := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(c)
+		}
+		return true
+	})
+}
+
+// lockTransfer applies one block's lock operations to the incoming
+// fact. It is the transfer function both analyzers run Forward with.
+func lockTransfer(p *Package) func(b *cfg.Block, in lockSet) lockSet {
+	return func(b *cfg.Block, in lockSet) lockSet {
+		out := in
+		for _, n := range b.Nodes {
+			for _, op := range lockOpsIn(p, n) {
+				switch op.kind {
+				case opLock:
+					out = out.withLock(heldLock{key: op.key, write: true, pos: op.pos})
+				case opRLock:
+					out = out.withLock(heldLock{key: op.key, write: false, pos: op.pos})
+				case opUnlock, opRUnlock:
+					out = out.withoutLock(op.key)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// funcLockFacts runs the held-lock dataflow over one function body and
+// returns the graph plus the converged block-entry facts. The replay
+// pattern — fixpoint first, then a deterministic walk applying the
+// transfer locally while emitting diagnostics — is how both analyzers
+// consume this.
+func funcLockFacts(p *Package, body *ast.BlockStmt) (*cfg.Graph, []lockSet) {
+	g := cfg.New(body)
+	in, _ := cfg.Forward(g, lockSet{}, lockSet{},
+		joinLockSets, lockTransfer(p), equalLockSets)
+	return g, in
+}
+
+// shortPos renders a position as base-filename:line for diagnostics —
+// stable across checkouts, unlike absolute paths.
+func shortPos(p *Package, pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepathBase(position.Filename), position.Line)
+}
+
+// filepathBase is filepath.Base without the import, handling both
+// separators since positions are always slash paths here.
+func filepathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,284 @@
+// lockheld flags blocking operations performed while a sync lock is
+// held — the static form of the paper's core finding that real-world
+// latency lives in waiting, not computing. A channel receive or a file
+// write inside a Lock/Unlock window turns the lock into a convoy:
+// every other goroutine that needs it queues behind I/O it has no
+// stake in. ingest.Server deliberately serializes ingestion under one
+// RWMutex write lock, which makes the write-lock case the one to watch
+// — anything slow in that window stalls the whole daemon.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld reports blocking operations reached on a CFG path between a
+// lock acquisition and its release.
+//
+// The same held-lock dataflow as lockorder decides what is held where
+// (defer'd unlocks hold to function exit). Inside a held window these
+// block:
+//
+//   - channel sends and receives, ranging over a channel, and select
+//     statements without a default arm;
+//   - calls with unbounded latency: net/http requests and servers,
+//     os file creation/open/read/write, io.Copy/ReadAll/ReadFull,
+//     io.Writer.Write, time.Sleep, sync.WaitGroup.Wait;
+//   - the corpus storage layer's own I/O — (*trace.Appender).Append
+//     and friends (OpenDir, Reload, Stream, Sync on internal/trace
+//     types), which hit the filesystem by design.
+//
+// Write-lock holds are called out specially in the message: a blocking
+// call under an exclusive lock stalls every reader and writer, not
+// just peers. Deliberate serialization points carry //lint:ignore
+// suppressions with the reason spelled out.
+//
+// Limits, by design: intraprocedural (a blocking callee behind a local
+// helper is invisible), type-checked packages only, deferred and
+// go-spawned calls excluded (they run outside the window or on another
+// goroutine).
+const lockheldName = "lockheld"
+
+var LockHeld = &Analyzer{
+	Name:       lockheldName,
+	Doc:        "flags channel operations and blocking I/O performed while a sync lock is held",
+	RunPackage: runLockHeld,
+}
+
+func runLockHeld(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	forEachFuncBody(p, func(f *File, body *ast.BlockStmt) {
+		diags = append(diags, lockHeldFunc(p, f, body)...)
+	})
+	return diags
+}
+
+func lockHeldFunc(p *Package, f *File, body *ast.BlockStmt) []Diagnostic {
+	g, in := funcLockFacts(p, body)
+	reachable := g.Reachable()
+	var diags []Diagnostic
+	flag := func(pos token.Pos, what string, held lockSet) {
+		h := worstHeld(held)
+		grade := "read lock"
+		if h.write {
+			grade = "write lock"
+		}
+		diags = append(diags, f.Diag(lockheldName, pos,
+			"%s while holding %s %s (acquired at %s); blocking under a held lock convoys every waiter behind this call",
+			what, grade, h.key.path, shortPos(p, h.pos)))
+	}
+	for _, b := range g.Blocks {
+		if !reachable[b.Index] {
+			continue
+		}
+		held := in[b.Index]
+		// A select.comm block's Comm statement is the arm the select
+		// chose — its channel operation is the select's wait, already
+		// accounted for at the dispatch block, not an extra block point.
+		var commStmt ast.Stmt
+		if cc, ok := b.Ctrl.(*ast.CommClause); ok {
+			commStmt = cc.Comm
+		}
+		for _, n := range b.Nodes {
+			// Interleave lock ops and blocking ops in source order: the
+			// fact must be current at each operation within the block.
+			ops := lockOpsIn(p, n)
+			oi := 0
+			apply := func(upto token.Pos) {
+				for oi < len(ops) && ops[oi].pos < upto {
+					op := ops[oi]
+					switch op.kind {
+					case opLock:
+						held = held.withLock(heldLock{key: op.key, write: true, pos: op.pos})
+					case opRLock:
+						held = held.withLock(heldLock{key: op.key, write: false, pos: op.pos})
+					case opUnlock, opRUnlock:
+						held = held.withoutLock(op.key)
+					}
+					oi++
+				}
+			}
+			for _, blk := range blockingOpsIn(p, n, n == commStmt) {
+				apply(blk.pos)
+				if len(held) > 0 {
+					flag(blk.pos, blk.what, held)
+				}
+			}
+			apply(token.Pos(1 << 30))
+		}
+		// Block-head constructs park after the block's own nodes have
+		// evaluated (a dispatch block may contain the Lock call itself),
+		// so these checks use the post-node fact: ranging a channel parks
+		// in the head, a select without default parks at its dispatch.
+		if len(held) > 0 {
+			switch ctrl := b.Ctrl.(type) {
+			case *ast.RangeStmt:
+				if b.Kind == "range.head" && isChanType(p.TypeOf(ctrl.X)) {
+					flag(ctrl.X.Pos(), "ranging over a channel", held)
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(ctrl) {
+					flag(ctrl.Pos(), "select with no default arm", held)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// worstHeld picks the lock to name in the message: a write hold beats a
+// read hold; ties go to the earliest acquisition.
+func worstHeld(held lockSet) heldLock {
+	h := held[0]
+	for _, c := range held[1:] {
+		if c.write && !h.write {
+			h = c
+		}
+	}
+	return h
+}
+
+// blockingOp is one potentially-unbounded wait found in a leaf node.
+type blockingOp struct {
+	pos  token.Pos
+	what string
+}
+
+// blockingOpsIn finds the blocking operations of one leaf node in
+// source order, excluding defer/go/function-literal subtrees like the
+// lock-op walk does. skipChan drops channel sends/receives — used for
+// a select arm's Comm statement, whose wait is the select's own.
+func blockingOpsIn(p *Package, n ast.Node, skipChan bool) []blockingOp {
+	var ops []blockingOp
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !skipChan {
+				ops = append(ops, blockingOp{x.Arrow, "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !skipChan {
+				ops = append(ops, blockingOp{x.OpPos, "channel receive"})
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(p, x); ok {
+				ops = append(ops, blockingOp{x.Pos(), what})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// blockingFuncs are package-level functions with unbounded latency.
+var blockingFuncs = map[string]bool{
+	"time.Sleep":              true,
+	"os.Open":                 true,
+	"os.OpenFile":             true,
+	"os.Create":               true,
+	"os.CreateTemp":           true,
+	"os.ReadFile":             true,
+	"os.WriteFile":            true,
+	"os.ReadDir":              true,
+	"os.Remove":               true,
+	"os.RemoveAll":            true,
+	"os.Rename":               true,
+	"os.MkdirAll":             true,
+	"io.Copy":                 true,
+	"io.ReadAll":              true,
+	"io.ReadFull":             true,
+	"net/http.Get":            true,
+	"net/http.Post":           true,
+	"net/http.PostForm":       true,
+	"net/http.Head":           true,
+	"net/http.ListenAndServe": true,
+}
+
+// blockingMethods are methods with unbounded latency, by
+// types.Func.FullName.
+var blockingMethods = map[string]bool{
+	"(*os.File).Read":         true,
+	"(*os.File).ReadAt":       true,
+	"(*os.File).Write":        true,
+	"(*os.File).WriteAt":      true,
+	"(*os.File).WriteString":  true,
+	"(*os.File).Sync":         true,
+	"(io.Writer).Write":       true,
+	"(io.Reader).Read":        true,
+	"(*net/http.Client).Do":   true,
+	"(*net/http.Client).Get":  true,
+	"(*net/http.Client).Post": true,
+	"(*sync.WaitGroup).Wait":  true,
+	"(*sync.Cond).Wait":       true,
+}
+
+// traceIONames are the storage layer's blocking entry points: methods
+// and functions of internal/trace that hit the filesystem by contract.
+var traceIONames = map[string]bool{
+	"Append": true, "OpenDir": true, "Reload": true, "Stream": true, "Sync": true,
+}
+
+// blockingCall classifies a call as blocking, returning a short
+// description for the diagnostic.
+func blockingCall(p *Package, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := p.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	full := fn.FullName()
+	if blockingMethods[full] {
+		return "call to " + full, true
+	}
+	qualified := fn.Pkg().Path() + "." + fn.Name()
+	if fn.Type().(*types.Signature).Recv() == nil && blockingFuncs[qualified] {
+		return "call to " + qualified, true
+	}
+	if isTraceStoragePkg(fn.Pkg().Path()) && traceIONames[fn.Name()] {
+		return "corpus I/O call " + fn.Name(), true
+	}
+	return "", false
+}
+
+// isTraceStoragePkg reports whether the package is the corpus storage
+// layer (internal/trace) whose named entry points do file I/O.
+func isTraceStoragePkg(path string) bool {
+	const suffix = "internal/trace"
+	return path == suffix || len(path) > len(suffix) &&
+		path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// selectHasDefault reports whether the select has a default arm (a nil
+// Comm clause) — those never park.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

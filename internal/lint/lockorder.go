@@ -1,0 +1,265 @@
+// lockorder lifts each function's lock-acquisition sequences into one
+// package-global lock graph and reports cycles — the static shadow of
+// the paper's dependency-graph view of waiting. A daemon that takes
+// s.mu then pool.mu on the ingest path and pool.mu then s.mu on the
+// eviction path deadlocks the first time both paths run concurrently;
+// no test catches it until the interleaving happens. The ordering
+// discipline is a whole-package property, so the analyzer is package
+// scoped: edges come from every function, keyed by the lock's field or
+// variable object.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder reports lock-ordering hazards.
+//
+// Per function, a CFG dataflow computes which locks may be held at each
+// point (defer'd unlocks release at function exit, so a
+// lock-then-defer-unlock holds to the end — accurate, not
+// conservative). Two finding classes:
+//
+//   - re-acquisition: taking a lock that the same path already holds
+//     (same variable or field, same receiver path) is a guaranteed
+//     self-deadlock — sync.Mutex is not re-entrant. RLock while only
+//     RLock is held is exempt: shared acquisition nests.
+//   - ordering cycles: every acquisition made while another lock is
+//     held contributes an edge held→acquired to a package-global graph
+//     keyed by the lock's types.Object; a cycle in that graph means two
+//     call paths disagree on acquisition order and can deadlock under
+//     concurrency. The diagnostic names the cycle and both acquisition
+//     sites. Edges between different receiver paths of the same object
+//     (a.mu then b.mu) are skipped: instance order is data-dependent
+//     and static order has no say.
+//
+// Limits, by design: intraprocedural per function (no call summaries —
+// a lock held across a call into another locking function is invisible),
+// type-checked packages only, function literals analyzed as separate
+// functions.
+const lockorderName = "lockorder"
+
+var LockOrder = &Analyzer{
+	Name:       lockorderName,
+	Doc:        "builds the package lock-acquisition graph and reports cycles and re-acquisition deadlocks",
+	RunPackage: runLockOrder,
+}
+
+// lockEdge is one held→acquired observation.
+type lockEdge struct {
+	from, to         types.Object
+	fromPath, toPath string
+	heldAt, takenAt  token.Pos
+}
+
+func runLockOrder(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var (
+		diags []Diagnostic
+		edges []lockEdge
+	)
+	forEachFuncBody(p, func(f *File, body *ast.BlockStmt) {
+		d, e := lockOrderFunc(p, f, body)
+		diags = append(diags, d...)
+		edges = append(edges, e...)
+	})
+	diags = append(diags, lockCycleDiags(p, edges)...)
+	return diags
+}
+
+// lockOrderFunc replays one function's converged lock facts, emitting
+// re-acquisition diagnostics and collecting ordering edges.
+func lockOrderFunc(p *Package, f *File, body *ast.BlockStmt) ([]Diagnostic, []lockEdge) {
+	g, in := funcLockFacts(p, body)
+	reachable := g.Reachable()
+	var (
+		diags []Diagnostic
+		edges []lockEdge
+	)
+	for _, b := range g.Blocks {
+		if !reachable[b.Index] {
+			continue
+		}
+		held := in[b.Index]
+		for _, n := range b.Nodes {
+			for _, op := range lockOpsIn(p, n) {
+				switch op.kind {
+				case opLock, opRLock:
+					if i := held.find(op.key); i >= 0 {
+						prev := held[i]
+						if !(op.kind == opRLock && !prev.write) {
+							diags = append(diags, f.Diag(lockorderName, op.pos,
+								"%s acquired while already held (acquired at %s); sync locks are not re-entrant — this goroutine deadlocks on itself",
+								op.key.path, shortPos(p, prev.pos)))
+						}
+					}
+					for _, h := range held {
+						if h.key.obj == nil || op.key.obj == nil || h.key.obj == op.key.obj {
+							continue
+						}
+						edges = append(edges, lockEdge{
+							from: h.key.obj, to: op.key.obj,
+							fromPath: h.key.path, toPath: op.key.path,
+							heldAt: h.pos, takenAt: op.pos,
+						})
+					}
+					if op.kind == opLock {
+						held = held.withLock(heldLock{key: op.key, write: true, pos: op.pos})
+					} else {
+						held = held.withLock(heldLock{key: op.key, write: false, pos: op.pos})
+					}
+				case opUnlock, opRUnlock:
+					held = held.withoutLock(op.key)
+				}
+			}
+		}
+	}
+	return diags, edges
+}
+
+// lockCycleDiags finds cycles in the package lock graph and reports
+// each once, at its lexically first acquisition site.
+func lockCycleDiags(p *Package, edges []lockEdge) []Diagnostic {
+	if len(edges) == 0 {
+		return nil
+	}
+	// Collapse parallel edges to the lexically first observation so the
+	// report is stable however many times a pair occurs.
+	type pair struct{ from, to types.Object }
+	best := make(map[pair]lockEdge)
+	for _, e := range edges {
+		k := pair{e.from, e.to}
+		if prev, ok := best[k]; !ok || e.takenAt < prev.takenAt {
+			best[k] = e
+		}
+	}
+	// Deterministic node and adjacency order: by source position of the
+	// object's declaration.
+	adj := make(map[types.Object][]lockEdge)
+	var nodes []types.Object
+	seenNode := make(map[types.Object]bool)
+	addNode := func(o types.Object) {
+		if !seenNode[o] {
+			seenNode[o] = true
+			nodes = append(nodes, o)
+		}
+	}
+	for _, e := range best {
+		addNode(e.from)
+		addNode(e.to)
+		adj[e.from] = append(adj[e.from], e)
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+	for _, es := range adj {
+		sort.SliceStable(es, func(i, j int) bool { return es[i].to.Pos() < es[j].to.Pos() })
+	}
+
+	// DFS with an explicit stack of edges; a back edge into the current
+	// path closes a cycle. Each cycle is reported once, keyed by its
+	// member set.
+	var (
+		diags    []Diagnostic
+		color    = make(map[types.Object]int) // 0 white 1 gray 2 black
+		path     []lockEdge
+		onPath   = make(map[types.Object]bool)
+		reported = make(map[string]bool)
+	)
+	var dfs func(o types.Object)
+	dfs = func(o types.Object) {
+		color[o] = 1
+		onPath[o] = true
+		for _, e := range adj[o] {
+			if color[e.to] == 1 && onPath[e.to] {
+				// Slice the path back to where the cycle starts.
+				cycle := []lockEdge{e}
+				for i := len(path) - 1; i >= 0; i-- {
+					cycle = append([]lockEdge{path[i]}, cycle...)
+					if path[i].from == e.to {
+						break
+					}
+				}
+				if d, ok := cycleDiag(p, cycle, reported); ok {
+					diags = append(diags, d)
+				}
+				continue
+			}
+			if color[e.to] == 0 {
+				path = append(path, e)
+				dfs(e.to)
+				path = path[:len(path)-1]
+			}
+		}
+		onPath[o] = false
+		color[o] = 2
+	}
+	for _, o := range nodes {
+		if color[o] == 0 {
+			dfs(o)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// cycleDiag renders one cycle. The diagnostic sits at the lexically
+// first acquisition in the cycle and spells out every edge with both
+// sites, so the fix — picking one order — needs no further digging.
+func cycleDiag(p *Package, cycle []lockEdge, reported map[string]bool) (Diagnostic, bool) {
+	names := make([]string, len(cycle))
+	for i, e := range cycle {
+		names[i] = e.fromPath
+	}
+	sortedNames := append([]string(nil), names...)
+	sort.Strings(sortedNames)
+	key := strings.Join(sortedNames, "→")
+	if reported[key] {
+		return Diagnostic{}, false
+	}
+	reported[key] = true
+
+	at := cycle[0].takenAt
+	for _, e := range cycle[1:] {
+		if e.takenAt < at {
+			at = e.takenAt
+		}
+	}
+	var parts []string
+	for _, e := range cycle {
+		parts = append(parts, fmt.Sprintf("%s then %s at %s",
+			e.fromPath, e.toPath, shortPos(p, e.takenAt)))
+	}
+	return Diagnostic{
+		Pos:      p.Fset.Position(at),
+		Analyzer: lockorderName,
+		Message: fmt.Sprintf("lock order cycle (%s): %s; paths that disagree on acquisition order can deadlock",
+			strings.Join(names, " → "), strings.Join(parts, "; ")),
+	}, true
+}
+
+// forEachFuncBody visits every function and method body in the package,
+// including function literals (each as its own body — the lock facts
+// are intraprocedural), in deterministic file and source order.
+func forEachFuncBody(p *Package, visit func(f *File, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			visit(f, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(f, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

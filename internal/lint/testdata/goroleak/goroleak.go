@@ -1,0 +1,102 @@
+// Fixtures for the goroleak analyzer: goroutines parked forever on
+// channels nothing else touches, and the many shapes that must stay
+// silent — counterparts, buffering, escapes, defaults, dead code.
+package goroleak
+
+func leakRecv() {
+	ch := make(chan int)
+	go func() {
+		<-ch // want "no code outside it sends or closes"
+	}()
+}
+
+func leakSend() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{} // want "sends to unbuffered done but no code outside it receives"
+	}()
+}
+
+// A buffered send cannot park the goroutine: the buffer absorbs it.
+func bufferedSend() {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+}
+
+// The function body receives, so the goroutine's send completes.
+func sendWithReceiver() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+
+// close elsewhere completes the goroutine's receive.
+func recvWithClose() {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+	close(stop)
+}
+
+// Ranging a channel that another goroutine closes is fine.
+func rangeWithClose() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	close(ch)
+}
+
+// Ranging a channel nothing feeds or closes parks forever.
+func leakRange() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch { // want "no code outside it sends or closes"
+			_ = v
+		}
+	}()
+}
+
+// A channel handed to another function escapes: unseen code may hold
+// the other end, so the analyzer must stay silent.
+func escaped(register func(chan int)) {
+	ch := make(chan int)
+	register(ch)
+	go func() {
+		<-ch
+	}()
+}
+
+// Inside a select with a default arm the operation cannot park.
+func selectDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}
+
+// An empty select parks unconditionally.
+func emptySelect() {
+	go func() {
+		select {} // want "parks forever on empty select"
+	}()
+}
+
+// The blocking receive is unreachable — the CFG knows.
+func deadCode() {
+	ch := make(chan int)
+	go func() {
+		return
+		<-ch
+	}()
+}

@@ -1,0 +1,106 @@
+// Fixtures for the lockheld analyzer: blocking operations inside a
+// Lock/Unlock window, across explicit and deferred releases, branches,
+// selects, and channel ranges — plus the shapes that must stay silent.
+package lockheld
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (s *S) sleepUnderWrite() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding write lock s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) fileUnderRead() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, _ = os.ReadFile("corpus.idx") // want "call to os.ReadFile while holding read lock s.mu"
+}
+
+func (s *S) chanUnderWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch    // want "channel receive while holding write lock"
+	s.ch <- 1 // want "channel send while holding write lock"
+}
+
+// Releasing first is clean: the dataflow must model the Unlock.
+func (s *S) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	<-s.ch
+}
+
+// The deferred unlock fires at exit on both paths; the early return
+// does not end the window before it starts.
+func (s *S) branch(c bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c {
+		return
+	}
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding write lock"
+}
+
+// A lock taken on only one branch still may-holds at the join.
+func (s *S) maybeHeld(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding write lock"
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+// A select with no default parks the goroutine while the lock is held.
+func (s *S) selectPark() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default arm while holding write lock"
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// A default arm makes the select non-blocking: silent.
+func (s *S) selectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *S) rangeChan() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want "ranging over a channel while holding write lock"
+		_ = v
+	}
+}
+
+// Operations spawned into their own goroutine run on another timeline:
+// silent (goroleak's territory, not lockheld's).
+func (s *S) spawned() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { <-s.ch }()
+}
+
+// Blocking work with no lock held is silent everywhere.
+func (s *S) unlocked() {
+	time.Sleep(time.Millisecond)
+	<-s.ch
+}

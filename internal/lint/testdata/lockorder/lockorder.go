@@ -1,0 +1,94 @@
+// Fixtures for the lockorder analyzer: acquisition-order cycles across
+// functions, re-acquisition self-deadlocks, and the shapes that must
+// stay silent (consistent order, distinct instances, shared RLocks).
+package lockorder
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ab and ba disagree on acquisition order: the package lock graph gets
+// both a→b and b→a, a cycle. The diagnostic lands on the lexically
+// first acquisition that closes it.
+func (s *S) ab() {
+	s.a.Lock()
+	s.b.Lock() // want "lock order cycle"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) ba() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// deferred unlocks hold to function exit: the a→b edge exists here too,
+// consistent with ab, so no new finding.
+func (s *S) abDeferred() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+// Re-acquiring a lock the same path already holds deadlocks the
+// goroutine on itself — sync.Mutex is not re-entrant.
+func (s *S) again() {
+	s.a.Lock()
+	s.a.Lock() // want "acquired while already held"
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// A may-held lock from one branch still flags: on the c path this is
+// the same self-deadlock.
+func (s *S) branch(c bool) {
+	if c {
+		s.a.Lock()
+	}
+	s.a.Lock() // want "acquired while already held"
+	s.a.Unlock()
+}
+
+// Release before re-acquire is clean.
+func (s *S) seq() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+type M struct{ mu sync.Mutex }
+
+// Two instances of the same lock field: ordering between them is
+// data-dependent, so no edge and no finding — and no bogus self-cycle
+// from the shared field object.
+func two(x, y *M) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+// Nested shared acquisition is allowed.
+func (r *R) rr() {
+	r.mu.RLock()
+	r.mu.RLock()
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+// A read acquire while the write lock is held is still a self-deadlock.
+func (r *R) wr() {
+	r.mu.Lock()
+	r.mu.RLock() // want "acquired while already held"
+	r.mu.RUnlock()
+	r.mu.Unlock()
+}

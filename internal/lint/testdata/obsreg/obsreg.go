@@ -1,0 +1,48 @@
+// Fixtures for the obsreg analyzer. The recorder here is a local fake:
+// the analyzer matches the obs.Recorder method shapes by signature, so
+// the registry discipline covers fakes and the real recorder alike.
+package obsreg
+
+type Span struct{}
+
+func (Span) End() {}
+
+type Rec struct{}
+
+func (Rec) Add(name string, delta int64)            {}
+func (Rec) Observe(name string, v int64)            {}
+func (Rec) Start(name string) Span                  { return Span{} }
+func (Rec) Progress(name string, done, total int64) {}
+
+// NotARecorder has the method names but not the shapes; its calls are
+// invisible to the registry.
+type NotARecorder struct{}
+
+func (NotARecorder) Add(name string)          {}
+func (NotARecorder) Start(name string) string { return name }
+
+func use(r Rec, n NotARecorder, label string) {
+	r.Add("ingest_good_total", 1)
+	r.Add("missing_suffix", 1) // want "counter \"missing_suffix\" does not end in _total"
+	r.Observe("decode_bytes", 1)
+	r.Observe("decode_wait_total", 1) // want "histogram \"decode_wait_total\" ends in _total"
+	r.Add("Bad_Name_total", 1)        // want "does not match"
+
+	// A span may report progress under its own label: sanctioned pair.
+	sp := r.Start("decode_span")
+	r.Progress("decode_span", 1, 2)
+	sp.End()
+
+	// The same label as a histogram is a conflict.
+	r.Observe("decode_span", 3) // want "metric \"decode_span\" used as histogram here but as span"
+
+	// Dynamic names: a literal suffix registers as a pattern (and is
+	// exempt from the _total rule); a fully dynamic name is invisible.
+	shard := r.Start(label + "_shard")
+	shard.End()
+	r.Progress(label, 1, 2)
+
+	// Shape lookalikes register nothing.
+	n.Add("Whatever")
+	_ = n.Start("Nor This")
+}
