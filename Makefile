@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet lint lint-fix lint-json lint-sarif metrics-doc \
 	metrics-doc-update test test-short test-race \
 	bench bench-json bench-corpus bench-gate bench-paper bench-smoke \
-	daemon-smoke experiments experiments-md report fuzz clean
+	daemon-smoke diff-smoke experiments experiments-md report fuzz clean
 
 all: build vet lint test
 
@@ -115,6 +115,14 @@ bench-smoke:
 # /metrics included (the default registry is clockless).
 daemon-smoke:
 	./scripts/daemon_smoke.sh
+
+# Corpus-diff smoke (CI gates on this): two same-seed fleets differing
+# by one injected slow-hardware fault, diffed with traceanalyze -diff.
+# The fault must be the top-ranked wait-chain regression, and the JSON
+# report byte-identical across worker counts, across runs, and between
+# the CLI and the tracescoped GET /diff endpoint.
+diff-smoke:
+	./scripts/diff_smoke.sh
 
 # Regenerate the paper's evaluation on a fresh corpus.
 experiments:

@@ -83,7 +83,7 @@ func main() {
 
 	suite := experiments.NewSuiteOptions(scenario.Config{
 		Seed: *seed, Streams: *streams, Episodes: *episodes,
-	}, core.Options{Workers: *workers, Recorder: obs.Tee(recs...)})
+	}, core.WithWorkers(*workers), core.WithRecorder(obs.Tee(recs...)))
 	if *md {
 		if err := suite.WriteMarkdown(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

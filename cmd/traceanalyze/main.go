@@ -1,13 +1,15 @@
 // Command traceanalyze runs the paper's two-step analysis over a corpus
 // written by tracegen: impact analysis for a component filter, and —
 // given a scenario — causality analysis printing the ranked contrast
-// patterns.
+// patterns. With -diff it compares two corpora instead, ranking the
+// wait-chain regressions between them.
 //
 // Usage:
 //
 //	traceanalyze -corpus DIR [-components "*.sys"] [-cache N]
 //	             [-scenario NAME [-tfast MS -tslow MS] [-top N] [-k N]]
 //	             [-metrics] [-progress] [-pprof ADDR]
+//	traceanalyze -diff [-format md|json] [shared flags] BASELINE_DIR CANDIDATE_DIR
 //
 // By default the corpus is opened lazily: only stream metadata is read
 // up front, and streams are decoded on demand through an LRU bounded by
@@ -15,47 +17,63 @@
 // -cache 0 keeps every decoded stream resident (the fully in-memory
 // behaviour).
 //
+// In -diff mode both corpora are profiled out-of-core the same way,
+// scenarios are aligned across them, and stdout carries only the
+// regression report (markdown by default, canonical JSON with -format
+// json) — byte-identical at any -workers setting, and byte-identical to
+// the tracescoped /diff endpoint over the same pair.
+//
 // Observability: -progress prints live per-phase progress to stderr;
-// -metrics prints a final Prometheus-text and JSON metrics snapshot to
-// stdout (counters and span counts only — no wall time — so the
-// snapshot is byte-identical across runs at the same seed and worker
-// count); -pprof serves net/http/pprof and expvar (including the live
-// metrics snapshot under "tracescope_metrics") on the given address.
+// -metrics prints a final Prometheus-text and JSON metrics snapshot
+// (counters and span counts only — no wall time — so the snapshot is
+// byte-identical across runs at the same seed and worker count);
+// -pprof serves net/http/pprof and expvar (including the live metrics
+// snapshot under "tracescope_metrics") on the given address.
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"tracescope"
+	"tracescope/internal/cliflags"
 	"tracescope/internal/mining"
+	"tracescope/internal/report"
 )
 
 func main() {
 	var (
-		dir          = flag.String("corpus", "", "corpus directory (required)")
+		dir          = flag.String("corpus", "", "corpus directory (required unless -diff)")
 		components   = flag.String("components", "*.sys", "comma-free component pattern (repeatable via commas)")
 		scen         = flag.String("scenario", "", "scenario for causality analysis (optional)")
 		tfastMS      = flag.Float64("tfast", 0, "fast-class threshold in ms (default: catalogue value)")
 		tslowMS      = flag.Float64("tslow", 0, "slow-class threshold in ms (default: catalogue value)")
-		top          = flag.Int("top", 10, "number of ranked patterns to print")
+		top          = flag.Int("top", 10, "number of ranked patterns (or diff edges) to print")
 		k            = flag.Int("k", 5, "maximum path-segment length for meta-pattern enumeration")
 		locate       = flag.Bool("locate", false, "locate concrete slow instances for the top pattern")
 		baselines    = flag.Bool("baselines", false, "also run the §6 baselines (profile, contention, StackMine)")
 		perComponent = flag.Bool("percomponent", false, "print the per-driver impact breakdown")
-		workers      = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		cacheLimit   = flag.Int("cache", 64, "decoded-stream LRU limit for out-of-core analysis (0 = keep all streams resident)")
 		cacheStats   = flag.Bool("cachestats", false, "print decoded-stream cache counters after the run")
-		metrics      = flag.Bool("metrics", false, "print a Prometheus-text and JSON metrics snapshot after the run")
-		progress     = flag.Bool("progress", false, "print live phase progress to stderr")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		diffMode     = flag.Bool("diff", false, "diff two corpus directories (baseline candidate) given as positional arguments")
+		format       = flag.String("format", "md", "-diff report format: md or json")
 	)
+	var cf cliflags.Flags
+	cf.RegisterWorkers(flag.CommandLine)
+	cf.RegisterCache(flag.CommandLine)
+	cf.RegisterObservability(flag.CommandLine)
+	cf.RegisterPprof(flag.CommandLine)
 	flag.Parse()
+
+	wall := func() int64 { return time.Now().UnixNano() }
+	rec, mem := cf.Recorder(os.Stderr, wall)
+	cf.StartPprof("traceanalyze", mem)
+
+	if *diffMode {
+		runDiff(flag.Args(), *components, *format, *top, *k, cf, rec, mem)
+		return
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "traceanalyze: -corpus is required")
 		flag.Usage()
@@ -66,42 +84,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cached := tracescope.NewCachedSource(dirSrc, *cacheLimit)
+	cached := tracescope.NewCachedSource(dirSrc, cf.Cache)
 	var src tracescope.Source = cached
 	fmt.Printf("corpus: %d streams, %d instances, %d events\n\n",
 		src.NumStreams(), src.NumInstances(), src.NumEvents())
 
-	// Assemble the recorder: an in-memory registry for -metrics (no
-	// clock, so the final snapshot stays deterministic) teed with a
-	// wall-clocked progress printer for -progress.
-	var mem *tracescope.MemRecorder
-	var recs []tracescope.Recorder
-	if *metrics {
-		mem = tracescope.NewMemRecorder()
-		recs = append(recs, mem)
-	}
-	if *progress {
-		wall := func() int64 { return time.Now().UnixNano() }
-		recs = append(recs, tracescope.NewProgressPrinter(os.Stderr, wall, int64(200*time.Millisecond)))
-	}
-	if *pprofAddr != "" {
-		expvar.Publish("tracescope_metrics", expvar.Func(func() any {
-			if mem == nil {
-				return nil
-			}
-			return mem.Snapshot()
-		}))
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "traceanalyze: pprof server: %v\n", err)
-			}
-		}()
-	}
-
 	filter := tracescope.NewComponentFilter(*components)
 	an := tracescope.NewAnalyzer(src,
-		tracescope.WithWorkers(*workers),
-		tracescope.WithRecorder(tracescope.TeeRecorders(recs...)))
+		tracescope.WithWorkers(cf.Workers),
+		tracescope.WithRecorder(rec))
 
 	m := an.Impact(filter, *scen)
 	scope := "all scenarios"
@@ -204,6 +195,50 @@ func main() {
 	finish(an, cached, *cacheStats, mem)
 }
 
+// runDiff is the -diff mode: profile the two positional corpora, diff
+// them, and write only the regression report to stdout (so two runs —
+// or a run and the tracescoped /diff endpoint — byte-compare equal).
+func runDiff(args []string, components, format string, top, k int, cf cliflags.Flags, rec tracescope.Recorder, mem *tracescope.MemRecorder) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "traceanalyze: -diff needs exactly two corpus directories: baseline candidate")
+		os.Exit(2)
+	}
+	if format != "md" && format != "json" {
+		fmt.Fprintf(os.Stderr, "traceanalyze: bad -format %q (md or json)\n", format)
+		os.Exit(2)
+	}
+	open := func(dir string) tracescope.Source {
+		src, err := tracescope.OpenCorpusDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		return tracescope.NewCachedSource(src, cf.Cache)
+	}
+	base, cand := open(args[0]), open(args[1])
+
+	res, err := tracescope.Diff(base, cand,
+		tracescope.WithWorkers(cf.Workers),
+		tracescope.WithRecorder(rec),
+		tracescope.WithFilter(tracescope.NewComponentFilter(components)),
+		tracescope.WithTopEdges(top),
+		tracescope.WithMiningParams(tracescope.MiningParams{K: k}))
+	if err != nil {
+		fatal(err)
+	}
+	switch format {
+	case "json":
+		err = report.WriteDiffJSON(os.Stdout, res)
+	default:
+		err = report.WriteDiffMarkdown(os.Stdout, res)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := cliflags.DumpMetrics(os.Stderr, mem); err != nil {
+		fatal(err)
+	}
+}
+
 // finish surfaces deferred stream-fetch failures (lazy sources treat
 // failed instances as empty rather than aborting mid-shard) and,
 // optionally, the cache counters and the metrics snapshot.
@@ -213,16 +248,8 @@ func finish(an *tracescope.Analyzer, cached *tracescope.CachedSource, stats bool
 		fmt.Printf("\nstream cache: limit=%d hits=%d misses=%d evictions=%d high-water=%d\n",
 			cached.Limit(), s.Hits, s.Misses, s.Evictions, s.HighWater)
 	}
-	if mem != nil {
-		snap := mem.Snapshot()
-		fmt.Println("\n# metrics (Prometheus text exposition)")
-		if err := snap.WritePrometheus(os.Stdout); err != nil {
-			fatal(err)
-		}
-		fmt.Println("\n# metrics (JSON)")
-		if err := snap.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
-		}
+	if err := cliflags.DumpMetrics(os.Stdout, mem); err != nil {
+		fatal(err)
 	}
 	if err := an.Err(); err != nil {
 		fatal(err)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tracegen -out DIR [-seed N] [-streams N] [-episodes N] [-storm P]
+//	         [-slowhw F] [-workers N]
 //	tracegen -out DIR -paper [-scale N]
 //	tracegen -stream URL [-order N] [-delay D] [generation flags]
 //
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"tracescope"
+	"tracescope/internal/cliflags"
 )
 
 func main() {
@@ -48,7 +50,10 @@ func main() {
 		delay    = flag.Duration("delay", 0, "pause between -stream uploads")
 		paper    = flag.Bool("paper", false, "paper-scale corpus (~19.5k streams, ~505k instances), streamed to -out")
 		scale    = flag.Int("scale", 1, "downscale divisor for -paper (10 = a tenth of the streams)")
+		slowhw   = flag.Float64("slowhw", 0, "scale storage-hardware latencies by this factor (0 or 1 = stock); same-seed corpora stay instance-aligned")
 	)
+	var cf cliflags.Flags
+	cf.RegisterWorkers(flag.CommandLine)
 	flag.Parse()
 	if *out == "" && *stream == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: one of -out or -stream is required")
@@ -64,7 +69,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracegen: bad -scale %d\n", *scale)
 			os.Exit(2)
 		}
-		if err := writePaper(*out, *seed, *scale, *storm); err != nil {
+		if err := writePaper(*out, *seed, *scale, *storm, *slowhw, cf.Workers); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 			os.Exit(1)
 		}
@@ -72,10 +77,12 @@ func main() {
 	}
 
 	corpus := tracescope.Generate(tracescope.GenerateConfig{
-		Seed:      *seed,
-		Streams:   *streams,
-		Episodes:  *episodes,
-		StormProb: *storm,
+		Seed:        *seed,
+		Streams:     *streams,
+		Episodes:    *episodes,
+		StormProb:   *storm,
+		Parallelism: cf.Workers,
+		SlowHW:      *slowhw,
 	})
 
 	if *out != "" {
@@ -111,9 +118,10 @@ const (
 // writePaper streams the paper-scale corpus into dir through the corpus
 // appender: each stream is generated, appended, and dropped, so memory
 // stays bounded by the generation window regardless of corpus size.
-func writePaper(dir string, seed int64, scale int, storm float64) error {
+func writePaper(dir string, seed int64, scale int, storm, slowhw float64, workers int) error {
 	cfg := tracescope.GenerateConfig{
 		Seed: seed, Streams: paperStreams / scale, Episodes: paperEpisodes, StormProb: storm,
+		Parallelism: workers, SlowHW: slowhw,
 	}
 	app, err := tracescope.OpenCorpusAppender(dir)
 	if err != nil {

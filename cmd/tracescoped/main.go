@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tracescoped -corpus DIR [-addr HOST:PORT] [-components PATTERN]
-//	            [-workers N] [-watch DURATION] [-timing]
+//	            [-workers N] [-watch DURATION] [-timing] [-pprof ADDR]
 //
 // Endpoints:
 //
@@ -19,6 +19,9 @@
 //	GET  /causality?scenario=S     ranked contrast patterns (&top=N &k=K)
 //	GET  /awg?scenario=S           slow-class AWG (&format=text|dot)
 //	GET  /corpus                   on-disk corpus shape
+//	GET  /diff?baseline=DIR        corpus-vs-corpus diff of a snapshot of
+//	                               the live state against a baseline corpus
+//	                               directory (&top=N &k=K &format=json|md)
 //
 // The daemon prints its listening address on startup (so -addr :0
 // works in scripts) and shuts down gracefully on SIGINT/SIGTERM. With
@@ -40,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"tracescope/internal/cliflags"
 	"tracescope/internal/ingest"
 	"tracescope/internal/obs"
 	"tracescope/internal/scenario"
@@ -51,10 +55,12 @@ func main() {
 		dir        = flag.String("corpus", "", "corpus directory to own (required; created if missing)")
 		addr       = flag.String("addr", "127.0.0.1:8754", "listen address (use :0 for an ephemeral port)")
 		components = flag.String("components", "*.sys", "component pattern under analysis")
-		workers    = flag.Int("workers", 0, "warm-up worker pool size (0 = GOMAXPROCS; results identical)")
 		watch      = flag.Duration("watch", 0, "poll the corpus index for externally appended streams (0 = off)")
 		timing     = flag.Bool("timing", false, "record real span durations in /metrics (breaks snapshot determinism)")
 	)
+	var cf cliflags.Flags
+	cf.RegisterWorkers(flag.CommandLine)
+	cf.RegisterPprof(flag.CommandLine)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "tracescoped: -corpus is required")
@@ -66,12 +72,14 @@ func main() {
 	if *timing {
 		recOpts = append(recOpts, obs.WithClock(func() int64 { return time.Now().UnixNano() }))
 	}
+	mem := obs.NewMemRecorder(recOpts...)
+	cf.StartPprof("tracescoped", mem)
 	srv, err := ingest.NewServer(ingest.Config{
 		Dir:        *dir,
 		Filter:     trace.NewComponentFilter(*components),
 		Thresholds: scenario.Thresholds,
-		Workers:    *workers,
-		Recorder:   obs.NewMemRecorder(recOpts...),
+		Workers:    cf.Workers,
+		Recorder:   mem,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracescoped: %v\n", err)

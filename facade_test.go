@@ -2,10 +2,12 @@ package tracescope_test
 
 import (
 	"bytes"
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"tracescope"
+	"tracescope/internal/report"
 )
 
 // facadeCorpus is shared by the facade-level equivalence tests.
@@ -63,21 +65,20 @@ func compareCausality(t *testing.T, label string, got, want *tracescope.Causalit
 	}
 }
 
-// TestNewAnalyzerEquivalentToDeprecatedForms: the variadic constructor
-// and the deprecated NewAnalyzerOptions form produce bit-for-bit
-// identical analyses at both the sequential and a parallel worker
-// count, with and without a recorder attached.
-func TestNewAnalyzerEquivalentToDeprecatedForms(t *testing.T) {
+// TestNewAnalyzerWorkerAndRecorderInvariance: the variadic constructor
+// produces bit-for-bit identical analyses at the sequential and a
+// parallel worker count, with and without a recorder attached.
+func TestNewAnalyzerWorkerAndRecorderInvariance(t *testing.T) {
 	corpus := facadeCorpus(t)
+	mSeq, resSeq := runFacadePipeline(t,
+		tracescope.NewAnalyzer(corpus, tracescope.WithWorkers(1)))
 	for _, workers := range []int{1, 4} {
 		mNew, resNew := runFacadePipeline(t,
 			tracescope.NewAnalyzer(corpus, tracescope.WithWorkers(workers)))
-		mOld, resOld := runFacadePipeline(t,
-			tracescope.NewAnalyzerOptions(corpus, tracescope.AnalyzerOptions{Workers: workers}))
-		if mNew != mOld {
-			t.Errorf("workers=%d: impact differs:\n  new %v\n  old %v", workers, mNew, mOld)
+		if mNew != mSeq {
+			t.Errorf("workers=%d: impact differs:\n  parallel   %v\n  sequential %v", workers, mNew, mSeq)
 		}
-		compareCausality(t, "new vs deprecated", resNew, resOld)
+		compareCausality(t, "parallel vs sequential", resNew, resSeq)
 
 		// Attaching a recorder must not perturb results either.
 		mRec, resRec := runFacadePipeline(t,
@@ -88,5 +89,56 @@ func TestNewAnalyzerEquivalentToDeprecatedForms(t *testing.T) {
 			t.Errorf("workers=%d: recorder changed impact:\n  with %v\n  without %v", workers, mRec, mNew)
 		}
 		compareCausality(t, "recorded vs plain", resRec, resNew)
+	}
+}
+
+// TestFacadeDiffByteDeterminism drives the one-entry Diff facade and
+// pins its determinism contract at the rendered-bytes level: the JSON
+// regression report is identical at any worker count and for a
+// stream-order-shuffled copy of the candidate corpus, and the injected
+// slow-hardware fault surfaces in the ranked regressions.
+func TestFacadeDiffByteDeterminism(t *testing.T) {
+	base := facadeCorpus(t)
+	cand := tracescope.Generate(tracescope.GenerateConfig{Seed: 9, Streams: 12, Episodes: 6, SlowHW: 3})
+
+	render := func(res *tracescope.DiffResult) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := report.WriteDiffJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq, err := tracescope.Diff(base, cand, tracescope.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(seq)
+	if len(seq.TopRegressions) == 0 {
+		t.Fatal("no ranked regressions against the slow-hardware corpus")
+	}
+
+	par, err := tracescope.Diff(base, cand, tracescope.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(par); got != want {
+		t.Error("workers=4 report differs byte-for-byte from the sequential run")
+	}
+
+	// A candidate corpus with the same streams in a shuffled order must
+	// produce the identical report: the diff aggregates per scenario, so
+	// stream order is immaterial.
+	perm := rand.New(rand.NewSource(2)).Perm(len(cand.Streams))
+	shuffled := make([]*tracescope.Stream, len(cand.Streams))
+	for i, p := range perm {
+		shuffled[i] = cand.Streams[p]
+	}
+	res, err := tracescope.Diff(base, &tracescope.Corpus{Streams: shuffled}, tracescope.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Error("shuffled-stream-order candidate changes the report bytes")
 	}
 }

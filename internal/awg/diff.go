@@ -1,0 +1,209 @@
+package awg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracescope/internal/trace"
+)
+
+// EdgeStatus classifies one node of a cross-graph diff.
+type EdgeStatus uint8
+
+// Edge statuses: present in both graphs, only in the candidate, only in
+// the baseline.
+const (
+	EdgeChanged EdgeStatus = iota
+	EdgeNew
+	EdgeVanished
+)
+
+// String implements fmt.Stringer.
+func (s EdgeStatus) String() string {
+	switch s {
+	case EdgeChanged:
+		return "changed"
+	case EdgeNew:
+		return "new"
+	case EdgeVanished:
+		return "vanished"
+	default:
+		return "?"
+	}
+}
+
+// EdgeDelta is one node of the edge-by-edge diff of two Aggregated Wait
+// Graphs: the same signature path observed in a baseline and a candidate
+// graph, with the cost movement between them. "Edge" follows the wait
+// chain reading of the AWG — each node is the edge from its parent's
+// signature to its own.
+type EdgeDelta struct {
+	// Path is the node's root-to-self chain of canonical node keys
+	// (Node.Key), identifying the wait chain the delta sits on.
+	Path []string
+	// Kind and the signatures describe the node itself.
+	Kind      Kind
+	WaitSig   string
+	UnwaitSig string
+	RunSig    string
+
+	// Status says whether the node exists in both graphs (changed), only
+	// in the candidate (new), or only in the baseline (vanished).
+	Status EdgeStatus
+
+	// Per-side aggregates. The missing side of a new/vanished node is
+	// all zeros.
+	BaseC    trace.Duration
+	CandC    trace.Duration
+	BaseN    int64
+	CandN    int64
+	BaseMaxC trace.Duration
+	CandMaxC trace.Duration
+
+	// DeltaC is the aggregated cost movement, CandC - BaseC. Positive
+	// means the candidate got slower through this chain.
+	DeltaC trace.Duration
+	// OwnDeltaC attributes the movement down the wait chain: DeltaC
+	// minus the sum of the direct children's DeltaC. A wait node's cost
+	// contains its children's propagated costs, so a chain that merely
+	// relays a deeper regression has OwnDeltaC near zero, while the hop
+	// where the regression actually originates keeps it.
+	OwnDeltaC trace.Duration
+}
+
+// Label renders the node the way the text renderer does.
+func (d EdgeDelta) Label() string {
+	switch d.Kind {
+	case Waiting:
+		return fmt.Sprintf("wait %s -> unwait %s", d.WaitSig, d.UnwaitSig)
+	case Running:
+		return "run " + d.RunSig
+	default:
+		return "hw " + d.RunSig
+	}
+}
+
+// Chain renders the full root-to-node wait chain as a readable arrow
+// path (keys are canonical, so this is deterministic).
+func (d EdgeDelta) Chain() string {
+	parts := make([]string, len(d.Path))
+	for i, key := range d.Path {
+		parts[i] = chainElem(key)
+	}
+	return strings.Join(parts, " => ")
+}
+
+// chainElem prettifies one canonical node key for Chain.
+func chainElem(key string) string {
+	switch {
+	case strings.HasPrefix(key, "w|"):
+		rest := strings.SplitN(key[2:], "|", 2)
+		if len(rest) == 2 && rest[1] != "" {
+			return "wait " + rest[0] + " <- " + rest[1]
+		}
+		return "wait " + rest[0]
+	case strings.HasPrefix(key, "r|"):
+		return "run " + key[2:]
+	case strings.HasPrefix(key, "h|"):
+		return "hw " + key[2:]
+	default:
+		return key
+	}
+}
+
+// Depth is the node's depth in the forest (roots are 1).
+func (d EdgeDelta) Depth() int { return len(d.Path) }
+
+// DiffGraphs walks the union of two Aggregated Wait Graph forests by
+// signature path and reports every node whose aggregates moved: cost or
+// count deltas for nodes present in both, and new/vanished whole
+// subtrees. Nodes identical on both sides are skipped (so diffing a
+// graph against itself yields nothing), but their subtrees are still
+// descended. The result is in deterministic post-order — children before
+// their parent, siblings by key, so each node's OwnDeltaC subtracts
+// already-computed child deltas; callers rank it however suits them.
+//
+// Both graphs should be the reduced clones of the same filter and depth
+// configuration — diffing a reduced graph against an unreduced one
+// reports the reduction itself as a regression.
+func DiffGraphs(base, cand *Graph) []EdgeDelta {
+	var out []EdgeDelta
+	var baseRoots, candRoots map[string]*Node
+	if base != nil {
+		baseRoots = base.roots
+	}
+	if cand != nil {
+		candRoots = cand.roots
+	}
+	diffLevel(&out, nil, baseRoots, candRoots)
+	return out
+}
+
+// diffLevel diffs one sibling level, recursing depth-first so each
+// node's OwnDeltaC can subtract its children's DeltaC.
+func diffLevel(out *[]EdgeDelta, path []string, base, cand map[string]*Node) trace.Duration {
+	keys := make([]string, 0, len(base)+len(cand))
+	for key := range base {
+		keys = append(keys, key)
+	}
+	for key := range cand {
+		if _, dup := base[key]; !dup {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+
+	var levelDelta trace.Duration
+	for _, key := range keys {
+		bn, cn := base[key], cand[key]
+		d := nodeDelta(append(path, key), bn, cn)
+		levelDelta += d.DeltaC
+
+		var bc, cc map[string]*Node
+		if bn != nil {
+			bc = bn.children
+		}
+		if cn != nil {
+			cc = cn.children
+		}
+		childDelta := diffLevel(out, d.Path, bc, cc)
+		d.OwnDeltaC = d.DeltaC - childDelta
+
+		if d.Status != EdgeChanged || d.DeltaC != 0 || d.BaseN != d.CandN ||
+			d.BaseMaxC != d.CandMaxC || d.OwnDeltaC != 0 {
+			*out = append(*out, d)
+		}
+	}
+	return levelDelta
+}
+
+// nodeDelta builds the delta record of one union node; bn or cn may be
+// nil but not both.
+func nodeDelta(path []string, bn, cn *Node) EdgeDelta {
+	src := bn
+	status := EdgeVanished
+	if cn != nil {
+		src = cn
+		status = EdgeNew
+		if bn != nil {
+			status = EdgeChanged
+		}
+	}
+	d := EdgeDelta{
+		Path:      append([]string(nil), path...),
+		Kind:      src.Kind,
+		WaitSig:   src.WaitSig,
+		UnwaitSig: src.UnwaitSig,
+		RunSig:    src.RunSig,
+		Status:    status,
+	}
+	if bn != nil {
+		d.BaseC, d.BaseN, d.BaseMaxC = bn.C, bn.N, bn.MaxC
+	}
+	if cn != nil {
+		d.CandC, d.CandN, d.CandMaxC = cn.C, cn.N, cn.MaxC
+	}
+	d.DeltaC = d.CandC - d.BaseC
+	return d
+}

@@ -1,0 +1,104 @@
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"tracescope/internal/obs"
+)
+
+func newFlagSet(f *Flags) *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f.RegisterWorkers(fs)
+	f.RegisterCache(fs)
+	f.RegisterObservability(fs)
+	f.RegisterPprof(fs)
+	return fs
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	var f Flags
+	fs := newFlagSet(&f)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers != 0 || f.Cache != 64 || f.Metrics || f.Progress || f.PprofAddr != "" {
+		t.Errorf("defaults = %+v, want workers 0, cache 64, everything else off", f)
+	}
+}
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	var f Flags
+	fs := newFlagSet(&f)
+	err := fs.Parse([]string{"-workers", "4", "-cache", "16", "-metrics", "-progress", "-pprof", "localhost:6060"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Flags{Workers: 4, Cache: 16, Metrics: true, Progress: true, PprofAddr: "localhost:6060"}
+	if f != want {
+		t.Errorf("parsed = %+v, want %+v", f, want)
+	}
+}
+
+func TestRecorderAssembly(t *testing.T) {
+	clock := func() int64 { return 0 }
+
+	// Neither flag: a safe recorder, no snapshot target.
+	var off Flags
+	rec, mem := off.Recorder(io.Discard, clock)
+	if mem != nil {
+		t.Error("MemRecorder built although -metrics is off")
+	}
+	rec.Add("anything_total", 1) // must be safe to use
+
+	// -metrics: the returned recorder feeds the snapshot target.
+	on := Flags{Metrics: true}
+	rec, mem = on.Recorder(io.Discard, clock)
+	if mem == nil {
+		t.Fatal("no MemRecorder although -metrics is on")
+	}
+	rec.Add("cliflags_test_total", 2)
+	if got := mem.CounterValue("cliflags_test_total"); got != 2 {
+		t.Errorf("counter through the teed recorder = %d, want 2", got)
+	}
+
+	// -progress: phase progress reaches the writer.
+	var buf bytes.Buffer
+	prog := Flags{Progress: true}
+	rec, _ = prog.Recorder(&buf, clock)
+	rec.Progress("ingest", 5, 10)
+	rec.Progress("ingest", 10, 10) // completion always prints
+	if !strings.Contains(buf.String(), "ingest") {
+		t.Errorf("progress output %q missing the phase name", buf.String())
+	}
+}
+
+func TestDumpMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DumpMetrics(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil recorder dumped %q, want nothing", buf.String())
+	}
+
+	mem := obs.NewMemRecorder()
+	mem.Add("cliflags_dump_total", 3)
+	if err := DumpMetrics(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# metrics (Prometheus text exposition)",
+		"# metrics (JSON)",
+		"cliflags_dump_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DumpMetrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -62,7 +62,7 @@ type Analyzer struct {
 func NewAnalyzer(src trace.Source, options ...Option) *Analyzer {
 	var opts Options
 	for _, opt := range options {
-		opt(&opts)
+		opt.applyAnalyzer(&opts)
 	}
 	metas := make([]trace.StreamMeta, src.NumStreams())
 	for i := range metas {
@@ -82,16 +82,6 @@ func NewAnalyzer(src trace.Source, options ...Option) *Analyzer {
 		}
 	}
 	return a
-}
-
-// NewAnalyzerOptions indexes a corpus source for analysis with a
-// prebuilt Options struct.
-//
-// Deprecated: use NewAnalyzer with WithWorkers/WithRecorder (or
-// WithOptions for a prebuilt struct). Kept as a thin wrapper for
-// compatibility; behaviour is identical.
-func NewAnalyzerOptions(src trace.Source, opts Options) *Analyzer {
-	return NewAnalyzer(src, WithOptions(opts))
 }
 
 // Source returns the corpus source under analysis.

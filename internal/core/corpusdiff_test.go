@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/obs"
+	"tracescope/internal/scenario"
+	"tracescope/internal/trace"
+)
+
+// diffCorpus generates one side of a corpus-vs-corpus diff. slowhw != 0
+// scales the storage-hardware latencies — the injected regression the
+// diff is supposed to pin down.
+func diffCorpus(t *testing.T, slowhw float64) *trace.Corpus {
+	t.Helper()
+	return scenario.Generate(scenario.Config{Seed: 11, Streams: 10, Episodes: 6, SlowHW: slowhw})
+}
+
+// TestDiffIdenticalCorporaIsEmpty: diffing a corpus against itself must
+// report exact alignment and no movement anywhere — no edge deltas, no
+// ranked regressions, no contrasts, and every pattern stable.
+func TestDiffIdenticalCorporaIsEmpty(t *testing.T) {
+	base := diffCorpus(t, 0)
+	cand := diffCorpus(t, 0)
+	res, err := Diff(base, cand, WithThresholds(scenario.Thresholds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseOnly) != 0 || len(res.CandOnly) != 0 {
+		t.Errorf("unmatched scenarios: base-only %v, cand-only %v", res.BaseOnly, res.CandOnly)
+	}
+	if len(res.Scenarios) == 0 {
+		t.Fatal("no matched scenarios")
+	}
+	if res.Base != res.Cand {
+		t.Errorf("corpus shapes differ: %+v vs %+v", res.Base, res.Cand)
+	}
+	if len(res.TopRegressions) != 0 || len(res.TopImprovements) != 0 {
+		t.Errorf("rankings not empty: %d regressions, %d improvements",
+			len(res.TopRegressions), len(res.TopImprovements))
+	}
+	for _, sd := range res.Scenarios {
+		if sd.DeltaC != 0 || sd.ReducedDeltaC != 0 {
+			t.Errorf("%s: ΔC=%v reduced ΔC=%v, want 0/0", sd.Scenario, sd.DeltaC, sd.ReducedDeltaC)
+		}
+		if len(sd.Edges) != 0 {
+			t.Errorf("%s: %d edge deltas, want 0", sd.Scenario, len(sd.Edges))
+		}
+		if sd.Base != sd.Cand {
+			t.Errorf("%s: sides differ:\n base %+v\n cand %+v", sd.Scenario, sd.Base, sd.Cand)
+		}
+		if sd.NumContrasts != 0 || len(sd.ABPatterns) != 0 {
+			t.Errorf("%s: %d cross-corpus contrasts on identical sides", sd.Scenario, sd.NumContrasts)
+		}
+		if sd.Patterns != nil {
+			p := sd.Patterns
+			if len(p.Introduced)+len(p.Resolved)+len(p.Regressed)+len(p.Improved) != 0 {
+				t.Errorf("%s: pattern movement on identical sides: %+v", sd.Scenario, p)
+			}
+		}
+	}
+}
+
+// TestDiffAlignmentOneSided: a scenario present in only one corpus must
+// land in the unmatched side of the alignment table, not crash or
+// half-match.
+func TestDiffAlignmentOneSided(t *testing.T) {
+	full := diffCorpus(t, 0)
+	scens := full.Scenarios()
+	if len(scens) < 2 {
+		t.Fatalf("fixture too small: %d scenarios", len(scens))
+	}
+	drop := scens[0].Name
+
+	// A copy of the corpus with every instance of one scenario removed:
+	// the streams (and their events) stay, the scenario vanishes.
+	streams := make([]*trace.Stream, len(full.Streams))
+	for i, s := range full.Streams {
+		cp := *s
+		cp.Instances = nil
+		for _, in := range s.Instances {
+			if in.Scenario != drop {
+				cp.Instances = append(cp.Instances, in)
+			}
+		}
+		streams[i] = &cp
+	}
+	stripped := trace.NewCorpus(streams...)
+
+	res, err := Diff(full, stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseOnly) != 1 || res.BaseOnly[0].Name != drop || res.BaseOnly[0].Instances != scens[0].Instances {
+		t.Errorf("BaseOnly = %+v, want [{%s %d}]", res.BaseOnly, drop, scens[0].Instances)
+	}
+	if len(res.CandOnly) != 0 {
+		t.Errorf("CandOnly = %+v, want empty", res.CandOnly)
+	}
+	if len(res.Scenarios) != len(scens)-1 {
+		t.Errorf("matched %d scenarios, want %d", len(res.Scenarios), len(scens)-1)
+	}
+	for _, sd := range res.Scenarios {
+		if sd.Scenario == drop {
+			t.Errorf("dropped scenario %s still matched", drop)
+		}
+	}
+
+	// The mirror diff reports the same scenario as candidate-only.
+	rev, err := Diff(stripped, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev.CandOnly) != 1 || rev.CandOnly[0].Name != drop {
+		t.Errorf("reverse CandOnly = %+v, want [{%s}]", rev.CandOnly, drop)
+	}
+}
+
+// TestDiffEmptyCorpus: an empty side aligns nothing and ranks nothing.
+func TestDiffEmptyCorpus(t *testing.T) {
+	gen := diffCorpus(t, 0)
+	empty := trace.NewCorpus()
+
+	res, err := Diff(empty, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 0 || len(res.BaseOnly) != 0 {
+		t.Errorf("empty baseline: %d matched, %d base-only", len(res.Scenarios), len(res.BaseOnly))
+	}
+	if !reflect.DeepEqual(res.CandOnly, gen.Scenarios()) {
+		t.Errorf("CandOnly = %+v, want the full scenario listing", res.CandOnly)
+	}
+	if len(res.TopRegressions) != 0 || len(res.TopImprovements) != 0 {
+		t.Error("rankings over zero matched scenarios must be empty")
+	}
+
+	rev, err := Diff(gen, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rev.BaseOnly, gen.Scenarios()) {
+		t.Errorf("reverse BaseOnly = %+v, want the full scenario listing", rev.BaseOnly)
+	}
+
+	both, err := Diff(trace.NewCorpus(), trace.NewCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both.Scenarios)+len(both.BaseOnly)+len(both.CandOnly) != 0 {
+		t.Errorf("empty-vs-empty = %+v, want nothing", both)
+	}
+}
+
+// TestDiffSlowHardwareRegression is the oracle in miniature: against a
+// same-seed corpus with storage-hardware latencies scaled 4x, the top
+// globally ranked regression must be attributed to a hardware-service
+// node — not to one of the wait chains that merely relay the slowdown.
+func TestDiffSlowHardwareRegression(t *testing.T) {
+	res, err := Diff(diffCorpus(t, 0), diffCorpus(t, 4), WithThresholds(scenario.Thresholds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseOnly)+len(res.CandOnly) != 0 {
+		t.Fatalf("same-seed corpora must align exactly: %+v / %+v", res.BaseOnly, res.CandOnly)
+	}
+	for _, sd := range res.Scenarios {
+		if sd.Base.Instances != sd.Cand.Instances {
+			t.Errorf("%s: instance counts moved %d -> %d; latency scaling must not change alignment",
+				sd.Scenario, sd.Base.Instances, sd.Cand.Instances)
+		}
+	}
+	if len(res.TopRegressions) == 0 {
+		t.Fatal("no ranked regressions against a 4x-slower-hardware corpus")
+	}
+	top := res.TopRegressions[0]
+	if top.Kind != awg.Hardware {
+		t.Errorf("top regression = %s (%s), want a hardware-service node", top.Label(), top.Chain())
+	}
+	if top.OwnDeltaC <= 0 || top.DeltaC <= 0 {
+		t.Errorf("top regression ΔC=%v own=%v, want positive", top.DeltaC, top.OwnDeltaC)
+	}
+}
+
+// TestDiffWorkerAndRecorderInvariance: the DiffResult is value-identical
+// at any worker count, and attaching a metrics recorder observes the run
+// without perturbing it.
+func TestDiffWorkerAndRecorderInvariance(t *testing.T) {
+	base := diffCorpus(t, 0)
+	cand := diffCorpus(t, 4)
+	want, err := Diff(base, cand, WithThresholds(scenario.Thresholds), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := Diff(base, cand, WithThresholds(scenario.Thresholds), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: DiffResult differs from sequential run", workers)
+		}
+	}
+
+	mem := obs.NewMemRecorder()
+	got, err := Diff(base, cand, WithThresholds(scenario.Thresholds), WithWorkers(4), WithRecorder(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("recorder-attached run differs from the plain run")
+	}
+	if mem.SpanCount("diff_analysis") != 1 {
+		t.Errorf("diff_analysis spans = %d, want 1", mem.SpanCount("diff_analysis"))
+	}
+	if got, want := mem.CounterValue("diff_scenarios_total"), int64(len(want.Scenarios)); got != want {
+		t.Errorf("diff_scenarios_total = %d, want %d", got, want)
+	}
+	if mem.CounterValue("diff_edges_total") == 0 {
+		t.Error("diff_edges_total = 0, want movement against the slow-hardware corpus")
+	}
+}
+
+// TestDiffIncrementalsOrderInvariance: the daemon path — two
+// incremental states diffed directly — must not care what order the
+// streams arrived in, and diffing a snapshot must equal diffing the
+// live state.
+func TestDiffIncrementalsOrderInvariance(t *testing.T) {
+	base := diffCorpus(t, 0)
+	cand := diffCorpus(t, 4)
+	build := func(c *trace.Corpus, order []int) *Incremental {
+		inc := NewIncremental(IncrementalConfig{Filter: trace.AllDrivers(), Thresholds: scenario.Thresholds})
+		for _, si := range order {
+			inc.Ingest(si, c.Streams[si])
+		}
+		return inc
+	}
+	identity := make([]int, len(base.Streams))
+	for i := range identity {
+		identity[i] = i
+	}
+
+	want := DiffIncrementals(build(base, identity), build(cand, identity))
+	if len(want.Scenarios) == 0 {
+		t.Fatal("no matched scenarios")
+	}
+
+	shufBase := build(base, rand.New(rand.NewSource(3)).Perm(len(base.Streams)))
+	shufCand := build(cand, rand.New(rand.NewSource(8)).Perm(len(cand.Streams)))
+	if got := DiffIncrementals(shufBase, shufCand); !reflect.DeepEqual(got, want) {
+		t.Error("shuffled ingestion order changed the DiffResult")
+	}
+	if got := DiffIncrementals(shufBase, shufCand.Snapshot()); !reflect.DeepEqual(got, want) {
+		t.Error("diffing a snapshot differs from diffing the live state")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"tracescope/internal/mining"
@@ -31,13 +32,20 @@ type PatternChange struct {
 	After  mining.Pattern
 }
 
-// Ratio is the after/before average-cost ratio.
+// Ratio is the after/before average-cost ratio. Zero-cost observations
+// — a pattern recorded with no resolved cost on one side — are handled
+// explicitly rather than dividing by zero: zero on both sides is stable
+// (ratio 1), and a cost appearing where before there was none is an
+// unbounded regression (+Inf).
 func (c PatternChange) Ratio() float64 {
-	b := c.Before.AvgC()
+	b, a := c.Before.AvgC(), c.After.AvgC()
 	if b == 0 {
-		return 0
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
 	}
-	return float64(c.After.AvgC()) / float64(b)
+	return float64(a) / float64(b)
 }
 
 // DiffPatterns classifies the pattern movement between two analyses.

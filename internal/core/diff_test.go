@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -54,6 +55,72 @@ func TestDiffPatternsClassification(t *testing.T) {
 	}
 	if r := d.Regressed[0].Ratio(); r < 1.9 || r > 2.1 {
 		t.Errorf("regression ratio = %v, want ~2", r)
+	}
+}
+
+// TestPatternChangeRatioZeroCost pins the zero-cost semantics: a
+// pattern recorded with no resolved cost on one side must classify
+// without dividing by zero — zero on both sides is stable (ratio 1),
+// cost appearing from nothing is an unbounded regression.
+func TestPatternChangeRatioZeroCost(t *testing.T) {
+	ms := trace.Millisecond
+	cases := []struct {
+		name          string
+		before, after trace.Duration // average costs
+		want          float64
+		wantInf       bool
+	}{
+		{name: "both zero", before: 0, after: 0, want: 1},
+		{name: "cost from nothing", before: 0, after: 60 * ms, wantInf: true},
+		{name: "cost to nothing", before: 40 * ms, after: 0, want: 0},
+		{name: "plain ratio", before: 100 * ms, after: 150 * ms, want: 1.5},
+	}
+	for _, tc := range cases {
+		ch := PatternChange{
+			Before: mkPattern(tc.before, 2, "fs.sys!AcquireMDU"),
+			After:  mkPattern(tc.after, 2, "fs.sys!AcquireMDU"),
+		}
+		r := ch.Ratio()
+		if tc.wantInf {
+			if !math.IsInf(r, 1) {
+				t.Errorf("%s: Ratio() = %v, want +Inf", tc.name, r)
+			}
+		} else if r != tc.want {
+			t.Errorf("%s: Ratio() = %v, want %v", tc.name, r, tc.want)
+		}
+	}
+}
+
+// TestDiffPatternsZeroCostSides: classification over one-sided
+// zero-cost patterns — the diff must not panic and must file each
+// movement where it belongs.
+func TestDiffPatternsZeroCostSides(t *testing.T) {
+	ms := trace.Millisecond
+	before := &CausalityResult{Patterns: []mining.Pattern{
+		mkPattern(0, 3, "fs.sys!AcquireMDU"), // 0 -> 60ms: unbounded regression
+		mkPattern(0, 2, "net.sys!Transfer"),  // 0 -> 0: stable
+		mkPattern(40*ms, 2, "fv.sys!Query"),  // 40ms -> 0: improvement
+	}}
+	after := &CausalityResult{Patterns: []mining.Pattern{
+		mkPattern(60*ms, 3, "fs.sys!AcquireMDU"),
+		mkPattern(0, 2, "net.sys!Transfer"),
+		mkPattern(0, 2, "fv.sys!Query"),
+	}}
+	d := DiffPatterns(before, after)
+	if len(d.Regressed) != 1 || d.Regressed[0].Before.Tuple.Wait[0] != "fs.sys!AcquireMDU" {
+		t.Errorf("regressed = %+v, want the cost-from-nothing pattern", d.Regressed)
+	}
+	if len(d.Regressed) == 1 && !math.IsInf(d.Regressed[0].Ratio(), 1) {
+		t.Errorf("cost-from-nothing ratio = %v, want +Inf", d.Regressed[0].Ratio())
+	}
+	if len(d.Stable) != 1 || d.Stable[0].Before.Tuple.Wait[0] != "net.sys!Transfer" {
+		t.Errorf("stable = %+v, want the zero-both-sides pattern", d.Stable)
+	}
+	if len(d.Improved) != 1 || d.Improved[0].Before.Tuple.Wait[0] != "fv.sys!Query" {
+		t.Errorf("improved = %+v, want the cost-to-nothing pattern", d.Improved)
+	}
+	if len(d.Introduced)+len(d.Resolved) != 0 {
+		t.Errorf("spurious introduced/resolved: %+v / %+v", d.Introduced, d.Resolved)
 	}
 }
 

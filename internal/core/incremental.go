@@ -43,9 +43,11 @@ type IncrementalConfig struct {
 }
 
 // scenarioState is the persistent per-scenario analysis state: the
-// running impact partial over every instance, plus — when thresholds are
-// known — the two contrast classes' unreduced AWG aggregations and the
-// slow class's impact partial.
+// running impact partial and unreduced AWG aggregation over every
+// instance, plus — when thresholds are known — the two contrast
+// classes' unreduced AWG aggregations and the slow class's impact
+// partial. The all-instances forest is what corpus-vs-corpus diffs
+// compare: it exists whether or not the scenario is classed.
 type scenarioState struct {
 	tfast, tslow trace.Duration
 	classed      bool // thresholds known: contrast classes maintained
@@ -56,7 +58,8 @@ type scenarioState struct {
 
 	impact     *impact.Partial // all instances
 	slowImpact *impact.Partial // slow class only
-	slow, fast *awg.Aggregator // unreduced forests
+	all        *awg.Aggregator // unreduced forest, every instance
+	slow, fast *awg.Aggregator // unreduced forests per contrast class
 }
 
 // Incremental is the resumable form of Analyzer: streams are folded in
@@ -139,14 +142,15 @@ func (inc *Incremental) Scenarios() []trace.ScenarioCount {
 func (inc *Incremental) state(scenario string) *scenarioState {
 	sc, ok := inc.scen[scenario]
 	if !ok {
+		awgOpts := awg.Options{MaxDepth: inc.cfg.MaxAWGDepth, Reduce: false}
 		sc = &scenarioState{
 			impact: impact.NewPartial(),
+			all:    awg.NewAggregator(inc.filter, awgOpts),
 		}
 		if inc.cfg.Thresholds != nil {
 			tf, ts, classed := inc.cfg.Thresholds(scenario)
 			if classed && tf > 0 && ts > tf {
 				sc.tfast, sc.tslow, sc.classed = tf, ts, true
-				awgOpts := awg.Options{MaxDepth: inc.cfg.MaxAWGDepth, Reduce: false}
 				sc.slow = awg.NewAggregator(inc.filter, awgOpts)
 				sc.fast = awg.NewAggregator(inc.filter, awgOpts)
 				sc.slowImpact = impact.NewPartial()
@@ -173,6 +177,7 @@ func (inc *Incremental) Ingest(streamIndex int, s *trace.Stream) {
 		inc.global.AddGraph(g, inc.fc)
 		sc := inc.state(in.Scenario)
 		sc.impact.AddGraph(g, inc.fc)
+		sc.all.Add(g)
 		sc.instances++
 		if !sc.classed {
 			continue
@@ -222,6 +227,7 @@ func (inc *Incremental) Merge(other *Incremental) {
 		sc := inc.state(name)
 		sc.instances += o.instances
 		sc.impact.Merge(o.impact)
+		sc.all.Merge(o.all.Partial())
 		if sc.classed && o.classed {
 			sc.fastCount += o.fastCount
 			sc.slowCount += o.slowCount
@@ -358,4 +364,53 @@ func finishClone(ag *awg.Aggregator, filter *trace.ComponentFilter, opts awg.Opt
 	final := awg.NewAggregator(filter, opts)
 	final.Merge(ag.Partial().Clone())
 	return final.Finish()
+}
+
+// Snapshot deep-copies the analysis state: every impact partial and
+// every unreduced forest is cloned, so the receiver can keep ingesting
+// while the snapshot answers long-running queries (the tracescoped
+// /diff endpoint takes one under the read lock and diffs it outside).
+// The snapshot shares the immutable configuration — filter, thresholds
+// function, recorder — with the receiver.
+func (inc *Incremental) Snapshot() *Incremental {
+	snap := NewIncremental(inc.cfg)
+	snap.streams = inc.streams
+	snap.events = inc.events
+	snap.instances = inc.instances
+	snap.totalDur = inc.totalDur
+	snap.global = inc.global.Clone()
+	for name, sc := range inc.scen {
+		snap.scen[name] = sc.clone(inc.filter, inc.cfg)
+	}
+	return snap
+}
+
+// clone deep-copies one scenario's state via the same clone-then-merge
+// idiom queries use.
+func (sc *scenarioState) clone(filter *trace.ComponentFilter, cfg IncrementalConfig) *scenarioState {
+	awgOpts := awg.Options{MaxDepth: cfg.MaxAWGDepth, Reduce: false}
+	c := &scenarioState{
+		tfast:     sc.tfast,
+		tslow:     sc.tslow,
+		classed:   sc.classed,
+		instances: sc.instances,
+		fastCount: sc.fastCount,
+		slowCount: sc.slowCount,
+		impact:    sc.impact.Clone(),
+		all:       cloneAggregator(sc.all, filter, awgOpts),
+	}
+	if sc.classed {
+		c.slow = cloneAggregator(sc.slow, filter, awgOpts)
+		c.fast = cloneAggregator(sc.fast, filter, awgOpts)
+		c.slowImpact = sc.slowImpact.Clone()
+	}
+	return c
+}
+
+// cloneAggregator copies an unreduced aggregation into a fresh
+// aggregator of the same configuration.
+func cloneAggregator(ag *awg.Aggregator, filter *trace.ComponentFilter, opts awg.Options) *awg.Aggregator {
+	c := awg.NewAggregator(filter, opts)
+	c.Merge(ag.Partial().Clone())
+	return c
 }

@@ -1,16 +1,49 @@
 package core
 
-import "tracescope/internal/obs"
+import (
+	"tracescope/internal/mining"
+	"tracescope/internal/obs"
+	"tracescope/internal/trace"
+)
 
 // Option configures an Analyzer at construction. Options compose left to
 // right: NewAnalyzer(src, WithWorkers(8), WithRecorder(rec)).
-type Option func(*Options)
+type Option interface {
+	applyAnalyzer(*Options)
+}
+
+// DiffOption configures a corpus-vs-corpus Diff run. Scheduling options
+// (WithWorkers, WithRecorder) satisfy both Option and DiffOption, so one
+// option value tunes both entry points.
+type DiffOption interface {
+	applyDiff(*DiffOptions)
+}
+
+// CommonOption is an option accepted by both NewAnalyzer and Diff —
+// what WithWorkers and WithRecorder return.
+type CommonOption interface {
+	Option
+	DiffOption
+}
+
+// commonOption mutates the scheduling fields shared by both entry
+// points: applied directly for an Analyzer, and to the embedded Options
+// for a Diff.
+type commonOption func(*Options)
+
+func (f commonOption) applyAnalyzer(o *Options) { f(o) }
+func (f commonOption) applyDiff(d *DiffOptions) { f(&d.Options) }
+
+// diffOption mutates diff-only configuration.
+type diffOption func(*DiffOptions)
+
+func (f diffOption) applyDiff(d *DiffOptions) { f(d) }
 
 // WithWorkers bounds the shard-and-merge worker pool. Zero means
 // GOMAXPROCS; one forces the sequential path. Results are bit-for-bit
 // identical at any setting.
-func WithWorkers(n int) Option {
-	return func(o *Options) { o.Workers = n }
+func WithWorkers(n int) CommonOption {
+	return commonOption(func(o *Options) { o.Workers = n })
 }
 
 // WithRecorder routes the analysis pipeline's observability events —
@@ -20,13 +53,41 @@ func WithWorkers(n int) Option {
 // *trace.CachedSource or *trace.DirSource), so stream-decode latency and
 // cache hit/miss counters land in the same registry. A nil recorder is
 // the no-op default.
-func WithRecorder(r obs.Recorder) Option {
-	return func(o *Options) { o.Recorder = r }
+func WithRecorder(r obs.Recorder) CommonOption {
+	return commonOption(func(o *Options) { o.Recorder = r })
 }
 
-// WithOptions applies a whole Options struct at once — the bridge for
-// callers holding a prebuilt Options value (the deprecated
-// NewAnalyzerOptions forms pass through here).
-func WithOptions(opts Options) Option {
-	return func(o *Options) { *o = opts }
+// WithFilter names the components under diff analysis. Nil (the
+// default) means all drivers.
+func WithFilter(f *trace.ComponentFilter) DiffOption {
+	return diffOption(func(d *DiffOptions) { d.Filter = f })
+}
+
+// WithThresholds supplies the per-scenario fast/slow developer
+// thresholds used to maintain contrast classes while profiling each
+// corpus (typically scenario.Thresholds). Scenarios the function
+// declines keep alignment counts, impact deltas, and edge deltas, but
+// no within-corpus pattern movement.
+func WithThresholds(fn func(scenario string) (tfast, tslow trace.Duration, ok bool)) DiffOption {
+	return diffOption(func(d *DiffOptions) { d.Thresholds = fn })
+}
+
+// WithMiningParams bounds the contrast-mining step of the diff (path
+// segment length K, segment caps). Zero fields take the paper's
+// defaults.
+func WithMiningParams(p mining.Params) DiffOption {
+	return diffOption(func(d *DiffOptions) { d.Mining = p })
+}
+
+// WithMaxAWGDepth bounds Aggregated-Wait-Graph aggregation depth on both
+// sides of the diff; zero takes the awg default.
+func WithMaxAWGDepth(n int) DiffOption {
+	return diffOption(func(d *DiffOptions) { d.MaxAWGDepth = n })
+}
+
+// WithTopEdges bounds the globally ranked regression and improvement
+// lists of the DiffResult. Zero takes the default (10); negative means
+// unbounded. Per-scenario edge deltas are always complete.
+func WithTopEdges(n int) DiffOption {
+	return diffOption(func(d *DiffOptions) { d.TopEdges = n })
 }

@@ -41,18 +41,18 @@ type Suite struct {
 // NewSuite generates the corpus and indexes it with default analysis
 // options.
 func NewSuite(cfg scenario.Config) *Suite {
-	return NewSuiteOptions(cfg, core.Options{})
+	return NewSuiteOptions(cfg)
 }
 
 // NewSuiteOptions generates the corpus and indexes it with the given
 // analysis options (e.g. a fixed worker count for the shard-and-merge
 // engine).
-func NewSuiteOptions(cfg scenario.Config, opts core.Options) *Suite {
+func NewSuiteOptions(cfg scenario.Config, opts ...core.Option) *Suite {
 	corpus := scenario.Generate(cfg)
 	return &Suite{
 		Cfg:       cfg,
 		Corpus:    corpus,
-		An:        core.NewAnalyzer(corpus, core.WithOptions(opts)),
+		An:        core.NewAnalyzer(corpus, opts...),
 		causality: make(map[string]*core.CausalityResult),
 	}
 }
@@ -61,11 +61,11 @@ func NewSuiteOptions(cfg scenario.Config, opts core.Options) *Suite {
 // cached DirSource for out-of-core runs). Cfg is used only for
 // labelling; pass the config the corpus was generated with, or a zero
 // value for externally produced corpora.
-func NewSuiteFromSource(cfg scenario.Config, src trace.Source, opts core.Options) *Suite {
+func NewSuiteFromSource(cfg scenario.Config, src trace.Source, opts ...core.Option) *Suite {
 	s := &Suite{
 		Cfg:       cfg,
 		Source:    src,
-		An:        core.NewAnalyzer(src, core.WithOptions(opts)),
+		An:        core.NewAnalyzer(src, opts...),
 		causality: make(map[string]*core.CausalityResult),
 	}
 	if c, ok := src.(*trace.Corpus); ok {

@@ -67,6 +67,20 @@ func (p *Partial) AddGraph(g *waitgraph.Graph, filter *trace.FilterCache) {
 	}
 }
 
+// Clone returns a deep copy of the partial: the metrics and the
+// distinct-wait set are copied, so ingestion can continue on the
+// receiver while a snapshot answers queries.
+func (p *Partial) Clone() *Partial {
+	c := &Partial{
+		Metrics:  p.Metrics,
+		distinct: make(map[trace.EventID]trace.Duration, len(p.distinct)),
+	}
+	for ev, cost := range p.distinct {
+		c.distinct[ev] = cost
+	}
+	return c
+}
+
 // Merge folds q into p. Instances, Dscn, Dwait, and Drun are plain sums;
 // Dwaitdist is recomputed from the distinct-set union so waits shared
 // across shards stay deduplicated.

@@ -28,6 +28,7 @@ import (
 	"tracescope/internal/impact"
 	"tracescope/internal/mining"
 	"tracescope/internal/obs"
+	"tracescope/internal/report"
 	"tracescope/internal/trace"
 )
 
@@ -114,6 +115,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/causality", s.handleCausality)
 	mux.HandleFunc("/awg", s.handleAWG)
 	mux.HandleFunc("/corpus", s.handleCorpus)
+	mux.HandleFunc("/diff", s.handleDiff)
 	s.mux = mux
 	return s, nil
 }
@@ -442,6 +444,93 @@ func (s *Server) handleAWG(w http.ResponseWriter, r *http.Request) {
 		s.rec.Add("ingest_response_errors_total", 1)
 	}
 }
+
+// handleDiff serves the corpus-vs-corpus regression report: a snapshot
+// of the live incremental state (the candidate) diffed against a
+// baseline corpus directory profiled on demand with the server's own
+// configuration. GET /diff?baseline=DIR [&top=N] [&k=K]
+// [&format=json|md]. The baseline profiling and the diff itself run
+// outside the lock — only the snapshot is taken under it, so ingestion
+// never stalls behind a diff. With default parameters the JSON body is
+// byte-identical to `traceanalyze -diff BASELINE CORPUS -format json`
+// over the same pair.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	sp := s.rec.Start("query_diff")
+	defer sp.End()
+	q := r.URL.Query()
+	dir := q.Get("baseline")
+	if dir == "" {
+		httpError(w, s.rec, http.StatusBadRequest, "baseline parameter is required (a corpus directory)")
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "md" {
+		httpError(w, s.rec, http.StatusBadRequest, "bad format %q (want json or md)", format)
+		return
+	}
+	top := 10
+	if tstr := q.Get("top"); tstr != "" {
+		t, err := strconv.Atoi(tstr)
+		if err != nil {
+			httpError(w, s.rec, http.StatusBadRequest, "bad top %q", tstr)
+			return
+		}
+		top = t
+	}
+	var params mining.Params
+	if kstr := q.Get("k"); kstr != "" {
+		k, err := strconv.Atoi(kstr)
+		if err != nil || k < 1 {
+			httpError(w, s.rec, http.StatusBadRequest, "bad k %q", kstr)
+			return
+		}
+		params.K = k
+	}
+
+	baseSrc, err := trace.OpenDir(dir)
+	if err != nil {
+		httpError(w, s.rec, http.StatusNotFound, "opening baseline: %v", err)
+		return
+	}
+	base := core.NewIncremental(core.IncrementalConfig{
+		Filter:      s.cfg.Filter,
+		Thresholds:  s.cfg.Thresholds,
+		MaxAWGDepth: s.cfg.MaxAWGDepth,
+		Workers:     s.cfg.Workers,
+		Recorder:    s.rec,
+	})
+	if err := base.IngestSource(trace.NewCachedSource(baseSrc, diffBaselineCache)); err != nil {
+		httpError(w, s.rec, http.StatusInternalServerError, "profiling baseline: %v", err)
+		return
+	}
+
+	s.mu.RLock()
+	snap := s.inc.Snapshot()
+	s.mu.RUnlock()
+
+	res := core.DiffIncrementals(base, snap,
+		core.WithMiningParams(params),
+		core.WithTopEdges(top),
+		core.WithRecorder(s.rec))
+	switch format {
+	case "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		err = report.WriteDiffMarkdown(w, res)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		err = report.WriteDiffJSON(w, res)
+	}
+	if err != nil {
+		s.rec.Add("ingest_response_errors_total", 1)
+	}
+}
+
+// diffBaselineCache bounds the decoded-stream LRU while profiling a
+// /diff baseline — the same default the traceanalyze -cache flag uses.
+const diffBaselineCache = 64
 
 // handleCorpus reports the on-disk corpus shape: stream totals plus the
 // per-scenario instance counts.

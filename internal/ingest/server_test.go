@@ -6,10 +6,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"tracescope/internal/core"
+	"tracescope/internal/report"
 	"tracescope/internal/scenario"
 	"tracescope/internal/trace"
 )
@@ -283,5 +286,69 @@ func TestServerSync(t *testing.T) {
 	}
 	if health.Streams != 4 {
 		t.Fatalf("healthz reports %d streams after post-sync ingest, want 4", health.Streams)
+	}
+}
+
+// TestServerDiffEndpoint: GET /diff profiles a baseline directory and
+// diffs it against a snapshot of the live state. With default
+// parameters the JSON body must be byte-identical to the library path
+// (core.Diff + report.WriteDiffJSON) over the same corpora — the same
+// contract the traceanalyze -diff CLI rides on.
+func TestServerDiffEndpoint(t *testing.T) {
+	baseCorpus := testCorpus(t)
+	candCorpus := scenario.Generate(scenario.Config{Seed: 5, Streams: 10, Episodes: 6, SlowHW: 4})
+
+	baseDir := t.TempDir()
+	if err := baseCorpus.WriteDir(baseDir); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t)
+	feedAll(t, s, candCorpus, identityOrder(len(candCorpus.Streams)))
+
+	want, err := core.Diff(baseCorpus, candCorpus, core.WithThresholds(scenario.Thresholds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON, wantMD bytes.Buffer
+	if err := report.WriteDiffJSON(&wantJSON, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteDiffMarkdown(&wantMD, want); err != nil {
+		t.Fatal(err)
+	}
+
+	q := "/diff?baseline=" + url.QueryEscape(baseDir)
+	if got := mustGet(t, s, q); got != wantJSON.String() {
+		t.Errorf("GET %s differs from the library JSON:\n%s\n--- library ---\n%s", q, got, wantJSON.String())
+	}
+	if got := mustGet(t, s, q); got != wantJSON.String() {
+		t.Error("second GET /diff differs from the first: the query mutated state")
+	}
+	if got := mustGet(t, s, q+"&format=md"); got != wantMD.String() {
+		t.Errorf("GET %s&format=md differs from the library markdown", q)
+	}
+	if len(want.TopRegressions) == 0 {
+		t.Error("no ranked regressions against the slow-hardware corpus")
+	}
+}
+
+// TestServerDiffEndpointErrors: parameter validation of /diff.
+func TestServerDiffEndpointErrors(t *testing.T) {
+	s := newTestServer(t)
+	baseDir := t.TempDir() // exists but holds no corpus index
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/diff", http.StatusBadRequest},
+		{"/diff?baseline=" + url.QueryEscape(baseDir) + "&format=xml", http.StatusBadRequest},
+		{"/diff?baseline=" + url.QueryEscape(baseDir) + "&top=x", http.StatusBadRequest},
+		{"/diff?baseline=" + url.QueryEscape(baseDir) + "&k=0", http.StatusBadRequest},
+		{"/diff?baseline=" + url.QueryEscape(filepath.Join(baseDir, "missing")), http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		if code, body := get(t, s, tc.url); code != tc.code {
+			t.Errorf("GET %s = %d (%s), want %d", tc.url, code, strings.TrimSpace(body), tc.code)
+		}
 	}
 }

@@ -1,0 +1,326 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/core"
+	"tracescope/internal/trace"
+)
+
+// This file renders a corpus-vs-corpus DiffResult as the regression
+// report — markdown for humans, canonical indented JSON for tooling.
+// Both renderers are the single source of truth for the diff's wire
+// shape: the traceanalyze -diff CLI and the tracescoped /diff endpoint
+// write these exact bytes, which is what makes their outputs
+// byte-comparable.
+
+// signedDur renders a possibly negative duration delta with an explicit
+// sign (Duration.String assumes non-negative magnitudes).
+func signedDur(d trace.Duration) string {
+	if d < 0 {
+		return "-" + (-d).String()
+	}
+	return "+" + d.String()
+}
+
+// WriteDiffMarkdown renders the regression report as markdown: corpus
+// shapes, the scenario alignment table, the globally ranked wait-chain
+// regressions and improvements, and one section per matched scenario.
+func WriteDiffMarkdown(w io.Writer, d *core.DiffResult) error {
+	var b strings.Builder
+	b.WriteString("# Corpus diff\n\n")
+
+	b.WriteString("| corpus | streams | events | instances | duration |\n")
+	b.WriteString("|---|---:|---:|---:|---:|\n")
+	fmt.Fprintf(&b, "| baseline | %d | %d | %d | %v |\n",
+		d.Base.Streams, d.Base.Events, d.Base.Instances, d.Base.Duration)
+	fmt.Fprintf(&b, "| candidate | %d | %d | %d | %v |\n\n",
+		d.Cand.Streams, d.Cand.Events, d.Cand.Instances, d.Cand.Duration)
+
+	b.WriteString("## Scenario alignment\n\n")
+	b.WriteString("| scenario | base inst | cand inst | ΔC (all-instance AWG) | edges moved |\n")
+	b.WriteString("|---|---:|---:|---:|---:|\n")
+	for _, sd := range d.Scenarios {
+		fmt.Fprintf(&b, "| %s | %d | %d | %s | %d |\n",
+			sd.Scenario, sd.Base.Instances, sd.Cand.Instances, signedDur(sd.DeltaC), len(sd.Edges))
+	}
+	for _, sc := range d.BaseOnly {
+		fmt.Fprintf(&b, "| %s | %d | — | | |\n", sc.Name, sc.Instances)
+	}
+	for _, sc := range d.CandOnly {
+		fmt.Fprintf(&b, "| %s | — | %d | | |\n", sc.Name, sc.Instances)
+	}
+	b.WriteByte('\n')
+
+	writeRanked(&b, "Top regressions", "got slower", d.TopRegressions)
+	writeRanked(&b, "Top improvements", "got faster", d.TopImprovements)
+
+	for _, sd := range d.Scenarios {
+		writeScenarioDiff(&b, sd)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeRanked renders one global ranking section.
+func writeRanked(b *strings.Builder, title, verb string, edges []core.RankedEdge) {
+	fmt.Fprintf(b, "## %s\n\n", title)
+	if len(edges) == 0 {
+		fmt.Fprintf(b, "Nothing %s.\n\n", verb)
+		return
+	}
+	for i, e := range edges {
+		fmt.Fprintf(b, "%d. **own Δ %s** `%s` [%v, depth %d]\n", i+1, signedDur(e.OwnDeltaC), e.Label(), e.Status, e.Depth())
+		fmt.Fprintf(b, "   - scenario %s; chain: %s\n", e.Scenario, e.Chain())
+		fmt.Fprintf(b, "   - cost %v -> %v (Δ %s), occurrences %d -> %d\n",
+			e.BaseC, e.CandC, signedDur(e.DeltaC), e.BaseN, e.CandN)
+	}
+	b.WriteByte('\n')
+}
+
+// writeScenarioDiff renders one matched scenario's section.
+func writeScenarioDiff(b *strings.Builder, sd core.ScenarioDiff) {
+	fmt.Fprintf(b, "## Scenario %s\n\n", sd.Scenario)
+	fmt.Fprintf(b, "- instances %d -> %d", sd.Base.Instances, sd.Cand.Instances)
+	if sd.Classed {
+		fmt.Fprintf(b, " (fast %d -> %d, slow %d -> %d; Tfast %v, Tslow %v)",
+			sd.Base.Fast, sd.Cand.Fast, sd.Base.Slow, sd.Cand.Slow, sd.Tfast, sd.Tslow)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "- all-instance AWG cost %v -> %v (Δ %s; non-optimizable Δ %s)\n",
+		sd.Base.TotalCost, sd.Cand.TotalCost, signedDur(sd.DeltaC), signedDur(sd.ReducedDeltaC))
+	fmt.Fprintf(b, "- impact: IAwait %.4f -> %.4f, IArun %.4f -> %.4f, IAopt %.4f -> %.4f\n",
+		sd.Base.Impact.IAwait(), sd.Cand.Impact.IAwait(),
+		sd.Base.Impact.IArun(), sd.Cand.Impact.IArun(),
+		sd.Base.Impact.IAopt(), sd.Cand.Impact.IAopt())
+
+	if len(sd.Edges) > 0 {
+		b.WriteString("\nEdge deltas (worst first):\n\n")
+		for i, e := range sd.Edges {
+			if i >= maxScenarioEdges {
+				fmt.Fprintf(b, "- … %d more\n", len(sd.Edges)-i)
+				break
+			}
+			fmt.Fprintf(b, "- %s [%v] %s (own Δ %s)\n", signedDur(e.DeltaC), e.Status, e.Chain(), signedDur(e.OwnDeltaC))
+		}
+	}
+
+	if len(sd.ABPatterns) > 0 {
+		fmt.Fprintf(b, "\nCross-corpus contrast patterns (%d contrasts: %d candidate-only, %d ratio):\n\n",
+			sd.NumContrasts, sd.CandOnlyContrasts, sd.RatioContrasts)
+		for i, p := range sd.ABPatterns {
+			if i >= maxScenarioPatterns {
+				fmt.Fprintf(b, "- … %d more\n", len(sd.ABPatterns)-i)
+				break
+			}
+			fmt.Fprintf(b, "- %s\n", p.Describe())
+		}
+	}
+
+	if pd := sd.Patterns; pd != nil {
+		fmt.Fprintf(b, "\nWithin-corpus pattern movement: %d introduced, %d resolved, %d regressed, %d improved, %d stable",
+			len(pd.Introduced), len(pd.Resolved), len(pd.Regressed), len(pd.Improved), len(pd.Stable))
+		if c := pd.TotalResolvedCost(); c > 0 {
+			fmt.Fprintf(b, "; resolved cost %v", c)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+}
+
+// Markdown sections cap per-scenario lists; the JSON form is complete.
+const (
+	maxScenarioEdges    = 10
+	maxScenarioPatterns = 5
+)
+
+// The JSON wire shape. Durations are microsecond integers with _us
+// names; derived human strings are not emitted, keeping the form
+// canonical.
+type diffJSON struct {
+	Base            corpusJSON     `json:"base"`
+	Candidate       corpusJSON     `json:"candidate"`
+	Scenarios       []scenarioJSON `json:"scenarios"`
+	BaseOnly        []alignJSON    `json:"base_only,omitempty"`
+	CandidateOnly   []alignJSON    `json:"candidate_only,omitempty"`
+	TopRegressions  []rankedJSON   `json:"top_regressions,omitempty"`
+	TopImprovements []rankedJSON   `json:"top_improvements,omitempty"`
+}
+
+type corpusJSON struct {
+	Streams    int   `json:"streams"`
+	Events     int   `json:"events"`
+	Instances  int   `json:"instances"`
+	DurationUS int64 `json:"duration_us"`
+}
+
+type alignJSON struct {
+	Scenario  string `json:"scenario"`
+	Instances int    `json:"instances"`
+}
+
+type sideJSON struct {
+	Instances     int     `json:"instances"`
+	Fast          int     `json:"fast,omitempty"`
+	Slow          int     `json:"slow,omitempty"`
+	TotalCostUS   int64   `json:"total_cost_us"`
+	ReducedCostUS int64   `json:"reduced_cost_us"`
+	KeptCostUS    int64   `json:"kept_cost_us"`
+	IAwait        float64 `json:"iawait"`
+	IArun         float64 `json:"iarun"`
+	IAopt         float64 `json:"iaopt"`
+}
+
+type scenarioJSON struct {
+	Scenario        string     `json:"scenario"`
+	Classed         bool       `json:"classed"`
+	TfastUS         int64      `json:"tfast_us,omitempty"`
+	TslowUS         int64      `json:"tslow_us,omitempty"`
+	Base            sideJSON   `json:"base"`
+	Candidate       sideJSON   `json:"candidate"`
+	DeltaUS         int64      `json:"delta_us"`
+	ReducedDeltaUS  int64      `json:"reduced_delta_us"`
+	Edges           []edgeJSON `json:"edges,omitempty"`
+	ABPatterns      []string   `json:"ab_patterns,omitempty"`
+	NumContrasts    int        `json:"num_contrasts"`
+	CandOnly        int        `json:"candidate_only_contrasts"`
+	RatioContrasts  int        `json:"ratio_contrasts"`
+	PatternMovement *moveJSON  `json:"pattern_movement,omitempty"`
+}
+
+type moveJSON struct {
+	Introduced     int   `json:"introduced"`
+	Resolved       int   `json:"resolved"`
+	Regressed      int   `json:"regressed"`
+	Improved       int   `json:"improved"`
+	Stable         int   `json:"stable"`
+	ResolvedCostUS int64 `json:"resolved_cost_us"`
+}
+
+type edgeJSON struct {
+	Chain      string `json:"chain"`
+	Label      string `json:"label"`
+	Status     string `json:"status"`
+	Depth      int    `json:"depth"`
+	BaseCUS    int64  `json:"base_cost_us"`
+	CandCUS    int64  `json:"candidate_cost_us"`
+	BaseN      int64  `json:"base_n"`
+	CandN      int64  `json:"candidate_n"`
+	BaseMaxUS  int64  `json:"base_max_us"`
+	CandMaxUS  int64  `json:"candidate_max_us"`
+	DeltaUS    int64  `json:"delta_us"`
+	OwnDeltaUS int64  `json:"own_delta_us"`
+}
+
+type rankedJSON struct {
+	Scenario string `json:"scenario"`
+	edgeJSON
+}
+
+// WriteDiffJSON renders the regression report as canonical indented
+// JSON — byte-identical for equal DiffResults.
+func WriteDiffJSON(w io.Writer, d *core.DiffResult) error {
+	out := diffJSON{
+		Base:      corpusShapeJSON(d.Base),
+		Candidate: corpusShapeJSON(d.Cand),
+		Scenarios: make([]scenarioJSON, 0, len(d.Scenarios)),
+	}
+	for _, sd := range d.Scenarios {
+		out.Scenarios = append(out.Scenarios, scenarioDiffJSON(sd))
+	}
+	for _, sc := range d.BaseOnly {
+		out.BaseOnly = append(out.BaseOnly, alignJSON{Scenario: sc.Name, Instances: sc.Instances})
+	}
+	for _, sc := range d.CandOnly {
+		out.CandidateOnly = append(out.CandidateOnly, alignJSON{Scenario: sc.Name, Instances: sc.Instances})
+	}
+	for _, e := range d.TopRegressions {
+		out.TopRegressions = append(out.TopRegressions, rankedJSON{Scenario: e.Scenario, edgeJSON: edgeDeltaJSON(e.EdgeDelta)})
+	}
+	for _, e := range d.TopImprovements {
+		out.TopImprovements = append(out.TopImprovements, rankedJSON{Scenario: e.Scenario, edgeJSON: edgeDeltaJSON(e.EdgeDelta)})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+func corpusShapeJSON(c core.CorpusShape) corpusJSON {
+	return corpusJSON{
+		Streams: c.Streams, Events: c.Events,
+		Instances: c.Instances, DurationUS: int64(c.Duration),
+	}
+}
+
+func scenarioSideJSON(s core.ScenarioSide) sideJSON {
+	return sideJSON{
+		Instances:     s.Instances,
+		Fast:          s.Fast,
+		Slow:          s.Slow,
+		TotalCostUS:   int64(s.TotalCost),
+		ReducedCostUS: int64(s.ReducedCost),
+		KeptCostUS:    int64(s.KeptCost),
+		IAwait:        s.Impact.IAwait(),
+		IArun:         s.Impact.IArun(),
+		IAopt:         s.Impact.IAopt(),
+	}
+}
+
+func scenarioDiffJSON(sd core.ScenarioDiff) scenarioJSON {
+	out := scenarioJSON{
+		Scenario:       sd.Scenario,
+		Classed:        sd.Classed,
+		TfastUS:        int64(sd.Tfast),
+		TslowUS:        int64(sd.Tslow),
+		Base:           scenarioSideJSON(sd.Base),
+		Candidate:      scenarioSideJSON(sd.Cand),
+		DeltaUS:        int64(sd.DeltaC),
+		ReducedDeltaUS: int64(sd.ReducedDeltaC),
+		NumContrasts:   sd.NumContrasts,
+		CandOnly:       sd.CandOnlyContrasts,
+		RatioContrasts: sd.RatioContrasts,
+	}
+	for _, e := range sd.Edges {
+		out.Edges = append(out.Edges, edgeDeltaJSON(e))
+	}
+	for _, p := range sd.ABPatterns {
+		out.ABPatterns = append(out.ABPatterns, p.Describe())
+	}
+	if pd := sd.Patterns; pd != nil {
+		out.PatternMovement = &moveJSON{
+			Introduced:     len(pd.Introduced),
+			Resolved:       len(pd.Resolved),
+			Regressed:      len(pd.Regressed),
+			Improved:       len(pd.Improved),
+			Stable:         len(pd.Stable),
+			ResolvedCostUS: int64(pd.TotalResolvedCost()),
+		}
+	}
+	return out
+}
+
+func edgeDeltaJSON(e awg.EdgeDelta) edgeJSON {
+	return edgeJSON{
+		Chain:      e.Chain(),
+		Label:      e.Label(),
+		Status:     e.Status.String(),
+		Depth:      e.Depth(),
+		BaseCUS:    int64(e.BaseC),
+		CandCUS:    int64(e.CandC),
+		BaseN:      e.BaseN,
+		CandN:      e.CandN,
+		BaseMaxUS:  int64(e.BaseMaxC),
+		CandMaxUS:  int64(e.CandMaxC),
+		DeltaUS:    int64(e.DeltaC),
+		OwnDeltaUS: int64(e.OwnDeltaC),
+	}
+}

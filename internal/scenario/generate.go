@@ -41,6 +41,13 @@ type Config struct {
 	// Zero means GOMAXPROCS. Results are identical at any setting:
 	// every stream derives from its own seeded generator.
 	Parallelism int
+	// SlowHW scales the storage-hardware service latencies (disk reads
+	// and hard-fault page reads) by the given factor — an injected
+	// slow-hardware fault for regression-diff exercises. Zero or one
+	// means stock hardware. Only the log-normal medians scale, so the
+	// per-stream RNG draw sequence is unchanged and a SlowHW corpus at
+	// the same seed stays instance-aligned with the stock corpus.
+	SlowHW float64
 }
 
 func (c *Config) applyDefaults() {
@@ -197,7 +204,12 @@ func generateStream(cfg Config, index int) *trace.Stream {
 	if cfg.FileTableLocks > 0 {
 		mcfg.FileTableLocks = cfg.FileTableLocks
 	}
-	stack := drivers.NewStack(mcfg, drivers.DefaultLatency(), rng)
+	lat := drivers.DefaultLatency()
+	if cfg.SlowHW > 0 && cfg.SlowHW != 1 {
+		lat.DiskRead = trace.Duration(float64(lat.DiskRead) * cfg.SlowHW)
+		lat.HardFault = trace.Duration(float64(lat.HardFault) * cfg.SlowHW)
+	}
+	stack := drivers.NewStack(mcfg, lat, rng)
 	k := sim.NewKernel(sim.Config{
 		StreamID: fmt.Sprintf("machine-%04d", index),
 		Cores:    cfg.Cores,

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the corpus-vs-corpus causality diff: generate
+# two same-seed fleets differing by one injected fault (storage-hardware
+# latencies scaled 4x), run `traceanalyze -diff`, and fail unless
+#
+#   1. the injected regression is the top-ranked wait-chain delta — a
+#      hardware-service hop reached through disk!Service, not one of the
+#      wait chains that merely relay it,
+#   2. the JSON report is byte-identical at -workers 1 and -workers 4,
+#   3. two runs of the same diff are byte-identical, and
+#   4. the tracescoped GET /diff endpoint serves the same bytes as the
+#      CLI over the same pair of corpora.
+#
+# Usage: scripts/diff_smoke.sh [STREAMS] [EPISODES]
+set -euo pipefail
+
+STREAMS="${1:-16}"
+EPISODES="${2:-6}"
+SEED=42
+SLOWHW=4
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/tracescope-diff-smoke.XXXXXX")"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$WORK/bin/" ./cmd/tracegen ./cmd/traceanalyze ./cmd/tracescoped
+
+echo "== generating fleets (seed $SEED; candidate with ${SLOWHW}x slower storage hardware)"
+"$WORK/bin/tracegen" -out "$WORK/before" -seed "$SEED" -streams "$STREAMS" -episodes "$EPISODES" \
+    > "$WORK/gen-before.log"
+"$WORK/bin/tracegen" -out "$WORK/after" -seed "$SEED" -streams "$STREAMS" -episodes "$EPISODES" \
+    -slowhw "$SLOWHW" > "$WORK/gen-after.log"
+
+echo "== diffing (workers 1 and 4, JSON; plus markdown)"
+"$WORK/bin/traceanalyze" -diff -format json -workers 1 "$WORK/before" "$WORK/after" > "$WORK/diff-w1.json"
+"$WORK/bin/traceanalyze" -diff -format json -workers 4 "$WORK/before" "$WORK/after" > "$WORK/diff-w4.json"
+"$WORK/bin/traceanalyze" -diff -format json -workers 4 "$WORK/before" "$WORK/after" > "$WORK/diff-w4-again.json"
+"$WORK/bin/traceanalyze" -diff -format md "$WORK/before" "$WORK/after" > "$WORK/diff.md"
+
+echo "== checking the injected fault is the top-ranked regression"
+# The first entry of top_regressions must be a hardware-service node
+# reached through disk!Service — the fault's origin, not one of the
+# wait chains relaying it.
+top_label="$(jq -r '.top_regressions[0].label // empty' "$WORK/diff-w1.json")"
+top_chain="$(jq -r '.top_regressions[0].chain // empty' "$WORK/diff-w1.json")"
+top_own="$(jq -r '.top_regressions[0].own_delta_us // 0' "$WORK/diff-w1.json")"
+[ -n "$top_label" ] || { echo "no ranked regressions in the diff report" >&2; exit 1; }
+[ "$top_label" = "hw HardwareService" ] \
+    || { echo "top regression is '$top_label' via '$top_chain', want the injected hardware-service slowdown" >&2; exit 1; }
+case "$top_chain" in
+    *"disk!Service"*) ;;
+    *) echo "top regression chain '$top_chain' does not pass through disk!Service" >&2; exit 1 ;;
+esac
+[ "$top_own" -gt 0 ] || { echo "top regression has non-positive attributed delta ($top_own)" >&2; exit 1; }
+echo "   top regression: $top_label via $top_chain (own delta ${top_own}us)"
+
+echo "== comparing workers 1 vs 4 and run vs run (byte-identical)"
+cmp "$WORK/diff-w1.json" "$WORK/diff-w4.json"
+cmp "$WORK/diff-w4.json" "$WORK/diff-w4-again.json"
+
+echo "== comparing CLI vs tracescoped GET /diff"
+"$WORK/bin/tracescoped" -corpus "$WORK/after" -addr 127.0.0.1:0 > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+addr=""
+for i in $(seq 1 50); do
+    addr="$(sed -n 's|^tracescoped listening on \(http://[^ ]*\).*|\1|p' "$WORK/daemon.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.log" >&2; echo "daemon died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never printed its address" >&2; exit 1; }
+for i in $(seq 1 50); do
+    curl -sf "$addr/healthz" > /dev/null && break
+    sleep 0.1
+done
+curl -sf "$addr/diff?baseline=$WORK/before" > "$WORK/diff-daemon.json"
+curl -sf "$addr/diff?baseline=$WORK/before&format=md" > "$WORK/diff-daemon.md"
+kill "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+cmp "$WORK/diff-w1.json" "$WORK/diff-daemon.json"
+cmp "$WORK/diff.md" "$WORK/diff-daemon.md"
+
+echo "diff smoke: OK ($STREAMS streams, injected ${SLOWHW}x hardware fault top-ranked, CLI/daemon byte-identical)"

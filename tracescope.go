@@ -93,9 +93,6 @@ type (
 	Analyzer = core.Analyzer
 	// AnalyzerOption configures NewAnalyzer (WithWorkers, WithRecorder).
 	AnalyzerOption = core.Option
-	// AnalyzerOptions is a prebuilt options struct for the deprecated
-	// NewAnalyzerOptions form; prefer AnalyzerOption functions.
-	AnalyzerOptions = core.Options
 	// ImpactMetrics carries Dscn/Dwait/Drun/Dwaitdist and the derived
 	// IArun, IAwait, IAopt.
 	ImpactMetrics = impact.Metrics
@@ -289,27 +286,100 @@ func NewAnalyzer(src Source, options ...AnalyzerOption) *Analyzer {
 	return core.NewAnalyzer(src, options...)
 }
 
-// WithWorkers bounds the analyzer's shard-and-merge worker pool. Zero
-// means GOMAXPROCS; one forces the sequential path. Results are
-// bit-for-bit identical at any setting.
-func WithWorkers(n int) AnalyzerOption { return core.WithWorkers(n) }
+// WithWorkers bounds the shard-and-merge worker pool of an analysis or
+// diff. Zero means GOMAXPROCS; one forces the sequential path. Results
+// are bit-for-bit identical at any setting.
+func WithWorkers(n int) CommonOption { return core.WithWorkers(n) }
 
 // WithRecorder routes the analysis pipeline's observability events —
 // engine shard spans and progress, causality phase spans, Wait-Graph
 // build spans, stream-decode latency, and cache counters — to r. When
 // the source is instrumentable (*CachedSource, *DirSource) the recorder
 // is wired into it too, so one registry holds the whole pipeline. A nil
-// recorder is the no-op default.
-func WithRecorder(r Recorder) AnalyzerOption { return core.WithRecorder(r) }
+// recorder is the no-op default. Accepted by NewAnalyzer and Diff
+// alike.
+func WithRecorder(r Recorder) CommonOption { return core.WithRecorder(r) }
 
-// NewAnalyzerOptions indexes a corpus source for analysis with a
-// prebuilt options struct.
+// Corpus-vs-corpus diff types: the regression-analysis entry point.
+type (
+	// DiffOption configures a Diff run (WithFilter, WithThresholds,
+	// WithMiningParams, WithMaxAWGDepth, WithTopEdges, plus the shared
+	// WithWorkers/WithRecorder).
+	DiffOption = core.DiffOption
+	// CommonOption is accepted by both NewAnalyzer and Diff — what
+	// WithWorkers and WithRecorder return.
+	CommonOption = core.CommonOption
+	// DiffResult is the outcome of a corpus-vs-corpus causality diff:
+	// the scenario alignment table, per-scenario edge and pattern
+	// deltas, and the global regression/improvement rankings.
+	DiffResult = core.DiffResult
+	// ScenarioDiff is the full A/B comparison of one scenario present
+	// in both corpora.
+	ScenarioDiff = core.ScenarioDiff
+	// ScenarioSide is one corpus's view of one scenario.
+	ScenarioSide = core.ScenarioSide
+	// CorpusShape summarises one side of a diff.
+	CorpusShape = core.CorpusShape
+	// EdgeDelta is one Aggregated-Wait-Graph edge's cost movement
+	// between the two corpora, with resolved-cost attribution down the
+	// wait chain (OwnDeltaC).
+	EdgeDelta = awg.EdgeDelta
+	// RankedEdge is one globally ranked edge delta tagged with its
+	// scenario.
+	RankedEdge = core.RankedEdge
+	// MiningParams bounds the contrast-mining step (WithMiningParams).
+	MiningParams = mining.Params
+	// ScenarioInstanceCount pairs a scenario name with its instance
+	// count (the unmatched rows of a diff's alignment table).
+	ScenarioInstanceCount = trace.ScenarioCount
+)
+
+// Diff runs the corpus-vs-corpus causality diff: both corpora are
+// profiled out-of-core (each stream decoded once, shard-and-merge
+// parallel, bit-for-bit deterministic at any worker count), scenarios
+// are aligned by name, and each matched scenario's aggregated wait
+// graphs, impact metrics, and contrast patterns are compared. The
+// result ranks what got slower — and through which wait chain — across
+// the whole fleet.
 //
-// Deprecated: use NewAnalyzer with WithWorkers/WithRecorder. Kept as a
-// thin wrapper; behaviour is identical.
-func NewAnalyzerOptions(src Source, opts AnalyzerOptions) *Analyzer {
-	return core.NewAnalyzerOptions(src, opts)
+//	res, err := tracescope.Diff(before, after,
+//		tracescope.WithWorkers(8),
+//		tracescope.WithTopEdges(20))
+//
+// By default the scenario catalogue's developer thresholds classify
+// instances on both sides (so within-corpus pattern movement is
+// reported too); WithThresholds overrides that, and WithThresholds(nil)
+// disables classification entirely.
+func Diff(base, cand Source, options ...DiffOption) (*DiffResult, error) {
+	opts := make([]DiffOption, 0, len(options)+1)
+	opts = append(opts, WithThresholds(scenario.Thresholds))
+	opts = append(opts, options...)
+	return core.Diff(base, cand, opts...)
 }
+
+// WithFilter names the components under diff analysis. Nil (the
+// default) means all drivers.
+func WithFilter(f *ComponentFilter) DiffOption { return core.WithFilter(f) }
+
+// WithThresholds supplies per-scenario fast/slow developer thresholds
+// for the diff's within-corpus contrast classes. Diff defaults to the
+// scenario catalogue's thresholds; pass nil to disable classification.
+func WithThresholds(fn func(scenario string) (tfast, tslow Duration, ok bool)) DiffOption {
+	return core.WithThresholds(fn)
+}
+
+// WithMiningParams bounds the diff's contrast-mining step; zero fields
+// take the paper's defaults.
+func WithMiningParams(p MiningParams) DiffOption { return core.WithMiningParams(p) }
+
+// WithMaxAWGDepth bounds Aggregated-Wait-Graph aggregation depth on
+// both sides of the diff; zero takes the awg default.
+func WithMaxAWGDepth(n int) DiffOption { return core.WithMaxAWGDepth(n) }
+
+// WithTopEdges bounds the globally ranked regression and improvement
+// lists of the DiffResult. Zero takes the default (10); negative means
+// unbounded.
+func WithTopEdges(n int) DiffOption { return core.WithTopEdges(n) }
 
 // AllDrivers returns the component filter the paper's evaluation uses:
 // every module matching "*.sys".
