@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet lint lint-fix lint-json lint-sarif metrics-doc \
 	metrics-doc-update test test-short test-race \
 	bench bench-json bench-corpus bench-gate bench-paper bench-smoke \
-	daemon-smoke diff-smoke experiments experiments-md report fuzz clean
+	daemon-smoke diff-smoke vet-gate experiments experiments-md report fuzz clean
 
 all: build vet lint test
 
@@ -124,6 +124,14 @@ daemon-smoke:
 diff-smoke:
 	./scripts/diff_smoke.sh
 
+# Corpus-verifier gate (CI gates on this): a tracegen fleet must vet
+# clean (structural + semantic rules), and a battery of deterministic
+# bit-flip / torn-tail mutants must each be caught by the expected rule
+# with a worker-count-stable report. Leaves tracevet.sarif behind as
+# the machine-readable record of the clean run.
+vet-gate:
+	./scripts/vet_gate.sh
+
 # Regenerate the paper's evaluation on a fresh corpus.
 experiments:
 	$(GO) run ./cmd/experiments
@@ -136,8 +144,8 @@ experiments-md:
 report:
 	$(GO) run ./cmd/experiments -html report.html
 
-# Short fuzzing pass over the decoders, index parser, matcher, and the
-# lint suite's directive parser and package loader.
+# Short fuzzing pass over the decoders, index parser, matcher, the
+# lint suite's directive parser and package loader, and the verifier.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzReadBinary -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzParseIndex -fuzztime 30s
@@ -151,9 +159,11 @@ fuzz:
 	$(GO) test ./internal/lint/ -fuzz FuzzSplitQuoted -fuzztime 15s
 	$(GO) test ./internal/lint/ -fuzz FuzzLoadDir -fuzztime 30s
 	$(GO) test ./internal/lint/cfg/ -fuzz FuzzCFGBuild -fuzztime 30s
+	$(GO) test ./internal/tracevet/ -fuzz FuzzVetStream -fuzztime 30s
+	$(GO) test ./internal/tracevet/ -fuzz FuzzVetCorpus -fuzztime 15s
 
 # BENCH_engine.json and BENCH_corpus.json are committed snapshots
 # (regenerated by bench-json/bench-corpus), so clean leaves them alone
 # and removes only the transient bench-smoke outputs.
 clean:
-	rm -f report.html test_output.txt bench_output.txt BENCH_metrics_*.json *.dot tracelint.json tracelint.sarif
+	rm -f report.html test_output.txt bench_output.txt BENCH_metrics_*.json *.dot tracelint.json tracelint.sarif tracevet.sarif

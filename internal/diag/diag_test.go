@@ -1,0 +1,131 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func mk(file string, line int, analyzer, msg string, sev Severity) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+		Severity: sev,
+	}
+}
+
+// TestSeverityLevel pins the zero-value-means-warning contract that
+// keeps tracelint's SARIF output byte-identical to its pre-diag form.
+func TestSeverityLevel(t *testing.T) {
+	cases := []struct {
+		sev  Severity
+		want string
+	}{
+		{"", "warning"},
+		{SevWarning, "warning"},
+		{SevError, "error"},
+		{SevNote, "note"},
+	}
+	for _, c := range cases {
+		if got := c.sev.Level(); got != c.want {
+			t.Errorf("Severity(%q).Level() = %q, want %q", string(c.sev), got, c.want)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(0, false); got != 0 {
+		t.Errorf("clean run: got %d, want 0", got)
+	}
+	if got := ExitCode(3, false); got != 1 {
+		t.Errorf("findings: got %d, want 1", got)
+	}
+	if got := ExitCode(3, true); got != 2 {
+		t.Errorf("operational failure wins: got %d, want 2", got)
+	}
+}
+
+// TestSortIgnoresSeverity: severity is presentation, not a sort key —
+// two findings differing only in severity keep their input order.
+func TestSortIgnoresSeverity(t *testing.T) {
+	a := mk("a", 1, "x", "m", SevError)
+	b := mk("a", 1, "x", "m", SevNote)
+	in := []Diagnostic{a, b}
+	Sort(in)
+	if in[0].Severity != SevError || in[1].Severity != SevNote {
+		t.Fatalf("stable order not kept: %v", in)
+	}
+}
+
+// TestWriteSARIFSeverities: each finding's level comes from its own
+// severity, and the rule table is sorted with docs applied.
+func TestWriteSARIFSeverities(t *testing.T) {
+	diags := []Diagnostic{
+		mk("corpus.index", 3, "index-seq", "gap", SevError),
+		mk("stream-00001.tsc4", 1, "tail-truncated", "torn tail", SevNote),
+		mk("stream-00001.tsc4", 2, "wait-pair", "orphan wait", ""),
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "tracevet", diags, map[string]string{
+		"index-seq": "index sequence continuity",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "tracevet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	wantRules := []string{"index-seq", "tail-truncated", "wait-pair"}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID != wantRules[i] {
+			t.Errorf("rule[%d] = %q, want %q", i, r.ID, wantRules[i])
+		}
+	}
+	wantLevels := []string{"error", "note", "warning"}
+	for i, r := range run.Results {
+		if r.Level != wantLevels[i] {
+			t.Errorf("result[%d].level = %q, want %q", i, r.Level, wantLevels[i])
+		}
+	}
+}
+
+// TestFindingsSeverityGate: tracelint's artifact must not grow a
+// severity field; tracevet's must carry one.
+func TestFindingsSeverityGate(t *testing.T) {
+	diags := []Diagnostic{mk("a", 1, "x", "m", SevError)}
+	var without, with bytes.Buffer
+	if err := WriteJSON(&without, diags, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&with, diags, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), "severity") {
+		t.Errorf("withSeverity=false leaked a severity field: %s", without.String())
+	}
+	if !strings.Contains(with.String(), `"severity": "error"`) {
+		t.Errorf("withSeverity=true missing severity: %s", with.String())
+	}
+}

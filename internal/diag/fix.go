@@ -1,0 +1,68 @@
+// The -fix engine: analyzers attach byte-range text edits to
+// diagnostics, and ApplyFixes materialises them against a file's
+// source. Only rewrites that cannot change behaviour ship a fix;
+// anything needing judgment stays a diagnostic.
+
+package diag
+
+import (
+	"sort"
+	"strings"
+)
+
+// Fix is one textual edit: replace src[Start:End] with Text. An
+// insertion has Start == End. When IndentNewlines is set, every newline
+// in Text is continued with the indentation of the line holding Start,
+// so inserted statements land at the surrounding block's depth.
+type Fix struct {
+	Start, End     int
+	Text           string
+	IndentNewlines bool
+}
+
+// ApplyFixes applies every fix carried by the diagnostics to src (the
+// contents of one file — the caller groups diagnostics per file) and
+// returns the rewritten source plus the number of edits applied.
+// Invalid (out-of-range) and overlapping edits are skipped rather than
+// guessed at: a skipped fix leaves its diagnostic for the next run.
+func ApplyFixes(src []byte, diags []Diagnostic) ([]byte, int) {
+	var fixes []Fix
+	for _, d := range diags {
+		fixes = append(fixes, d.Fixes...)
+	}
+	// Apply back-to-front so earlier offsets stay valid.
+	sort.SliceStable(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+	applied := 0
+	lastStart := len(src) + 1
+	for _, fx := range fixes {
+		if fx.Start < 0 || fx.End > len(src) || fx.Start > fx.End || fx.End > lastStart {
+			continue
+		}
+		text := fx.Text
+		if fx.IndentNewlines {
+			text = strings.ReplaceAll(text, "\n", "\n"+LineIndent(src, fx.Start))
+		}
+		out := make([]byte, 0, len(src)+len(text)-(fx.End-fx.Start))
+		out = append(out, src[:fx.Start]...)
+		out = append(out, text...)
+		out = append(out, src[fx.End:]...)
+		src = out
+		lastStart = fx.Start
+		applied++
+	}
+	return src, applied
+}
+
+// LineIndent returns the leading whitespace of the line containing the
+// byte offset.
+func LineIndent(src []byte, off int) string {
+	start := off
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := start
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return string(src[start:end])
+}

@@ -1,0 +1,47 @@
+// Machine-readable findings report — the JSON array CI uploads as a
+// build artifact. The shape predates this package (tracelint's -json
+// output); the optional severity field is omitted when empty so
+// tracelint's artifact stays byte-identical.
+
+package diag
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Finding is the JSON shape of one diagnostic.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Severity string `json:"severity,omitempty"`
+	Fixable  bool   `json:"fixable,omitempty"`
+}
+
+// Findings converts diagnostics to the JSON shape, preserving order.
+// When withSeverity is set each finding carries its resolved level;
+// tracelint passes false to keep its historical artifact bytes.
+func Findings(diags []Diagnostic, withSeverity bool) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		f := Finding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message, Fixable: len(d.Fixes) > 0,
+		}
+		if withSeverity {
+			f.Severity = d.Severity.Level()
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteJSON renders the diagnostics as a 2-space-indented JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic, withSeverity bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Findings(diags, withSeverity))
+}

@@ -1,0 +1,119 @@
+// SARIF 2.1.0 rendering — the interchange format code-hosting UIs
+// ingest to annotate pull requests with static-analysis results. Only
+// the slice of the (large) SARIF schema the findings need is modelled;
+// the output is deterministic byte-for-byte given the same diagnostics,
+// like every other artifact this module emits.
+
+package diag
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// sarifLog is the document root.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as one SARIF 2.1.0 run of the
+// named driver. Rules are derived from the analyzers that actually
+// reported, described by ruleDocs (missing entries get an empty
+// description), sorted by id; results keep the diagnostics'
+// deterministic order. Each finding's level comes from its Severity,
+// with the zero value mapping to "warning".
+func WriteSARIF(w io.Writer, tool string, diags []Diagnostic, ruleDocs map[string]string) error {
+	seen := make(map[string]bool)
+	var ruleIDs []string
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !seen[d.Analyzer] {
+			seen[d.Analyzer] = true
+			ruleIDs = append(ruleIDs, d.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   d.Severity.Level(),
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	sort.Strings(ruleIDs)
+	rules := make([]sarifRule, 0, len(ruleIDs))
+	for _, id := range ruleIDs {
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: ruleDocs[id]},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: tool, Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -17,19 +17,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"go/token"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
 	"tracescope/internal/core"
+	"tracescope/internal/diag"
 	"tracescope/internal/impact"
 	"tracescope/internal/mining"
 	"tracescope/internal/obs"
 	"tracescope/internal/report"
 	"tracescope/internal/trace"
+	"tracescope/internal/tracevet"
 )
 
 // maxStreamBytes bounds one ingested stream upload (64 MiB of TSCP is
@@ -210,10 +212,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := io.LimitReader(r.Body, maxStreamBytes+1)
 	stream, err := trace.ReadBinary(body)
 	if err != nil {
-		s.rec.Add("ingest_rejected_total", 1)
-		httpError(w, s.rec, http.StatusBadRequest, "decoding stream: %v", err)
+		// A payload that does not even decode still reports through the
+		// violation shape, so clients parse one rejection format.
+		s.rejectIngest(w, []diag.Diagnostic{{
+			Pos:      token.Position{Filename: ingestArtifact, Line: 1},
+			Analyzer: "stream-decode",
+			Severity: diag.SevError,
+			Message:  fmt.Sprintf("stream does not decode: %v", err),
+		}})
 		return
 	}
+
+	// Admission gate: structural verification before any state changes.
+	// A rejected stream leaves the corpus directory and the incremental
+	// analysis state byte-identical to never having seen it.
+	if vio := tracevet.VetStream(stream, ingestArtifact, tracevet.Options{}); len(vio) > 0 {
+		s.rejectIngest(w, vio)
+		return
+	}
+	s.rec.Add("vet_streams_total", 1)
 
 	s.mu.Lock()
 	//lint:ignore lockheld ingestion is deliberately serialized under the write lock: append order defines stream indices, and a concurrent append would fork the index (see DESIGN.md on the single-writer corpus contract)
@@ -222,7 +239,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.rec.Add("ingest_rejected_total", 1)
 		status := http.StatusInternalServerError
-		if errors.Is(err, trace.ErrBadFormat) || strings.Contains(err.Error(), "invalid") {
+		if errors.Is(err, trace.ErrBadFormat) {
 			status = http.StatusBadRequest
 		}
 		httpError(w, s.rec, status, "appending stream: %v", err)
@@ -254,6 +271,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		"corpus_streams":   streams,
 		"corpus_events":    events,
 		"corpus_instances": instances,
+	})
+}
+
+// ingestArtifact names the uploaded stream in rejection violations: the
+// payload has no file of its own yet.
+const ingestArtifact = "upload"
+
+// rejectIngest answers one admission-gate rejection: a structured 400
+// whose body carries the full violation list in the shared diagnostic
+// shape (file/line/analyzer/message/severity).
+func (s *Server) rejectIngest(w http.ResponseWriter, vio []diag.Diagnostic) {
+	s.rec.Add("vet_streams_total", 1)
+	s.rec.Add("vet_violations_total", int64(len(vio)))
+	s.rec.Add("ingest_rejected_total", 1)
+	s.rec.Add("ingest_http_errors_total", 1)
+	writeJSON(w, s.rec, http.StatusBadRequest, map[string]any{
+		"error":      fmt.Sprintf("stream rejected: %d verification violation(s)", len(vio)),
+		"violations": diag.Findings(vio, true),
 	})
 }
 

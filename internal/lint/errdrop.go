@@ -39,7 +39,7 @@ const errdropName = "errdrop"
 
 var ErrDrop = &Analyzer{
 	Name: errdropName,
-	Doc:  "flags discarded error results on analysis hot paths (internal/engine, impact, trace, core)",
+	Doc:  "flags discarded error results on analysis hot paths (internal/engine, impact, trace, core, ingest, tracevet, diag, cmd/tracevet)",
 	Run:  runErrDrop,
 }
 
@@ -50,7 +50,14 @@ var ErrDrop = &Analyzer{
 // block codec) is covered through its trace parent.
 var errdropPackages = map[string]bool{
 	"engine": true, "impact": true, "trace": true, "core": true,
-	"ingest": true,
+	"ingest": true, "tracevet": true, "diag": true,
+}
+
+// errdropCommands are the cmd/ entry points in scope. A verifier that
+// drops an error reports "clean" on a corpus it never actually checked,
+// so cmd/tracevet is held to the hot-path standard too.
+var errdropCommands = map[string]bool{
+	"tracevet": true,
 }
 
 // inErrdropScope reports whether the file path is under one of the
@@ -64,6 +71,9 @@ func inErrdropScope(path string) bool {
 		}
 		next := els[i+1]
 		if el == "internal" && errdropPackages[next] {
+			return true
+		}
+		if el == "cmd" && errdropCommands[next] {
 			return true
 		}
 		if el == "testdata" && next == errdropName {

@@ -5,23 +5,17 @@
 // (strictly more deterministic), and a span that is never ended gains a
 // `defer sp.End()` right after its Start. Anything needing judgment
 // (tie-break design, restructuring control flow around explicit End
-// calls) stays a diagnostic.
+// calls) stays a diagnostic. The edit engine itself lives in
+// internal/diag, shared with tracevet.
 package lint
 
-import (
-	"sort"
-	"strings"
-)
+import "tracescope/internal/diag"
 
 // Fix is one textual edit: replace src[Start:End] with Text. An
 // insertion has Start == End. When IndentNewlines is set, every newline
 // in Text is continued with the indentation of the line holding Start,
 // so inserted statements land at the surrounding block's depth.
-type Fix struct {
-	Start, End     int
-	Text           string
-	IndentNewlines bool
-}
+type Fix = diag.Fix
 
 // ApplyFixes applies every fix carried by the diagnostics to src (the
 // contents of one file — the caller groups diagnostics per file) and
@@ -29,43 +23,9 @@ type Fix struct {
 // Invalid (out-of-range) and overlapping edits are skipped rather than
 // guessed at: a skipped fix leaves its diagnostic for the next run.
 func ApplyFixes(src []byte, diags []Diagnostic) ([]byte, int) {
-	var fixes []Fix
-	for _, d := range diags {
-		fixes = append(fixes, d.Fixes...)
-	}
-	// Apply back-to-front so earlier offsets stay valid.
-	sort.SliceStable(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
-	applied := 0
-	lastStart := len(src) + 1
-	for _, fx := range fixes {
-		if fx.Start < 0 || fx.End > len(src) || fx.Start > fx.End || fx.End > lastStart {
-			continue
-		}
-		text := fx.Text
-		if fx.IndentNewlines {
-			text = strings.ReplaceAll(text, "\n", "\n"+lineIndent(src, fx.Start))
-		}
-		out := make([]byte, 0, len(src)+len(text)-(fx.End-fx.Start))
-		out = append(out, src[:fx.Start]...)
-		out = append(out, text...)
-		out = append(out, src[fx.End:]...)
-		src = out
-		lastStart = fx.Start
-		applied++
-	}
-	return src, applied
+	return diag.ApplyFixes(src, diags)
 }
 
 // lineIndent returns the leading whitespace of the line containing the
 // byte offset.
-func lineIndent(src []byte, off int) string {
-	start := off
-	for start > 0 && src[start-1] != '\n' {
-		start--
-	}
-	end := start
-	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
-		end++
-	}
-	return string(src[start:end])
-}
+func lineIndent(src []byte, off int) string { return diag.LineIndent(src, off) }

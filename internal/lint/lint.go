@@ -30,24 +30,18 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
+
+	"tracescope/internal/diag"
 )
 
-// Diagnostic is one finding at one source position.
-type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
-	// Fixes holds machine-applicable rewrites for the finding, empty
-	// when the fix needs human judgment. tracelint -fix applies them.
-	Fixes []Fix
-}
-
-// String renders the diagnostic in the conventional file:line:col form.
-func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-}
+// Diagnostic is one finding at one source position. The type lives in
+// internal/diag — shared with tracevet, the corpus verifier — so both
+// tools emit identical artifacts; every finding this suite reports
+// keeps the zero Severity, which renders as "warning" everywhere, as
+// tracelint's severity signal is its exit status, not a per-finding
+// ranking.
+type Diagnostic = diag.Diagnostic
 
 // File is one parsed source file handed to analyzers.
 type File struct {
@@ -200,24 +194,7 @@ func RunPkg(p *Package, analyzers []*Analyzer) []Diagnostic {
 
 // SortDiagnostics orders findings by file, line, column, analyzer, and
 // message — the suite's own output must be deterministic.
-func SortDiagnostics(ds []Diagnostic) {
-	sort.SliceStable(ds, func(i, j int) bool {
-		a, b := ds[i], ds[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
-		return a.Message < b.Message
-	})
-}
+func SortDiagnostics(ds []Diagnostic) { diag.Sort(ds) }
 
 // ignorePrefix introduces a suppression comment. The directive form (no
 // space after //) matches the convention of staticcheck and friends.

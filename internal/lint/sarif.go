@@ -1,73 +1,16 @@
 // sarif renders the suite's findings as a SARIF 2.1.0 log — the
 // interchange format code-hosting UIs ingest to annotate pull requests
-// with static-analysis results. Only the slice of the (large) SARIF
-// schema the findings need is modelled; the output is deterministic
-// byte-for-byte given the same diagnostics, like every other artifact
-// this module emits.
+// with static-analysis results. The writer itself lives in
+// internal/diag (shared with tracevet); this wrapper binds the
+// tracelint driver name and derives the rule table from the analyzer
+// suite.
 package lint
 
 import (
-	"encoding/json"
 	"io"
-	"path/filepath"
-	"sort"
+
+	"tracescope/internal/diag"
 )
-
-// sarifLog is the document root.
-type sarifLog struct {
-	Schema  string     `json:"$schema"`
-	Version string     `json:"version"`
-	Runs    []sarifRun `json:"runs"`
-}
-
-type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
-}
-
-type sarifTool struct {
-	Driver sarifDriver `json:"driver"`
-}
-
-type sarifDriver struct {
-	Name           string      `json:"name"`
-	InformationURI string      `json:"informationUri,omitempty"`
-	Rules          []sarifRule `json:"rules"`
-}
-
-type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
-}
-
-type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
-}
-
-type sarifMessage struct {
-	Text string `json:"text"`
-}
-
-type sarifLocation struct {
-	PhysicalLocation sarifPhysical `json:"physicalLocation"`
-}
-
-type sarifPhysical struct {
-	ArtifactLocation sarifArtifact `json:"artifactLocation"`
-	Region           sarifRegion   `json:"region"`
-}
-
-type sarifArtifact struct {
-	URI string `json:"uri"`
-}
-
-type sarifRegion struct {
-	StartLine   int `json:"startLine"`
-	StartColumn int `json:"startColumn,omitempty"`
-}
 
 // WriteSARIF renders the diagnostics as one SARIF 2.1.0 run of the
 // tracelint driver. Rules are derived from the analyzers that actually
@@ -76,50 +19,10 @@ type sarifRegion struct {
 // are level "warning": the suite's severity signal is its exit status,
 // not a per-finding ranking.
 func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
-	docs := make(map[string]string, len(analyzers))
+	docs := make(map[string]string, len(analyzers)+1)
 	for _, a := range analyzers {
 		docs[a.Name] = a.Doc
 	}
 	docs["ignore"] = "malformed //lint:ignore suppression directives"
-
-	seen := make(map[string]bool)
-	var ruleIDs []string
-	results := make([]sarifResult, 0, len(diags))
-	for _, d := range diags {
-		if !seen[d.Analyzer] {
-			seen[d.Analyzer] = true
-			ruleIDs = append(ruleIDs, d.Analyzer)
-		}
-		results = append(results, sarifResult{
-			RuleID:  d.Analyzer,
-			Level:   "warning",
-			Message: sarifMessage{Text: d.Message},
-			Locations: []sarifLocation{{
-				PhysicalLocation: sarifPhysical{
-					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
-					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
-				},
-			}},
-		})
-	}
-	sort.Strings(ruleIDs)
-	rules := make([]sarifRule, 0, len(ruleIDs))
-	for _, id := range ruleIDs {
-		rules = append(rules, sarifRule{
-			ID:               id,
-			ShortDescription: sarifMessage{Text: docs[id]},
-		})
-	}
-
-	log := sarifLog{
-		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
-		Version: "2.1.0",
-		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "tracelint", Rules: rules}},
-			Results: results,
-		}},
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(log)
+	return diag.WriteSARIF(w, "tracelint", diags, docs)
 }

@@ -24,6 +24,9 @@ func TestErrdropScopeCoversTraceSubpackages(t *testing.T) {
 		{"internal/engine/engine.go", true},
 		{"internal/core/core.go", true},
 		{"internal/ingest/server.go", true},
+		{"internal/tracevet/corpus.go", true},
+		{"internal/diag/diag.go", true},
+		{"cmd/tracevet/main.go", true},
 		{"internal/obs/obs.go", false},
 		{"internal/scenario/generate.go", false},
 		{"cmd/benchjson/main.go", false},

@@ -1,0 +1,283 @@
+package tracevet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracescope/internal/diag"
+	"tracescope/internal/trace"
+)
+
+// buildCorpus writes an n-stream corpus through the Appender — the
+// production on-disk shape the verifier is specified against.
+func buildCorpus(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	app, err := trace.OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := app.Append(goodStream(fmt.Sprintf("machine-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func mustVetDir(t *testing.T, dir string, opts Options) *Report {
+	t.Helper()
+	rep, err := VetDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// hasRule reports whether any finding fired the named rule.
+func hasRule(rep *Report, rule string) bool {
+	for _, d := range rep.Diags {
+		if d.Analyzer == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVetDirClean(t *testing.T) {
+	dir := buildCorpus(t, 3)
+	rep := mustVetDir(t, dir, Options{Semantic: true})
+	if rep.Findings() != 0 {
+		t.Fatalf("clean corpus has findings: %v", rep.Diags)
+	}
+	if rep.Streams != 3 || rep.TailOffset != -1 || rep.Recoverable {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// editIndex rewrites corpus.index through fn.
+func editIndex(t *testing.T, dir string, fn func(string) string) {
+	t.Helper()
+	path := filepath.Join(dir, "corpus.index")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(fn(string(data))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVetDirIndexGap(t *testing.T) {
+	dir := buildCorpus(t, 3)
+	editIndex(t, dir, func(s string) string {
+		return strings.Replace(s, "\ns 1 ", "\ns 2 ", 1)
+	})
+	rep := mustVetDir(t, dir, Options{})
+	if !hasRule(rep, "index-seq") {
+		t.Fatalf("sequence gap not caught: %v", rep.Diags)
+	}
+	if rep.Recoverable {
+		t.Fatal("mid-index corruption classified recoverable")
+	}
+}
+
+func TestVetDirIndexMetaMismatch(t *testing.T) {
+	dir := buildCorpus(t, 2)
+	editIndex(t, dir, func(s string) string {
+		// Every fixture stream holds 4 events; lie about stream 1's count.
+		return strings.Replace(s, `"machine-01" 4`, `"machine-01" 7`, 1)
+	})
+	rep := mustVetDir(t, dir, Options{})
+	if !hasRule(rep, "index-meta") {
+		t.Fatalf("metadata mismatch not caught: %v", rep.Diags)
+	}
+}
+
+func TestVetDirDuplicateStreamID(t *testing.T) {
+	dir := buildCorpus(t, 2)
+	editIndex(t, dir, func(s string) string {
+		return strings.Replace(s, `"machine-01"`, `"machine-00"`, 1)
+	})
+	rep := mustVetDir(t, dir, Options{})
+	if !hasRule(rep, "stream-dup") {
+		t.Fatalf("duplicate stream id not caught: %v", rep.Diags)
+	}
+}
+
+func TestVetDirDanglingInternRef(t *testing.T) {
+	dir := buildCorpus(t, 2)
+	path := filepath.Join(dir, "corpus.intern")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the intern tail: later streams now reference entries that no
+	// longer exist.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustVetDir(t, dir, Options{})
+	if !hasRule(rep, "intern-ref") {
+		t.Fatalf("dangling intern reference not caught: %v", rep.Diags)
+	}
+	if rep.Recoverable {
+		t.Fatal("dangling references classified recoverable")
+	}
+}
+
+// TestVetDirTruncatedIndexTail: a torn final index record — the
+// Appender crash shape — classifies recoverable, names the valid-prefix
+// offset, and truncating there actually recovers the corpus.
+func TestVetDirTruncatedIndexTail(t *testing.T) {
+	dir := buildCorpus(t, 3)
+	path := filepath.Join(dir, "corpus.index")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustVetDir(t, dir, Options{})
+	if rep.Findings() == 0 || !rep.Recoverable {
+		t.Fatalf("torn tail not classified recoverable: %+v %v", rep, rep.Diags)
+	}
+	if !hasRule(rep, "tail-truncated") {
+		t.Fatalf("tail-truncated did not fire: %v", rep.Diags)
+	}
+	if rep.TailOffset < 0 || rep.TailOffset >= int64(len(data)) {
+		t.Fatalf("TailOffset = %d", rep.TailOffset)
+	}
+
+	// Recover as the report prescribes; the strict loader must accept
+	// the result and the Appender must strict-grow from it.
+	if err := os.Truncate(path, rep.TailOffset); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.OpenDir(dir)
+	if err != nil {
+		t.Fatalf("recovered corpus rejected by strict loader: %v", err)
+	}
+	before := src.NumStreams()
+	app, err := trace.OpenAppender(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Append(goodStream("machine-99")); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := src.Reload()
+	if err != nil {
+		t.Fatalf("Reload after recovery: %v", err)
+	}
+	if grown != 1 || src.NumStreams() != before+1 {
+		t.Fatalf("Reload grew %d to %d streams, want +1 to %d", grown, src.NumStreams(), before+1)
+	}
+	// The recovered-and-regrown corpus carries leftovers (the orphan
+	// stream file of the truncated record) but nothing unrecoverable.
+	rep = mustVetDir(t, dir, Options{})
+	if hasErrors(rep.Diags) {
+		t.Fatalf("recovered corpus has errors: %v", rep.Diags)
+	}
+}
+
+// TestVetDirHalfWrittenStreamFile: a stream file the index never
+// committed — the other Appender crash shape — is an orphan note.
+func TestVetDirHalfWrittenStreamFile(t *testing.T) {
+	dir := buildCorpus(t, 2)
+	whole, err := os.ReadFile(filepath.Join(dir, "stream-00001.tsc4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stream-00002.tsc4"), whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustVetDir(t, dir, Options{})
+	if !rep.Recoverable || !hasRule(rep, "tail-truncated") {
+		t.Fatalf("orphan half-written stream not a recoverable note: %+v %v", rep, rep.Diags)
+	}
+	// An *indexed* stream can never be half-written by a crash (its
+	// index record commits after the file): that is corruption.
+	if err := os.WriteFile(filepath.Join(dir, "stream-00001.tsc4"), whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep = mustVetDir(t, dir, Options{})
+	if rep.Recoverable || !hasRule(rep, "stream-decode") {
+		t.Fatalf("indexed half-written stream not an error: %+v %v", rep, rep.Diags)
+	}
+}
+
+// TestVetDirTruncatedInternTail: a torn corpus.intern tail alone (no
+// stream referencing the lost records) is recoverable.
+func TestVetDirTruncatedInternTail(t *testing.T) {
+	dir := buildCorpus(t, 1)
+	// Grow the intern file with records no stream references, as an
+	// interrupted append of a never-indexed stream would.
+	f, err := os.OpenFile(filepath.Join(dir, "corpus.intern"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame record claiming 100 payload bytes, cut off after 2.
+	if _, err := f.Write([]byte{'F', 100, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustVetDir(t, dir, Options{})
+	if !rep.Recoverable || !hasRule(rep, "tail-truncated") {
+		t.Fatalf("torn intern tail not recoverable: %+v %v", rep, rep.Diags)
+	}
+}
+
+// TestVetDirMissingStreamFile: an indexed file that is gone is
+// corruption — the crash ordering cannot produce it.
+func TestVetDirMissingStreamFile(t *testing.T) {
+	dir := buildCorpus(t, 2)
+	if err := os.Remove(filepath.Join(dir, "stream-00000.tsc4")); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustVetDir(t, dir, Options{})
+	if rep.Recoverable || !hasRule(rep, "stream-decode") {
+		t.Fatalf("missing indexed file not an error: %+v %v", rep, rep.Diags)
+	}
+}
+
+// TestVetDirDeterministicAcrossWorkers: on-disk reports are
+// byte-identical at any worker count, corrupted corpora included.
+func TestVetDirDeterministicAcrossWorkers(t *testing.T) {
+	dir := buildCorpus(t, 6)
+	editIndex(t, dir, func(s string) string {
+		return strings.Replace(s, "\ns 3 ", "\ns 5 ", 1)
+	})
+	want := renderReport(mustVetDir(t, dir, Options{Workers: 1}))
+	for _, w := range []int{2, 4, 8} {
+		if got := renderReport(mustVetDir(t, dir, Options{Workers: w})); got != want {
+			t.Fatalf("workers=%d report differs:\n%s\nvs workers=1:\n%s", w, got, want)
+		}
+	}
+}
+
+// TestVetDirRuleSeverities: every corpus-level rule that fires via
+// VetDir reports the severity the recoverability contract expects.
+func TestVetDirRuleSeverities(t *testing.T) {
+	dir := buildCorpus(t, 2)
+	path := filepath.Join(dir, "corpus.index")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustVetDir(t, dir, Options{})
+	for _, d := range rep.Diags {
+		if d.Analyzer == "tail-truncated" && d.Severity != diag.SevNote {
+			t.Fatalf("tail-truncated severity = %q, want note", d.Severity)
+		}
+	}
+}

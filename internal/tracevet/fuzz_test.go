@@ -1,0 +1,84 @@
+package tracevet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracescope/internal/trace"
+)
+
+// FuzzVetStream: whatever trace.ReadBinary accepts, the structural
+// rules must verify without panicking — the ingest admission gate runs
+// exactly this pair on every untrusted upload.
+func FuzzVetStream(f *testing.F) {
+	var seed bytes.Buffer
+	if err := goodStream("m1").WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TSCP garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		diags := VetStream(s, "fuzz", Options{})
+		for _, d := range diags {
+			if d.Message == "" || d.Analyzer == "" {
+				t.Fatalf("malformed finding: %+v", d)
+			}
+		}
+	})
+}
+
+// FuzzVetCorpus: VetDir must classify — never panic on — arbitrary
+// index, intern, and stream-file bytes. Determinism rides along: the
+// same corrupted corpus must render the same report twice.
+func FuzzVetCorpus(f *testing.F) {
+	seedDir := f.TempDir()
+	app, err := trace.OpenAppender(seedDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := app.Append(goodStream("m1")); err != nil {
+		f.Fatal(err)
+	}
+	var index, intern, stream []byte
+	if index, err = os.ReadFile(filepath.Join(seedDir, "corpus.index")); err != nil {
+		f.Fatal(err)
+	}
+	if intern, err = os.ReadFile(filepath.Join(seedDir, "corpus.intern")); err != nil {
+		f.Fatal(err)
+	}
+	if stream, err = os.ReadFile(filepath.Join(seedDir, "stream-00000.tsc4")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(index, intern, stream)
+	f.Add([]byte("TSINDEX 4\n"), []byte("TSINTERN 1\n"), []byte("TSC4"))
+	f.Add([]byte(""), []byte(""), []byte(""))
+	f.Fuzz(func(t *testing.T, index, intern, stream []byte) {
+		dir := t.TempDir()
+		writeAll := func(name string, data []byte) {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeAll("corpus.index", index)
+		writeAll("corpus.intern", intern)
+		writeAll("stream-00000.tsc4", stream)
+		rep, err := VetDir(dir, Options{})
+		if err != nil {
+			return
+		}
+		again, err := VetDir(dir, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("second VetDir failed: %v", err)
+		}
+		if renderReport(rep) != renderReport(again) {
+			t.Fatalf("report not deterministic:\n%s\nvs\n%s", renderReport(rep), renderReport(again))
+		}
+	})
+}

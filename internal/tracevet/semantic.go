@@ -1,0 +1,166 @@
+// Semantic conservation cross-checks: invariants the analysis layer
+// guarantees by construction, re-derived independently per corpus. A
+// violation here never means "the trace is odd" — it means the corpus
+// breaks an identity the impact and AWG pipelines rely on, so their
+// numbers over this data cannot be trusted (or the analysis layer
+// itself has regressed). These rules decode every stream and build
+// wait graphs, so they run only with Options.Semantic set, and only
+// after the structural rules pass clean of errors.
+
+package tracevet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tracescope/internal/awg"
+	"tracescope/internal/diag"
+	"tracescope/internal/impact"
+	"tracescope/internal/trace"
+	"tracescope/internal/waitgraph"
+)
+
+// semanticFilter selects every component: conservation identities are
+// filter-independent, and the all-matching filter maximises the wait
+// mass they cover.
+func semanticFilter() *trace.ComponentFilter { return trace.NewComponentFilter("*") }
+
+// vetSemantic runs the analysis-layer conservation rules over a source
+// whose structural rules passed. Findings are positioned on the stream
+// artifact (per-instance checks) or on the synthetic "corpus" artifact
+// (per-scenario aggregate checks).
+func vetSemantic(src trace.Source, opts Options) []diag.Diagnostic {
+	checkImpact := opts.enabled("impact-conserve")
+	checkAWG := opts.enabled("awg-conserve")
+	if !checkImpact && !checkAWG {
+		return nil
+	}
+	var diags []diag.Diagnostic
+	an := impact.NewAnalyzer(src, waitgraph.Options{})
+	filter := semanticFilter()
+
+	for _, sc := range src.Scenarios() {
+		refs := src.InstancesOf(sc.Name)
+		if checkImpact {
+			diags = append(diags, vetImpactConserve(src, an, filter, sc.Name, refs)...)
+		}
+		if checkAWG {
+			diags = append(diags, vetAWGConserve(an, filter, sc.Name, refs)...)
+		}
+	}
+	if err := an.Err(); err != nil {
+		diags = append(diags, vd("corpus", 1, "impact-conserve", diag.SevError,
+			"semantic phase could not fetch every stream: %v", err))
+	}
+	return diags
+}
+
+// vetImpactConserve re-derives the impact identities for one scenario:
+// scenario-wide Dwaitdist <= Dwait (equivalently IAopt <= IAwait — the
+// distinct-wait set is a subset of the counted waits), and per instance
+// Dwaitdist <= wall time (distinct waits are counted once and each is
+// bounded by the window that contains it).
+func vetImpactConserve(src trace.Source, an *impact.Analyzer, filter *trace.ComponentFilter, scenario string, refs []trace.InstanceRef) []diag.Diagnostic {
+	var diags []diag.Diagnostic
+	whole := an.AnalyzeShard(filter, refs)
+	if whole.Dwaitdist > whole.Dwait {
+		diags = append(diags, vd("corpus", 1, "impact-conserve", diag.SevError,
+			"scenario %q: Dwaitdist %d exceeds Dwait %d (IAopt > IAwait)",
+			scenario, int64(whole.Dwaitdist), int64(whole.Dwait)))
+	}
+	if whole.Dscn < 0 || whole.Dwait < 0 || whole.Drun < 0 || whole.Dwaitdist < 0 {
+		diags = append(diags, vd("corpus", 1, "impact-conserve", diag.SevError,
+			"scenario %q: negative impact aggregate (Dscn=%d Dwait=%d Drun=%d Dwaitdist=%d)",
+			scenario, int64(whole.Dscn), int64(whole.Dwait), int64(whole.Drun), int64(whole.Dwaitdist)))
+	}
+	for k, ref := range refs {
+		one := an.AnalyzeShard(filter, refs[k:k+1])
+		wall := src.InstanceMeta(ref).Duration()
+		if one.Dwaitdist > wall {
+			diags = append(diags, vd(streamArtifact(src, ref.Stream), ref.Instance+1, "impact-conserve", diag.SevError,
+				"scenario %q instance %d of stream %d: distinct wait %d exceeds the instance's wall time %d",
+				scenario, ref.Instance, ref.Stream, int64(one.Dwaitdist), int64(wall)))
+		}
+	}
+	return diags
+}
+
+// streamArtifact names stream i for finding positions.
+func streamArtifact(src trace.Source, i int) string {
+	if f := src.StreamMeta(i).File; f != "" {
+		return f
+	}
+	return fmt.Sprintf("stream[%d]", i)
+}
+
+// vetAWGConserve checks AWG aggregation cost conservation for one
+// scenario: a per-stream sharded aggregation merged in stream order
+// must serialize identically to the sequential aggregate — the merge
+// operations are commutative and associative by design, and this rule
+// re-proves it on real data.
+func vetAWGConserve(an *impact.Analyzer, filter *trace.ComponentFilter, scenario string, refs []trace.InstanceRef) []diag.Diagnostic {
+	seq := awg.NewAggregator(filter, awg.Options{})
+	an.GraphsOver(refs, func(_ trace.InstanceRef, g *waitgraph.Graph) { seq.Add(g) })
+
+	merged := awg.NewAggregator(filter, awg.Options{})
+	for start := 0; start < len(refs); {
+		end := start
+		for end < len(refs) && refs[end].Stream == refs[start].Stream {
+			end++
+		}
+		shard := awg.NewAggregator(filter, awg.Options{})
+		an.GraphsOver(refs[start:end], func(_ trace.InstanceRef, g *waitgraph.Graph) { shard.Add(g) })
+		merged.Merge(shard.Partial())
+		start = end
+	}
+
+	want := serializeForest(seq.Finish())
+	got := serializeForest(merged.Finish())
+	if want == got {
+		return nil
+	}
+	return []diag.Diagnostic{vd("corpus", 1, "awg-conserve", diag.SevError,
+		"scenario %q: per-stream sharded AWG aggregation disagrees with the sequential aggregate (%s)",
+		scenario, forestDiffHint(want, got))}
+}
+
+// serializeForest renders an AWG forest as deterministic text: one line
+// per node, depth-first over key-sorted children.
+func serializeForest(g *awg.Graph) string {
+	var b strings.Builder
+	var walk func(n *awg.Node, depth int)
+	walk = func(n *awg.Node, depth int) {
+		b.WriteString(strconv.Itoa(depth))
+		b.WriteByte('|')
+		b.WriteString(n.Key())
+		fmt.Fprintf(&b, "|C=%d|N=%d|MaxC=%d\n", int64(n.C), n.N, int64(n.MaxC))
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range g.Roots() {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// forestDiffHint points at the first serialized line where two forests
+// diverge, keeping the finding message bounded.
+func forestDiffHint(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first divergence at node line %d: sequential %q, sharded %q", i+1, w, g)
+		}
+	}
+	return "forests identical" // unreachable when called on inequality
+}

@@ -19,6 +19,11 @@ GO="${GO:-go}"
 tmp="$(mktemp -d "${TMPDIR:-/tmp}/bench_gate.XXXXXX")"
 trap 'rm -rf "$tmp"' EXIT INT TERM
 
+echo "== vetting a fresh tracegen corpus (the shape the bench encodes)"
+"$GO" run ./cmd/tracegen -out "$tmp/corpus" -seed 42 -streams 8 -episodes 4 > /dev/null
+"$GO" run ./cmd/tracevet -semantic "$tmp/corpus" \
+    || { echo "generated corpus failed verification" >&2; exit 1; }
+
 echo "== fresh engine report"
 "$GO" run ./cmd/benchjson -out "$tmp/engine.json"
 echo "== fresh corpus report"

@@ -23,7 +23,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building binaries"
-go build -o "$WORK/bin/" ./cmd/tracescoped ./cmd/tracegen
+go build -o "$WORK/bin/" ./cmd/tracescoped ./cmd/tracegen ./cmd/tracevet
 
 start_daemon() { # $1 corpus dir, $2 log file
     "$WORK/bin/tracescoped" -corpus "$1" -addr 127.0.0.1:0 > "$2" 2>&1 &
@@ -88,6 +88,10 @@ echo "== run c (restart over run a's corpus, warm-up path)"
 addr="$(start_daemon "$WORK/corpus-a" "$WORK/daemon-c.log")"
 query_all "$addr" "$WORK/out-c"
 stop_daemon
+
+echo "== vetting the ingested corpora (every stream passed the admission gate)"
+"$WORK/bin/tracevet" -semantic "$WORK/corpus-a" "$WORK/corpus-b" \
+    || { echo "daemon-grown corpus failed verification" >&2; exit 1; }
 
 echo "== comparing arrival orders (all endpoints, /metrics included)"
 diff -ru "$WORK/out-a" "$WORK/out-b"

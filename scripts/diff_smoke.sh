@@ -29,13 +29,17 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building binaries"
-go build -o "$WORK/bin/" ./cmd/tracegen ./cmd/traceanalyze ./cmd/tracescoped
+go build -o "$WORK/bin/" ./cmd/tracegen ./cmd/traceanalyze ./cmd/tracescoped ./cmd/tracevet
 
 echo "== generating fleets (seed $SEED; candidate with ${SLOWHW}x slower storage hardware)"
 "$WORK/bin/tracegen" -out "$WORK/before" -seed "$SEED" -streams "$STREAMS" -episodes "$EPISODES" \
     > "$WORK/gen-before.log"
 "$WORK/bin/tracegen" -out "$WORK/after" -seed "$SEED" -streams "$STREAMS" -episodes "$EPISODES" \
     -slowhw "$SLOWHW" > "$WORK/gen-after.log"
+
+echo "== vetting both fleets before diffing them"
+"$WORK/bin/tracevet" -semantic "$WORK/before" "$WORK/after" \
+    || { echo "generated corpus failed verification" >&2; exit 1; }
 
 echo "== diffing (workers 1 and 4, JSON; plus markdown)"
 "$WORK/bin/traceanalyze" -diff -format json -workers 1 "$WORK/before" "$WORK/after" > "$WORK/diff-w1.json"

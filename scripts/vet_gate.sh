@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Corpus-verifier gate: generate a fleet with tracegen, prove tracevet
+# passes it clean (structural AND semantic rules), then corrupt the
+# corpus one deterministic bit-flip / truncation at a time and fail
+# unless every mutant is
+#
+#   1. caught (tracevet exits non-zero with at least one finding),
+#   2. caught by the *expected* rule, and
+#   3. reported byte-identically at -workers 1 and -workers 4.
+#
+# The clean run's SARIF log lands in tracevet.sarif (uploaded as a CI
+# artifact), so every green run leaves a machine-readable record of the
+# rule set that vetted the corpus.
+#
+# Usage: scripts/vet_gate.sh [STREAMS] [EPISODES]
+set -euo pipefail
+
+STREAMS="${1:-12}"
+EPISODES="${2:-6}"
+SEED=42
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/tracescope-vet-gate.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+cd "$(dirname "$0")/.."
+
+echo "== building binaries"
+go build -o "$WORK/bin/" ./cmd/tracegen ./cmd/tracevet
+
+echo "== generating corpus (seed $SEED, $STREAMS streams)"
+"$WORK/bin/tracegen" -out "$WORK/corpus" -seed "$SEED" -streams "$STREAMS" \
+    -episodes "$EPISODES" > "$WORK/gen.log"
+
+echo "== vetting the clean corpus (structural + semantic, SARIF artifact)"
+"$WORK/bin/tracevet" -semantic -sarif tracevet.sarif "$WORK/corpus" \
+    > "$WORK/clean.out" 2> "$WORK/clean.err" \
+    || { echo "clean corpus failed verification:" >&2
+         cat "$WORK/clean.out" "$WORK/clean.err" >&2; exit 1; }
+[ -s "$WORK/clean.out" ] && { echo "clean corpus produced findings:" >&2
+                              cat "$WORK/clean.out" >&2; exit 1; }
+
+# flip_bit FILE OFFSET — XOR one bit of the byte at OFFSET in place.
+flip_bit() {
+    local b
+    b="$(od -An -tu1 -j "$2" -N1 "$1" | tr -d ' ')"
+    printf "$(printf '\\%03o' $(( b ^ 0x01 )))" \
+        | dd of="$1" bs=1 seek="$2" conv=notrunc status=none
+}
+
+# expect_caught NAME RULE MUTATE... — copy the corpus, apply the
+# mutation (a shell command run with the mutant dir in $MUT), and demand
+# tracevet catches it with RULE, deterministically across worker counts.
+failures=0
+expect_caught() {
+    local name="$1" rule="$2"; shift 2
+    local MUT="$WORK/mut-$name"
+    cp -r "$WORK/corpus" "$MUT"
+    "$@"
+    local status=0
+    "$WORK/bin/tracevet" -json -workers 1 "$MUT" > "$WORK/$name-w1.json" 2>/dev/null \
+        && status=0 || status=$?
+    if [ "$status" -eq 0 ]; then
+        echo "FAIL $name: mutation not caught" >&2
+        failures=$((failures + 1))
+        return 0
+    fi
+    if ! grep -q "\"analyzer\": \"$rule\"" "$WORK/$name-w1.json"; then
+        echo "FAIL $name: expected rule '$rule' absent from report:" >&2
+        cat "$WORK/$name-w1.json" >&2
+        failures=$((failures + 1))
+        return 0
+    fi
+    "$WORK/bin/tracevet" -json -workers 4 "$MUT" > "$WORK/$name-w4.json" 2>/dev/null || true
+    if ! cmp -s "$WORK/$name-w1.json" "$WORK/$name-w4.json"; then
+        echo "FAIL $name: report differs between -workers 1 and -workers 4" >&2
+        failures=$((failures + 1))
+        return 0
+    fi
+    echo "   $name: caught by $rule (deterministic)"
+}
+
+echo "== mutation harness"
+index_size="$(wc -c < "$WORK/corpus/corpus.index")"
+stream_file="$(ls "$WORK/corpus" | grep '^stream-' | head -1)"
+
+# Bit-flips in the index: the version digit of the header and the
+# sequence digit of a mid-file stream record ('s 2 ' -> 's 3 ', a gap).
+expect_caught index-header index-seq \
+    flip_bit "$WORK/mut-index-header/corpus.index" 8
+seq_off="$(grep -b -o '^s 2 ' "$WORK/corpus/corpus.index" | head -1 | cut -d: -f1)"
+expect_caught index-gap index-seq \
+    flip_bit "$WORK/mut-index-gap/corpus.index" $(( seq_off + 2 ))
+
+# Bit-flip in a committed stream file's magic: indexed-file corruption.
+expect_caught stream-magic stream-decode \
+    flip_bit "$WORK/mut-stream-magic/$stream_file" 2
+
+# Torn tails — the Appender crash shapes. Both must be caught AND
+# classified recoverable (notes only, no errors in the human render).
+expect_caught index-tail tail-truncated \
+    truncate -s $(( index_size - 3 )) "$WORK/mut-index-tail/corpus.index"
+expect_caught intern-tail tail-truncated \
+    sh -c 'printf "F\144xy" >> "$0"' "$WORK/mut-intern-tail/corpus.intern"
+for name in index-tail intern-tail; do
+    if grep -q '"severity": "error"' "$WORK/$name-w1.json"; then
+        echo "FAIL $name: crash-shaped tail reported as error, want recoverable note" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# Dangling intern references: drop the intern tail so committed streams
+# point at entries that no longer exist — corruption, not a note.
+expect_caught intern-dangle intern-ref \
+    sh -c 'truncate -s $(( $(wc -c < "$0") / 2 )) "$0"' "$WORK/mut-intern-dangle/corpus.intern"
+
+[ "$failures" -eq 0 ] || { echo "vet gate: $failures mutation(s) escaped" >&2; exit 1; }
+echo "vet gate: OK (clean corpus verified semantically; all mutants caught, reports worker-count-stable)"
